@@ -1,0 +1,120 @@
+package marlin
+
+import (
+	"marlin/internal/cc"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+	"marlin/internal/workload"
+)
+
+// This file exports the CC-module programming interface (the paper's
+// Table 3) so downstream users can implement and register their own
+// congestion-control algorithms — requirement R2. The aliases make the
+// internal types directly implementable from outside the module.
+
+// CCAlgorithm is a congestion-control module: the unit a user writes in
+// HLS C++ on real hardware (§5.4). Implementations must be pure event
+// handlers over the provided state regions.
+type CCAlgorithm = cc.Algorithm
+
+// CCInput is the read-only intrinsic-variable struct (Table 3, INPUT).
+type CCInput = cc.Input
+
+// CCOutput is the write-only result struct (Table 3, OUTPUT).
+type CCOutput = cc.Output
+
+// CCState is the 64-byte per-flow cust-var / slwpth-var region.
+type CCState = cc.State
+
+// CCParams is the parameter block deployed to FPGA BRAM.
+type CCParams = cc.Params
+
+// CCMode distinguishes window- and rate-based algorithms.
+type CCMode = cc.Mode
+
+// CC modes.
+const (
+	WindowMode = cc.WindowMode
+	RateMode   = cc.RateMode
+)
+
+// CC event types (the evt-typ intrinsic input).
+const (
+	EvRx      = cc.EvRx
+	EvTimeout = cc.EvTimeout
+	EvTimer   = cc.EvTimer
+	EvStart   = cc.EvStart
+)
+
+// Per-flow hardware timer IDs.
+const (
+	TimerRTO   = cc.TimerRTO
+	TimerAlpha = cc.TimerAlpha
+	TimerRate  = cc.TimerRate
+)
+
+// Packet flag bits visible to CC modules.
+const (
+	FlagCE        = packet.FlagCE
+	FlagECNEcho   = packet.FlagECNEcho
+	FlagNACK      = packet.FlagNACK
+	FlagCNPNotify = packet.FlagCNPNotify
+)
+
+// CCRegs provides HLS-style fixed-slot access to a CCState region.
+type CCRegs = cc.Regs
+
+// RegsOf wraps a state region in slot accessors.
+func RegsOf(s *CCState) CCRegs { return cc.RegsOf(s) }
+
+// SeqLT reports whether a precedes b in 32-bit circular sequence space.
+func SeqLT(a, b uint32) bool { return cc.SeqLT(a, b) }
+
+// SeqDiff returns a-b as a signed circular distance.
+func SeqDiff(a, b uint32) int32 { return cc.SeqDiff(a, b) }
+
+// RegisterCC installs a custom algorithm constructor under name. It
+// panics on duplicate names (always a programming error).
+func RegisterCC(name string, ctor func() CCAlgorithm) {
+	cc.Register(name, ctor)
+}
+
+// DefaultCCParams returns the evaluation's default parameter block.
+func DefaultCCParams(line Rate, mtu int) CCParams {
+	return cc.DefaultParams(line, mtu)
+}
+
+// --- workload re-exports ---
+
+// Rand is the deterministic random stream workload sampling uses.
+type Rand = sim.Rand
+
+// NewRand returns a seeded deterministic generator.
+func NewRand(seed uint64) *Rand { return sim.NewRand(seed) }
+
+// SizeDist is an empirical flow-size distribution.
+type SizeDist = workload.SizeDist
+
+// WebSearch returns the paper's WebSearch flow-size distribution.
+func WebSearch() *SizeDist { return workload.WebSearch() }
+
+// DataMining returns the heavier-tailed data-mining distribution from the
+// same workload family.
+func DataMining() *SizeDist { return workload.DataMining() }
+
+// FixedSize returns a constant flow-size distribution.
+func FixedSize(pkts uint32) *SizeDist { return workload.Fixed(pkts) }
+
+// UniformSize returns a uniform flow-size distribution over [lo, hi].
+func UniformSize(lo, hi uint32) *SizeDist { return workload.Uniform(lo, hi) }
+
+// --- fault-injection helpers (unexported plumbing) ---
+
+func scriptDrop(flow FlowID, psn uint32) netem.Hook {
+	return netem.NewScript().DropOnce(flow, psn).Hook
+}
+
+func scriptMark(flow FlowID, from, to uint32) netem.Hook {
+	return netem.NewScript().MarkRange(flow, from, to).Hook
+}

@@ -1,0 +1,312 @@
+// Command marlinctl is Marlin's control-plane CLI: it lists and runs the
+// paper-reproduction experiments and drives ad-hoc tests against the
+// simulated tester.
+//
+// Usage:
+//
+//	marlinctl list
+//	marlinctl run <experiment> [-scale N] [-seed N]
+//	marlinctl all [-scale N] [-seed N]
+//	marlinctl test [-algo dctcp] [-ports N] [-flows N] [-duration 5ms]
+//	               [-ecn K] [-fanin] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"marlin"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "all":
+		err = cmdAll(os.Args[2:])
+	case "test":
+		err = cmdTest(os.Args[2:])
+	case "script":
+		err = cmdScript(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "marlinctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marlinctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `marlinctl — Marlin network-tester control plane
+
+commands:
+  list                      list reproducible tables/figures
+  run <experiment> [flags]  regenerate one table/figure
+  all [flags]               regenerate every table/figure
+  test [flags]              run an ad-hoc CC test
+  script <file>...          run packetdrill-style scenario scripts
+  dot [flags]               print the wired topology as Graphviz DOT
+
+run/all flags: -scale N (stretch toward paper scale), -seed N, -format text|json|csv
+test flags:    -algo NAME -ports N -flows N -duration D -ecn K -fanin
+               -int -pfc -fpgarecv -pcap FILE -seed N
+`)
+}
+
+func cmdList() error {
+	fmt.Println("experiments:")
+	for _, name := range marlin.Experiments() {
+		fmt.Printf("  %-20s %s\n", name, marlin.DescribeExperiment(name))
+	}
+	fmt.Println("\nalgorithms:")
+	for _, name := range marlin.Algorithms() {
+		fmt.Printf("  %s\n", name)
+	}
+	return nil
+}
+
+func expFlags(args []string) (marlin.ExperimentOptions, string, error) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1, "scale factor toward paper scale")
+	seed := fs.Uint64("seed", 0, "random seed (0 = default)")
+	format := fs.String("format", "text", "output format: text, json, or csv")
+	if err := fs.Parse(args); err != nil {
+		return marlin.ExperimentOptions{}, "", err
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		return marlin.ExperimentOptions{}, "", fmt.Errorf("unknown -format %q", *format)
+	}
+	return marlin.ExperimentOptions{Scale: *scale, Seed: *seed}, *format, nil
+}
+
+func emit(res *marlin.ExperimentResult, format string) error {
+	switch format {
+	case "json":
+		return res.FprintJSON(os.Stdout)
+	case "csv":
+		return res.FprintCSV(os.Stdout)
+	default:
+		res.Fprint(os.Stdout)
+		return nil
+	}
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run: need an experiment name (see 'marlinctl list')")
+	}
+	name := args[0]
+	opts, format, err := expFlags(args[1:])
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := marlin.RunExperiment(name, opts)
+	if err != nil {
+		return err
+	}
+	if err := emit(res, format); err != nil {
+		return err
+	}
+	if format == "text" {
+		fmt.Printf("(%.1fs wall)\n", time.Since(start).Seconds())
+	}
+	return nil
+}
+
+func cmdAll(args []string) error {
+	opts, format, err := expFlags(args)
+	if err != nil {
+		return err
+	}
+	for _, name := range marlin.Experiments() {
+		start := time.Now()
+		res, err := marlin.RunExperiment(name, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := emit(res, format); err != nil {
+			return err
+		}
+		if format == "text" {
+			fmt.Printf("(%.1fs wall)\n\n", time.Since(start).Seconds())
+		}
+	}
+	return nil
+}
+
+func cmdTest(args []string) error {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	algo := fs.String("algo", "dctcp", "CC algorithm")
+	ports := fs.Int("ports", 4, "data ports")
+	flows := fs.Int("flows", 1, "flows per sender port")
+	durStr := fs.String("duration", "5ms", "simulated duration (e.g. 5ms, 2s)")
+	ecn := fs.Int("ecn", 65, "ECN step-marking threshold in packets (0 = off)")
+	fanin := fs.Bool("fanin", false, "route all flows to one destination port")
+	useINT := fs.Bool("int", false, "stamp in-band telemetry at every hop (for hpcc)")
+	usePFC := fs.Bool("pfc", false, "lossless fabric via PFC pause frames")
+	fpgaRecv := fs.Bool("fpgarecv", false, "run receiver logic on the FPGA (reserved port)")
+	pcapPath := fs.String("pcap", "", "capture the first forward link to this pcap file")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dur, err := time.ParseDuration(*durStr)
+	if err != nil {
+		return fmt.Errorf("test: bad -duration: %w", err)
+	}
+
+	cfg := marlin.TestConfig{
+		Algorithm:        *algo,
+		Ports:            *ports,
+		ECNThresholdPkts: *ecn,
+		EnableINT:        *useINT,
+		EnablePFC:        *usePFC,
+		ReceiverOnFPGA:   *fpgaRecv,
+		DCQCNTimeScale:   30,
+		Seed:             *seed,
+	}
+	for _, warn := range marlin.Lint(cfg) {
+		fmt.Fprintln(os.Stderr, "warning:", warn)
+	}
+	t, err := marlin.NewTester(cfg)
+	if err != nil {
+		return err
+	}
+	var pcapFile *os.File
+	if *pcapPath != "" {
+		pcapFile, err = os.Create(*pcapPath)
+		if err != nil {
+			return err
+		}
+		defer pcapFile.Close()
+		rx := 0
+		if *fanin {
+			rx = t.DataPorts() - 1
+		}
+		if _, err := t.CaptureForward(rx, pcapFile, 0); err != nil {
+			return err
+		}
+	}
+	senders := t.DataPorts()
+	dst := -1
+	if *fanin {
+		senders = t.DataPorts() - 1
+		dst = senders
+	}
+	var id marlin.FlowID
+	for p := 0; p < senders; p++ {
+		rx := p
+		if dst >= 0 {
+			rx = dst
+		}
+		for k := 0; k < *flows; k++ {
+			if err := t.StartFlow(id, p, rx, 0); err != nil {
+				return err
+			}
+			id++
+		}
+	}
+	t.RunFor(marlin.Duration(dur.Nanoseconds()) * marlin.Nanosecond)
+
+	snap := t.Registers()
+	fmt.Println(marlin.FormatSnapshot(snap))
+	secs := float64(dur.Nanoseconds()) / 1e9
+	var rates []float64
+	for f := marlin.FlowID(0); f < id; f++ {
+		gbps := float64(t.FlowTxBytes(f)) * 8 / secs / 1e9
+		rates = append(rates, gbps)
+		fmt.Printf("flow %-4d %8.2f Gbps\n", f, gbps)
+	}
+	fmt.Printf("aggregate %8.2f Gbps   jain %.4f\n",
+		sum(rates), marlin.JainIndex(rates))
+	losses := t.Losses()
+	fmt.Printf("losses: network=%d false=%d rx=%d\n",
+		losses.NetworkDrops, losses.FalseLosses, losses.RXDrops)
+	if samples, count, ewma := t.RTT(); count > 0 {
+		cdf := marlin.NewCDF(samples)
+		fmt.Printf("rtt: probes=%d ewma=%.1fus p50=%.1fus p99=%.1fus\n",
+			count, ewma, cdf.Percentile(0.5), cdf.Percentile(0.99))
+		h := marlin.NewHistogram("us")
+		h.AddAll(samples)
+		fmt.Print("rtt distribution:\n", h.Render(36))
+	}
+	if pcapFile != nil {
+		fmt.Printf("pcap written to %s\n", pcapFile.Name())
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
+	algo := fs.String("algo", "dctcp", "CC algorithm")
+	ports := fs.Int("ports", 4, "data ports")
+	pfc := fs.Bool("pfc", false, "enable PFC")
+	fpgaRecv := fs.Bool("fpgarecv", false, "receiver logic on the FPGA")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := marlin.NewTester(marlin.TestConfig{
+		Algorithm:      *algo,
+		Ports:          *ports,
+		EnablePFC:      *pfc,
+		ReceiverOnFPGA: *fpgaRecv,
+		Seed:           1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.TopologyDOT())
+	return nil
+}
+
+func cmdScript(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("script: need at least one scenario file")
+	}
+	failed := 0
+	for _, path := range args {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rep, err := marlin.RunScenario(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("== %s ==\n%s", path, rep.Summary())
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scenario(s) failed", failed)
+	}
+	return nil
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

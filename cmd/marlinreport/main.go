@@ -1,0 +1,136 @@
+// Command marlinreport turns experiment results into a Markdown report.
+// Feed it the JSON that marlinctl emits:
+//
+//	marlinctl run fig7 -format json > fig7.json
+//	marlinctl run fig10 -format json > fig10.json
+//	marlinreport fig7.json fig10.json > report.md
+//
+// Multiple JSON documents may also be concatenated in one file or piped
+// on stdin (marlinctl all -format json | marlinreport -).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// result mirrors the exported shape of an experiment result.
+type result struct {
+	Name    string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+	Metrics map[string]float64
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: marlinreport <results.json>... (or - for stdin)")
+		os.Exit(2)
+	}
+	var results []result
+	for _, path := range os.Args[1:] {
+		rs, err := load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marlinreport:", err)
+			os.Exit(1)
+		}
+		results = append(results, rs...)
+	}
+	os.Stdout.WriteString(Render(results))
+}
+
+func load(path string) ([]result, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return Decode(r)
+}
+
+// Decode reads a stream of concatenated JSON result documents.
+func Decode(r io.Reader) ([]result, error) {
+	dec := json.NewDecoder(r)
+	var out []result
+	for {
+		var res result
+		if err := dec.Decode(&res); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode result %d: %w", len(out)+1, err)
+		}
+		if res.Name == "" {
+			return nil, fmt.Errorf("document %d has no Name; is this marlinctl -format json output?", len(out)+1)
+		}
+		out = append(out, res)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no results found")
+	}
+	return out, nil
+}
+
+// Render produces the Markdown report.
+func Render(results []result) string {
+	var b strings.Builder
+	b.WriteString("# Marlin experiment report\n\n")
+	fmt.Fprintf(&b, "%d experiment(s).\n\n", len(results))
+	for _, res := range results {
+		fmt.Fprintf(&b, "## %s — %s\n\n", res.Name, res.Title)
+		if len(res.Headers) > 0 {
+			writeMDTable(&b, res.Headers, res.Rows)
+		}
+		if len(res.Metrics) > 0 {
+			b.WriteString("\n**Metrics**\n\n")
+			keys := make([]string, 0, len(res.Metrics))
+			for k := range res.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			writeMDTable(&b, []string{"metric", "value"}, metricRows(keys, res.Metrics))
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintf(&b, "\n> %s\n", n)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func metricRows(keys []string, m map[string]float64) [][]string {
+	rows := make([][]string, len(keys))
+	for i, k := range keys {
+		rows[i] = []string{k, fmt.Sprintf("%g", m[k])}
+	}
+	return rows
+}
+
+func writeMDTable(b *strings.Builder, headers []string, rows [][]string) {
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range rows {
+		cells := make([]string, len(headers))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "Name": "fig7",
+  "Title": "per-flow throughput",
+  "Headers": ["time_ms", "flow0_gbps"],
+  "Rows": [["0.5", "98.1"], ["1.0", "98.1"]],
+  "Notes": ["scaled run"],
+  "Metrics": {"mean_total_tbps": 1.177}
+}
+{
+  "Name": "table-amplify",
+  "Title": "amplification",
+  "Headers": ["mtu", "amp"],
+  "Rows": [["1024", "12"]],
+  "Metrics": {"tbps_1024": 1.2}
+}`
+
+func TestDecodeStream(t *testing.T) {
+	rs, err := Decode(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Name != "fig7" || rs[1].Name != "table-amplify" {
+		t.Fatalf("decoded %+v", rs)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(strings.NewReader("")); err == nil {
+		t.Error("empty stream decoded")
+	}
+	if _, err := Decode(strings.NewReader(`{"Title":"x"}`)); err == nil {
+		t.Error("nameless document accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{broken`)); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	rs, err := Decode(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Render(rs)
+	for _, want := range []string{
+		"# Marlin experiment report",
+		"## fig7 — per-flow throughput",
+		"| time_ms | flow0_gbps |",
+		"| 0.5 | 98.1 |",
+		"| mean_total_tbps | 1.177 |",
+		"> scaled run",
+		"## table-amplify — amplification",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	md := Render([]result{{
+		Name: "x", Title: "t",
+		Headers: []string{"a", "b", "c"},
+		Rows:    [][]string{{"1"}}, // short row must pad, not panic
+	}})
+	if !strings.Contains(md, "| 1 |  |  |") {
+		t.Errorf("ragged row not padded:\n%s", md)
+	}
+}

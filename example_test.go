@@ -1,0 +1,76 @@
+package marlin_test
+
+import (
+	"fmt"
+	"log"
+
+	"marlin"
+)
+
+// The simplest complete use: deploy a tester, run one flow, read the
+// registers.
+func Example() {
+	t, err := marlin.NewTester(marlin.TestConfig{Algorithm: "dctcp", Ports: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t.StartFlow(0, 0, 1, 100); err != nil {
+		log.Fatal(err)
+	}
+	t.RunFor(10 * marlin.Millisecond)
+	fmt.Println("completions:", len(t.FCTs()))
+	fmt.Println("false losses:", t.Losses().FalseLosses)
+	// Output:
+	// completions: 1
+	// false losses: 0
+}
+
+// Scripted fault injection reproduces the paper's §7.1 methodology:
+// deterministic loss at a chosen sequence number.
+func ExampleTester_InjectLoss() {
+	t, err := marlin.NewTester(marlin.TestConfig{Algorithm: "reno", Ports: 2, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.InjectLoss(1, 0, 40) // drop flow 0's PSN 40 on its way to port 1
+	if err := t.StartFlow(0, 0, 1, 200); err != nil {
+		log.Fatal(err)
+	}
+	t.RunFor(20 * marlin.Millisecond)
+	fmt.Println("completed:", len(t.FCTs()) == 1)
+	fmt.Println("retransmitted:", t.Registers().NIC.RtxTx >= 1)
+	// Output:
+	// completed: true
+	// retransmitted: true
+}
+
+// Scenario scripts express whole tests as text (see internal/scenario for
+// the language).
+func ExampleRunScenario() {
+	rep, err := marlin.RunScenario(`
+set algo dctcp
+set ports 2
+at 0ms start 0 tx 0 rx 1 size 50
+run 5ms
+expect completions == 1
+expect false_losses == 0
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("passed:", rep.Passed())
+	// Output:
+	// passed: true
+}
+
+// Experiments regenerate the paper's tables and figures.
+func ExampleRunExperiment() {
+	res, err := marlin.RunExperiment("table-amplify", marlin.ExperimentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MTU 1024 amplification: %.0fx -> %.1f Tbps\n",
+		res.Metrics["amp_1024"], res.Metrics["tbps_1024"])
+	// Output:
+	// MTU 1024 amplification: 12x -> 1.2 Tbps
+}

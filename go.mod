@@ -1,0 +1,3 @@
+module marlin
+
+go 1.22

@@ -1,0 +1,73 @@
+package cc
+
+import "marlin/internal/packet"
+
+// CBR is a constant-bit-rate module with no congestion reaction — the
+// traffic prior switch-based testers (Norma, HyperTester) generate. It
+// exists to make requirement R1 falsifiable: running the same congestion
+// experiments with "cbr" shows what a tester *without* CC behaviour
+// reports (collapsed goodput, massive loss), which is exactly why the
+// paper's R1 matters.
+//
+// Register map (cust-var):
+//
+//	0-1  fixed rate, bps (u64)
+type CBR struct{}
+
+const cbrRateLo = 0
+
+func init() { Register("cbr", func() Algorithm { return CBR{} }) }
+
+// Name implements Algorithm.
+func (CBR) Name() string { return "cbr" }
+
+// Mode implements Algorithm.
+func (CBR) Mode() Mode { return RateMode }
+
+// FastPathCycles implements Algorithm: nothing to compute.
+func (CBR) FastPathCycles() int { return 1 }
+
+// SlowPathCycles implements Algorithm.
+func (CBR) SlowPathCycles() int { return 0 }
+
+// InitFlow implements Algorithm: the rate is pinned to CBRRate (or line
+// rate when unset) and never changes.
+func (CBR) InitFlow(cust, slow *State, p *Params) {
+	rate := p.CBRRate
+	if rate == 0 {
+		rate = p.LineRate
+	}
+	RegsOf(cust).SetU64(cbrRateLo, uint64(rate))
+}
+
+// OnEvent implements Algorithm: ignore congestion signals entirely; only
+// keep the pipeline fed and recover from losses by go-back-N so flows
+// still terminate.
+func (CBR) OnEvent(in *Input, out *Output) {
+	r := RegsOf(in.Cust)
+	switch in.Type {
+	case EvStart:
+		out.Schedule = true
+	case EvRx:
+		if in.Flags.Has(packet.FlagNACK) {
+			out.Rtx, out.RtxPSN = true, in.Ack
+		}
+		out.Schedule = true
+		if SeqDiff(in.Ack, in.Nxt) >= 0 {
+			out.StopTimer(TimerRTO)
+		} else {
+			out.ArmTimer(TimerRTO, in.Params.RTOMin)
+		}
+	case EvTimeout:
+		if SeqDiff(in.Nxt, in.Una) > 0 {
+			out.Rtx, out.RtxPSN = true, in.Una
+			out.Schedule = true
+			out.ArmTimer(TimerRTO, in.Params.RTOMin)
+		}
+	}
+	out.SetRate, out.Rate = true, Rate64(r.U64(cbrRateLo))
+	out.LogU32x4(uint32(r.U64(cbrRateLo)/1e6), 0, 0, uint32(in.Type))
+}
+
+// OnSlowPath implements Algorithm.
+func (CBR) OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output) {}

@@ -1,0 +1,281 @@
+// Package cc implements Marlin's congestion-control algorithm modules.
+//
+// The package mirrors the HLS programming interface of the paper's §5.4 and
+// Table 3: a CC module is a pure event handler that receives an immutable
+// intrinsic-variable struct (event type, PSN, window/rate, flags, probed
+// RTT, timestamp), a 64-byte user-defined state region ("cust-var"), and a
+// read-only view of Slow-Path-owned variables ("slwpth-var"), and writes an
+// output struct (new window or rate, retransmission PSN, timer resets,
+// Slow-Path trigger events, and a 16-byte log record).
+//
+// Algorithms are written against fixed-width register slots in the 64-byte
+// region — the same discipline an HLS module obeys when its state must fit
+// the per-flow BRAM word — and declare their fast-path clock-cycle cost so
+// the FPGA model can charge execution time (Table 4).
+package cc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Mode says whether an algorithm is window-based or rate-based; the FPGA
+// scheduler consults it to decide eligibility (§5.2).
+type Mode int
+
+// Algorithm modes.
+const (
+	WindowMode Mode = iota
+	RateMode
+)
+
+func (m Mode) String() string {
+	if m == RateMode {
+		return "rate"
+	}
+	return "window"
+}
+
+// EventType is the evt-typ intrinsic input (Table 3): what woke the module.
+type EventType uint8
+
+// Event types.
+const (
+	// EvRx is the reception of an INFO packet (ACK, ECN echo, NACK, or
+	// CNP — the Flags field disambiguates).
+	EvRx EventType = iota + 1
+	// EvTimeout is a retransmission-timer expiry.
+	EvTimeout
+	// EvTimer is an algorithm-owned periodic timer (DCQCN's alpha and
+	// rate-increase timers); TimerID says which.
+	EvTimer
+	// EvStart fires once when the control plane activates the flow; the
+	// module arms its timers and requests its first scheduling event.
+	EvStart
+)
+
+// Timer identifiers used with Output timer requests and EvTimer events.
+const (
+	TimerRTO uint8 = iota
+	TimerAlpha
+	TimerRate
+	numTimers
+)
+
+// NumTimers is the number of per-flow hardware timers the event generator
+// provisions.
+const NumTimers = int(numTimers)
+
+// StateSize is the size of the cust-var region: "The customized variable,
+// with a total length of 64B, is customized by the user and stores the
+// parameters of CC" (§5.4).
+const StateSize = 64
+
+// State is the per-flow user-defined CC state, stored in FPGA BRAM.
+type State [StateSize]byte
+
+// Regs provides HLS-style fixed-slot access to a 64-byte state region:
+// sixteen 32-bit registers. Algorithms address state by named slot
+// constants, which keeps every algorithm honest about its BRAM footprint.
+type Regs struct{ b *State }
+
+// RegsOf wraps a state region.
+func RegsOf(s *State) Regs { return Regs{s} }
+
+// U32 reads register slot i (0..15).
+func (r Regs) U32(i int) uint32 {
+	return binary.LittleEndian.Uint32(r.b[i*4 : i*4+4])
+}
+
+// SetU32 writes register slot i.
+func (r Regs) SetU32(i int, v uint32) {
+	binary.LittleEndian.PutUint32(r.b[i*4:i*4+4], v)
+}
+
+// Add32 adds delta to slot i and returns the new value (a modelled RMW).
+func (r Regs) Add32(i int, delta uint32) uint32 {
+	v := r.U32(i) + delta
+	r.SetU32(i, v)
+	return v
+}
+
+// U64 reads slots i and i+1 as one 64-bit register.
+func (r Regs) U64(i int) uint64 {
+	return binary.LittleEndian.Uint64(r.b[i*4 : i*4+8])
+}
+
+// SetU64 writes slots i and i+1 as one 64-bit register.
+func (r Regs) SetU64(i int, v uint64) {
+	binary.LittleEndian.PutUint64(r.b[i*4:i*4+8], v)
+}
+
+// Input is the read-only intrinsic-variable struct handed to the module
+// (Table 3, INPUT rows).
+type Input struct {
+	// Type is the triggering event.
+	Type EventType
+	// TimerID identifies the timer for EvTimer events.
+	TimerID uint8
+	// PSN is the packet sequence number carried by the INFO packet.
+	PSN uint32
+	// Ack is the cumulative acknowledgement carried by the INFO packet.
+	Ack uint32
+	// Una is the PSN of the next unacknowledged packet.
+	Una uint32
+	// Nxt is the PSN of the next packet to be sent.
+	Nxt uint32
+	// Cwnd is the current congestion window in packets (window mode).
+	Cwnd uint32
+	// Rate is the current sending rate (rate mode).
+	Rate sim.Rate
+	// Flags carries ack/ecn/nack/cnp bits from the INFO packet.
+	Flags packet.Flags
+	// ProbedRTT is the measured round-trip time for this event, or zero.
+	ProbedRTT sim.Duration
+	// Timestamp is when the event was received (322 MHz clock domain).
+	Timestamp sim.Time
+	// MTU is the DATA frame size configured for the test.
+	MTU int
+	// INT is the echoed in-band telemetry stack, when the tested network
+	// stamps it (INT-based CC such as HPCC).
+	INT *packet.INTRecord
+	// Params exposes the test's CC parameter block (deployed to BRAM by
+	// the control plane before the test starts).
+	Params *Params
+	// Cust is the module's read-write 64-byte state.
+	Cust *State
+	// Slow is a read-only snapshot of Slow-Path-owned variables.
+	Slow *State
+}
+
+// TimerReq asks the event generator to (re)arm a per-flow timer.
+type TimerReq struct {
+	ID    uint8
+	After sim.Duration
+}
+
+// Output is the write-only result struct (Table 3, OUTPUT rows). A single
+// Output value is reused across invocations; Reset clears it.
+type Output struct {
+	// SetCwnd/Cwnd install a new congestion window (packets).
+	SetCwnd bool
+	Cwnd    uint32
+	// SetRate/Rate install a new sending rate.
+	SetRate bool
+	Rate    sim.Rate
+	// Rtx requests retransmission of RtxPSN ahead of new data.
+	Rtx    bool
+	RtxPSN uint32
+	// Schedule asks the scheduler to (re)activate this flow — the
+	// "generate a scheduling event" output of §5.1.
+	Schedule bool
+	// Timers are (re)arm requests; StopTimers cancels timers by ID.
+	Timers     [NumTimers]TimerReq
+	NumTimers  int
+	StopTimers [NumTimers]uint8
+	NumStops   int
+	// SlowPath posts an event code to the Slow Path executor.
+	SlowPath     bool
+	SlowPathCode uint8
+	// Log emits a 16-byte record to the fine-grained logging module.
+	Log    [16]byte
+	HasLog bool
+}
+
+// Reset clears the output for reuse.
+func (o *Output) Reset() { *o = Output{} }
+
+// ArmTimer appends a timer request.
+func (o *Output) ArmTimer(id uint8, after sim.Duration) {
+	o.Timers[o.NumTimers] = TimerReq{ID: id, After: after}
+	o.NumTimers++
+}
+
+// StopTimer appends a cancel request.
+func (o *Output) StopTimer(id uint8) {
+	o.StopTimers[o.NumStops] = id
+	o.NumStops++
+}
+
+// LogU32x4 fills the 16-byte log record with four 32-bit values; the trace
+// decoder on the host side reverses this.
+func (o *Output) LogU32x4(a, b, c, d uint32) {
+	binary.LittleEndian.PutUint32(o.Log[0:4], a)
+	binary.LittleEndian.PutUint32(o.Log[4:8], b)
+	binary.LittleEndian.PutUint32(o.Log[8:12], c)
+	binary.LittleEndian.PutUint32(o.Log[12:16], d)
+	o.HasLog = true
+}
+
+// DecodeLogU32x4 unpacks a 16-byte record written by LogU32x4.
+func DecodeLogU32x4(rec [16]byte) (a, b, c, d uint32) {
+	return binary.LittleEndian.Uint32(rec[0:4]),
+		binary.LittleEndian.Uint32(rec[4:8]),
+		binary.LittleEndian.Uint32(rec[8:12]),
+		binary.LittleEndian.Uint32(rec[12:16])
+}
+
+// Algorithm is a CC module: the unit a user writes in HLS C++ on real
+// hardware and deploys to the FPGA (§5.4).
+type Algorithm interface {
+	// Name is the registry key (e.g. "dctcp").
+	Name() string
+	// Mode reports window- or rate-based operation.
+	Mode() Mode
+	// FastPathCycles is the 322 MHz clock-cycle cost charged per OnEvent
+	// (Table 4's "clk" column).
+	FastPathCycles() int
+	// SlowPathCycles is the cost charged per OnSlowPath execution.
+	SlowPathCycles() int
+	// InitFlow initialises the cust/slow regions for a new flow.
+	InitFlow(cust, slow *State, p *Params)
+	// OnEvent is the fast-path handler. It must not block and must not
+	// touch anything outside its inputs — the same restrictions HLS
+	// imposes.
+	OnEvent(in *Input, out *Output)
+	// OnSlowPath runs a posted slow-path event with write access to the
+	// slow region (§5.4). in is the Input snapshot that posted the event.
+	OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output)
+}
+
+// registry maps algorithm names to constructors.
+var registry = map[string]func() Algorithm{}
+
+// Register installs a constructor; it panics on duplicates, which are
+// always programmer error.
+func Register(name string, ctor func() Algorithm) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("cc: duplicate algorithm %q", name))
+	}
+	registry[name] = ctor
+}
+
+// New instantiates a registered algorithm.
+func New(name string) (Algorithm, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cc: unknown algorithm %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Rate64 converts a stored 64-bit register value back to a Rate.
+func Rate64(v uint64) sim.Rate { return sim.Rate(v) }
+
+// Names lists the registered algorithms in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	// Insertion sort: tiny n, avoids importing sort for one call site.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

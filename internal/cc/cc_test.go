@@ -1,0 +1,837 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// harness drives an Algorithm the way the FPGA fast path does, maintaining
+// the intrinsic flow state (una/nxt/cwnd/rate) between events.
+type harness struct {
+	t     *testing.T
+	alg   Algorithm
+	p     Params
+	cust  State
+	slow  State
+	una   uint32
+	nxt   uint32
+	cwnd  uint32
+	rate  sim.Rate
+	now   sim.Time
+	out   Output
+	rtxes []uint32
+}
+
+func newHarness(t *testing.T, name string, mutate func(*Params)) *harness {
+	t.Helper()
+	alg, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(100*sim.Gbps, 1024)
+	if mutate != nil {
+		mutate(&p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{t: t, alg: alg, p: p}
+	alg.InitFlow(&h.cust, &h.slow, &h.p)
+	h.cwnd = p.InitCwnd
+	h.rate = p.LineRate
+	h.deliver(&Input{Type: EvStart})
+	return h
+}
+
+func (h *harness) deliver(in *Input) *Output {
+	h.t.Helper()
+	in.Una, in.Nxt = h.una, h.nxt
+	in.Cwnd, in.Rate = h.cwnd, h.rate
+	in.MTU = h.p.MTU
+	in.Params = &h.p
+	in.Cust, in.Slow = &h.cust, &h.slow
+	in.Timestamp = h.now
+	h.out.Reset()
+	h.alg.OnEvent(in, &h.out)
+	if h.out.SetCwnd {
+		h.cwnd = h.out.Cwnd
+	}
+	if h.out.SetRate {
+		h.rate = h.out.Rate
+	}
+	if h.out.SlowPath {
+		var spOut Output
+		h.alg.OnSlowPath(h.out.SlowPathCode, &h.cust, &h.slow, in, &spOut)
+	}
+	if h.out.Rtx {
+		h.rtxes = append(h.rtxes, h.out.RtxPSN)
+	}
+	// The FPGA advances una after the module runs.
+	if in.Type == EvRx && SeqLT(h.una, in.Ack) {
+		h.una = in.Ack
+	}
+	h.now = h.now.Add(sim.Microsecond)
+	return &h.out
+}
+
+// send models the scheduler emitting n new DATA packets.
+func (h *harness) send(n uint32) { h.nxt += n }
+
+// ack delivers a cumulative ACK up to psn with the given flags.
+func (h *harness) ack(psn uint32, flags packet.Flags) *Output {
+	return h.deliver(&Input{Type: EvRx, Ack: psn, PSN: psn, Flags: flags, ProbedRTT: 10 * sim.Microsecond})
+}
+
+func (h *harness) timeout() *Output { return h.deliver(&Input{Type: EvTimeout}) }
+
+func (h *harness) timer(id uint8) *Output {
+	return h.deliver(&Input{Type: EvTimer, TimerID: id})
+}
+
+func TestRegistryHasAllAlgorithms(t *testing.T) {
+	want := []string{"cbr", "cubic", "dcqcn", "dctcp", "hpcc", "reno", "swift", "timely"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("New(bogus) did not error")
+	}
+}
+
+func TestRegistryModesAndCycles(t *testing.T) {
+	modes := map[string]Mode{
+		"reno": WindowMode, "dctcp": WindowMode, "cubic": WindowMode,
+		"dcqcn": RateMode, "timely": RateMode,
+	}
+	// Table 4 clock-cycle entries.
+	cycles := map[string]int{"reno": 2, "dctcp": 24, "dcqcn": 6}
+	for name, mode := range modes {
+		alg, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.Mode() != mode {
+			t.Errorf("%s mode = %v, want %v", name, alg.Mode(), mode)
+		}
+		if alg.Name() != name {
+			t.Errorf("%s Name() = %q", name, alg.Name())
+		}
+		if want, ok := cycles[name]; ok && alg.FastPathCycles() != want {
+			t.Errorf("%s cycles = %d, want %d (Table 4)", name, alg.FastPathCycles(), want)
+		}
+	}
+}
+
+func TestRegsSlots(t *testing.T) {
+	var s State
+	r := RegsOf(&s)
+	for i := 0; i < 16; i++ {
+		r.SetU32(i, uint32(i*1000+7))
+	}
+	for i := 0; i < 16; i++ {
+		if got := r.U32(i); got != uint32(i*1000+7) {
+			t.Fatalf("slot %d = %d", i, got)
+		}
+	}
+	r.SetU64(2, 0xDEADBEEFCAFEF00D)
+	if r.U64(2) != 0xDEADBEEFCAFEF00D {
+		t.Fatal("U64 round trip failed")
+	}
+	if r.Add32(0, 5) != 12 { // slot 0 held 7
+		t.Fatal("Add32 wrong")
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	if !SeqLT(1, 2) || SeqLT(2, 1) || SeqLT(5, 5) {
+		t.Fatal("SeqLT basic cases")
+	}
+	// Wraparound: 2^32-1 precedes 1.
+	if !SeqLT(^uint32(0), 1) {
+		t.Fatal("SeqLT wraparound")
+	}
+	if !SeqLEQ(5, 5) || SeqLEQ(6, 5) {
+		t.Fatal("SeqLEQ")
+	}
+	if SeqMax(^uint32(0), 1) != 1 {
+		t.Fatal("SeqMax wraparound")
+	}
+	if SeqDiff(10, 3) != 7 || SeqDiff(3, 10) != -7 {
+		t.Fatal("SeqDiff")
+	}
+}
+
+func TestQuickSeqAntisymmetric(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == b {
+			return !SeqLT(a, b) && SeqLEQ(a, b)
+		}
+		if SeqDiff(a, b) == -1<<31 {
+			return true // the single ambiguous antipodal point
+		}
+		return SeqLT(a, b) != SeqLT(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Reno ---
+
+func TestRenoSlowStartDoublesPerRTT(t *testing.T) {
+	h := newHarness(t, "reno", nil)
+	if h.cwnd != 1 {
+		t.Fatalf("initial cwnd = %d, want 1", h.cwnd)
+	}
+	// Each acked packet in slow start adds one to cwnd.
+	for rtt := 0; rtt < 5; rtt++ {
+		w := h.cwnd
+		h.send(w)
+		h.ack(h.nxt, 0)
+		if h.cwnd != 2*w {
+			t.Fatalf("after acking %d packets cwnd = %d, want %d", w, h.cwnd, 2*w)
+		}
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	h := newHarness(t, "reno", func(p *Params) { p.InitCwnd = 64; p.Ssthresh = 8 })
+	// Above ssthresh: one full window of acks grows cwnd by ~1.
+	w := h.cwnd
+	h.send(w)
+	for i := uint32(0); i < w; i++ {
+		h.ack(h.una+1, 0)
+	}
+	if h.cwnd != w+1 {
+		t.Fatalf("CA growth: cwnd = %d after window of acks, want %d", h.cwnd, w+1)
+	}
+}
+
+func TestRenoFastRetransmit(t *testing.T) {
+	h := newHarness(t, "reno", func(p *Params) { p.InitCwnd = 20; p.Ssthresh = 10 })
+	h.send(20)
+	// Three duplicate ACKs at una.
+	for i := 0; i < 3; i++ {
+		h.ack(h.una, 0)
+	}
+	if len(h.rtxes) != 1 || h.rtxes[0] != 0 {
+		t.Fatalf("rtxes = %v, want [0]", h.rtxes)
+	}
+	// ssthresh = flight/2 = 10, cwnd = ssthresh+3.
+	if h.cwnd != 13 {
+		t.Fatalf("cwnd after fast retransmit = %d, want 13", h.cwnd)
+	}
+	// Full ACK exits recovery at ssthresh.
+	h.ack(20, 0)
+	if h.cwnd != 10 {
+		t.Fatalf("cwnd after recovery = %d, want 10", h.cwnd)
+	}
+}
+
+func TestRenoPartialAckRetransmits(t *testing.T) {
+	h := newHarness(t, "reno", func(p *Params) { p.InitCwnd = 20; p.Ssthresh = 10 })
+	h.send(20)
+	for i := 0; i < 3; i++ {
+		h.ack(0, 0)
+	}
+	h.rtxes = nil
+	// Partial ACK to 5 (< recover=20) must retransmit PSN 5.
+	h.ack(5, 0)
+	if len(h.rtxes) != 1 || h.rtxes[0] != 5 {
+		t.Fatalf("partial-ack rtxes = %v, want [5]", h.rtxes)
+	}
+}
+
+func TestRenoTimeoutResetsToMinCwnd(t *testing.T) {
+	h := newHarness(t, "reno", func(p *Params) { p.InitCwnd = 32; p.Ssthresh = 16 })
+	h.send(32)
+	h.timeout()
+	if h.cwnd != 1 {
+		t.Fatalf("cwnd after timeout = %d, want 1", h.cwnd)
+	}
+	if len(h.rtxes) != 1 || h.rtxes[0] != 0 {
+		t.Fatalf("timeout rtxes = %v, want [0]", h.rtxes)
+	}
+	// ssthresh = flight/2 = 16: slow start resumes, one packet per ack.
+	h.ack(h.una+1, 0)
+	if h.cwnd != 2 {
+		t.Fatalf("slow start after timeout broken: cwnd = %d", h.cwnd)
+	}
+}
+
+func TestRenoTimeoutIdleIsNoop(t *testing.T) {
+	h := newHarness(t, "reno", nil)
+	before := h.cwnd
+	h.timeout() // nothing in flight
+	if h.cwnd != before || len(h.rtxes) != 0 {
+		t.Fatalf("idle timeout changed state: cwnd=%d rtxes=%v", h.cwnd, h.rtxes)
+	}
+}
+
+func TestRenoECEHalvesOncePerWindow(t *testing.T) {
+	h := newHarness(t, "reno", func(p *Params) { p.InitCwnd = 32; p.Ssthresh = 8 })
+	h.send(32)
+	h.ack(1, packet.FlagECNEcho)
+	if h.cwnd < 16 || h.cwnd > 17 {
+		t.Fatalf("cwnd after ECE = %d, want ~16", h.cwnd)
+	}
+	w := h.cwnd
+	// A second ECE within the same window must not halve again.
+	h.ack(2, packet.FlagECNEcho)
+	if h.cwnd < w {
+		t.Fatalf("second ECE in window reduced cwnd to %d", h.cwnd)
+	}
+}
+
+func TestRenoArmsAndStopsRTO(t *testing.T) {
+	h := newHarness(t, "reno", func(p *Params) { p.InitCwnd = 4 })
+	h.send(4)
+	out := h.ack(1, 0)
+	armed := false
+	for i := 0; i < out.NumTimers; i++ {
+		if out.Timers[i].ID == TimerRTO && out.Timers[i].After >= h.p.RTOMin {
+			armed = true
+		}
+	}
+	if !armed {
+		t.Fatal("RTO not armed with data outstanding")
+	}
+	out = h.ack(4, 0) // everything acked
+	stopped := false
+	for i := 0; i < out.NumStops; i++ {
+		if out.StopTimers[i] == TimerRTO {
+			stopped = true
+		}
+	}
+	if !stopped {
+		t.Fatal("RTO not stopped when flow went idle")
+	}
+}
+
+func TestRenoCwndCappedAtMax(t *testing.T) {
+	h := newHarness(t, "reno", func(p *Params) { p.InitCwnd = 10; p.Ssthresh = 100; p.MaxCwnd = 12 })
+	for i := 0; i < 10; i++ {
+		h.send(2)
+		h.ack(h.nxt, 0)
+	}
+	if h.cwnd > 12 {
+		t.Fatalf("cwnd %d exceeds MaxCwnd 12", h.cwnd)
+	}
+}
+
+// --- DCTCP ---
+
+func dctcpAlpha(h *harness) float64 {
+	one := float64(alphaOne(&h.p))
+	return float64(RegsOf(&h.slow).U32(sAlpha)) / one
+}
+
+func TestDCTCPAlphaConvergesToOneUnderFullMarking(t *testing.T) {
+	h := newHarness(t, "dctcp", func(p *Params) { p.InitCwnd = 8; p.Ssthresh = 4 })
+	for i := 0; i < 400; i++ {
+		h.send(1)
+		h.ack(h.nxt, packet.FlagECNEcho)
+	}
+	if a := dctcpAlpha(h); a < 0.9 {
+		t.Fatalf("alpha = %v after persistent marking, want > 0.9", a)
+	}
+}
+
+func TestDCTCPAlphaDecaysWithoutMarking(t *testing.T) {
+	h := newHarness(t, "dctcp", func(p *Params) { p.InitCwnd = 8; p.Ssthresh = 4 })
+	for i := 0; i < 100; i++ {
+		h.send(1)
+		h.ack(h.nxt, packet.FlagECNEcho)
+	}
+	peak := dctcpAlpha(h)
+	for i := 0; i < 400; i++ {
+		h.send(1)
+		h.ack(h.nxt, 0)
+	}
+	if a := dctcpAlpha(h); a > peak/8 {
+		t.Fatalf("alpha = %v did not decay from %v", a, peak)
+	}
+}
+
+func TestDCTCPReductionProportionalToAlpha(t *testing.T) {
+	h := newHarness(t, "dctcp", func(p *Params) { p.InitCwnd = 100; p.Ssthresh = 50 })
+	// Saturate alpha first.
+	for i := 0; i < 400; i++ {
+		h.send(1)
+		h.ack(h.nxt, packet.FlagECNEcho)
+	}
+	alpha := dctcpAlpha(h)
+	w := h.cwnd
+	// Force a fresh window so the next ECE reduces again.
+	h.send(1)
+	h.ack(h.nxt, packet.FlagECNEcho)
+	want := float64(w) * (1 - alpha/2)
+	got := float64(h.cwnd)
+	if got < want-2 || got > want+2 {
+		t.Fatalf("cwnd after ECE = %v, want ~%v (alpha=%v)", got, want, alpha)
+	}
+}
+
+func TestDCTCPLossBehavesLikeReno(t *testing.T) {
+	h := newHarness(t, "dctcp", func(p *Params) { p.InitCwnd = 20; p.Ssthresh = 10 })
+	h.send(20)
+	for i := 0; i < 3; i++ {
+		h.ack(0, 0)
+	}
+	if len(h.rtxes) != 1 || h.rtxes[0] != 0 {
+		t.Fatalf("DCTCP fast retransmit missing: %v", h.rtxes)
+	}
+	if h.cwnd != 13 { // ssthresh(10)+3
+		t.Fatalf("cwnd = %d, want 13", h.cwnd)
+	}
+}
+
+func TestDCTCPSlowPathMatchesFastPathCoarsely(t *testing.T) {
+	run := func(useSlow bool, bits int) float64 {
+		h := newHarness(t, "dctcp", func(p *Params) {
+			p.InitCwnd = 8
+			p.Ssthresh = 4
+			p.UseSlowPath = useSlow
+			p.AlphaBits = bits
+		})
+		// Mark half the packets.
+		for i := 0; i < 600; i++ {
+			h.send(1)
+			var fl packet.Flags
+			if i%2 == 0 {
+				fl = packet.FlagECNEcho
+			}
+			h.ack(h.nxt, fl)
+		}
+		return dctcpAlpha(h)
+	}
+	slow := run(true, 32)
+	fast := run(false, 16)
+	if slow < 0.3 || slow > 0.7 {
+		t.Fatalf("slow-path alpha = %v, want ~0.5", slow)
+	}
+	if diff := slow - fast; diff < -0.2 || diff > 0.2 {
+		t.Fatalf("16-bit fast path diverged: slow=%v fast=%v", slow, fast)
+	}
+}
+
+// --- DCQCN ---
+
+func dcqcnRate(h *harness) sim.Rate { return sim.Rate(RegsOf(&h.cust).U64(qRcLo)) }
+
+func TestDCQCNStartsAtLineRate(t *testing.T) {
+	h := newHarness(t, "dcqcn", nil)
+	if dcqcnRate(h) != h.p.LineRate {
+		t.Fatalf("initial rate = %v, want %v", dcqcnRate(h), h.p.LineRate)
+	}
+}
+
+func TestDCQCNStartArmsTimers(t *testing.T) {
+	alg, _ := New("dcqcn")
+	p := DefaultParams(100*sim.Gbps, 1024)
+	var cust, slow State
+	alg.InitFlow(&cust, &slow, &p)
+	var out Output
+	alg.OnEvent(&Input{Type: EvStart, Params: &p, Cust: &cust, Slow: &slow}, &out)
+	if out.NumTimers != 2 {
+		t.Fatalf("EvStart armed %d timers, want 2 (alpha+rate)", out.NumTimers)
+	}
+	if !out.Schedule {
+		t.Fatal("EvStart did not request scheduling")
+	}
+}
+
+func TestDCQCNCNPCutsRate(t *testing.T) {
+	h := newHarness(t, "dcqcn", nil)
+	h.send(100)
+	h.ack(1, packet.FlagCNPNotify)
+	// alpha starts at 1; first CNP keeps it 1, cut = rate*alpha/2 = 50%.
+	want := h.p.LineRate / 2
+	got := dcqcnRate(h)
+	if got < want*95/100 || got > want*105/100 {
+		t.Fatalf("rate after CNP = %v, want ~%v", got, want)
+	}
+}
+
+func TestDCQCNRepeatedCNPsApproachMinRate(t *testing.T) {
+	h := newHarness(t, "dcqcn", nil)
+	h.send(1000)
+	for i := 0; i < 60; i++ {
+		h.ack(uint32(i), packet.FlagCNPNotify)
+	}
+	if got := dcqcnRate(h); got != h.p.MinRate {
+		t.Fatalf("rate floor = %v, want MinRate %v", got, h.p.MinRate)
+	}
+}
+
+func TestDCQCNAlphaTimerDecays(t *testing.T) {
+	h := newHarness(t, "dcqcn", nil)
+	h.send(10)
+	h.ack(1, packet.FlagCNPNotify) // alpha = 1
+	before := RegsOf(&h.cust).U32(qAlphaQ16)
+	for i := 0; i < 20; i++ {
+		h.timer(TimerAlpha)
+	}
+	after := RegsOf(&h.cust).U32(qAlphaQ16)
+	if after >= before {
+		t.Fatalf("alpha did not decay: %d -> %d", before, after)
+	}
+}
+
+func TestDCQCNRateRecoversViaTimer(t *testing.T) {
+	h := newHarness(t, "dcqcn", nil)
+	h.send(100)
+	h.ack(1, packet.FlagCNPNotify)
+	cut := dcqcnRate(h)
+	// Fast recovery: each timer event moves Rc halfway to Rt (= line rate
+	// before the cut... Rt was set to pre-cut Rc = line rate).
+	for i := 0; i < 20; i++ {
+		h.timer(TimerRate)
+	}
+	rec := dcqcnRate(h)
+	if rec <= cut {
+		t.Fatalf("rate did not recover: %v -> %v", cut, rec)
+	}
+	if rec < h.p.LineRate*9/10 {
+		t.Fatalf("recovery stalled at %v of %v", rec, h.p.LineRate)
+	}
+}
+
+func TestDCQCNByteCounterTriggersIncrease(t *testing.T) {
+	h := newHarness(t, "dcqcn", func(p *Params) { p.ByteCounter = 10 * 1024 })
+	h.send(1000)
+	h.ack(1, packet.FlagCNPNotify)
+	cut := dcqcnRate(h)
+	// Ack enough bytes to trip the byte counter several times
+	// (10 packets of MTU=1024 per stage).
+	h.ack(h.una+200, 0)
+	if rec := dcqcnRate(h); rec <= cut {
+		t.Fatalf("byte counter did not raise rate: %v -> %v", cut, rec)
+	}
+}
+
+func TestDCQCNNACKTriggersGoBackN(t *testing.T) {
+	h := newHarness(t, "dcqcn", nil)
+	h.send(50)
+	h.deliver(&Input{Type: EvRx, Ack: 7, Flags: packet.FlagNACK})
+	if len(h.rtxes) != 1 || h.rtxes[0] != 7 {
+		t.Fatalf("NACK rtxes = %v, want [7]", h.rtxes)
+	}
+}
+
+func TestDCQCNRateNeverExceedsLine(t *testing.T) {
+	h := newHarness(t, "dcqcn", nil)
+	h.send(4000)
+	for i := 0; i < 200; i++ {
+		h.timer(TimerRate)
+		h.ack(h.una+10, 0)
+	}
+	if got := dcqcnRate(h); got > h.p.LineRate {
+		t.Fatalf("rate %v exceeds line %v", got, h.p.LineRate)
+	}
+}
+
+// --- Cubic ---
+
+func TestCubicGrowsAfterReduction(t *testing.T) {
+	h := newHarness(t, "cubic", func(p *Params) { p.InitCwnd = 64; p.Ssthresh = 8 })
+	h.send(64)
+	for i := 0; i < 3; i++ {
+		h.ack(0, 0)
+	}
+	reduced := h.cwnd
+	// beta=0.7: expect ~44.
+	if reduced < 40 || reduced > 48 {
+		t.Fatalf("cubic reduction to %d, want ~45", reduced)
+	}
+	h.ack(64, 0) // exit recovery
+	for i := 0; i < 2000; i++ {
+		h.send(1)
+		h.ack(h.nxt, 0)
+	}
+	if h.cwnd <= reduced {
+		t.Fatalf("cubic did not grow after reduction: %d", h.cwnd)
+	}
+}
+
+func TestCubicSlowPathComputesK(t *testing.T) {
+	h := newHarness(t, "cubic", func(p *Params) { p.InitCwnd = 64; p.Ssthresh = 8 })
+	h.send(64)
+	for i := 0; i < 3; i++ {
+		h.ack(0, 0)
+	}
+	k := RegsOf(&h.cust).U32(cuKUs)
+	// K = cbrt(64*0.3/0.4) s ~ 3.63 s = 3.63e6 us.
+	if k < 3_000_000 || k > 4_500_000 {
+		t.Fatalf("K = %d us, want ~3.6e6", k)
+	}
+}
+
+// --- Timely ---
+
+func timelyRate(h *harness) sim.Rate { return sim.Rate(RegsOf(&h.cust).U64(tyRateLo)) }
+
+func (h *harness) ackRTT(psn uint32, rtt sim.Duration) *Output {
+	return h.deliver(&Input{Type: EvRx, Ack: psn, ProbedRTT: rtt})
+}
+
+func TestTimelyDecreasesOnHighRTT(t *testing.T) {
+	h := newHarness(t, "timely", nil)
+	h.send(1000)
+	for i := uint32(1); i < 20; i++ {
+		h.ackRTT(i, sim.Micros(1000)) // >> THigh (500us)
+	}
+	if got := timelyRate(h); got >= h.p.LineRate {
+		t.Fatalf("rate did not decrease under high RTT: %v", got)
+	}
+}
+
+func TestTimelyIncreasesOnLowRTT(t *testing.T) {
+	h := newHarness(t, "timely", nil)
+	h.send(1000)
+	// First drive rate down, then feed low RTTs.
+	for i := uint32(1); i < 20; i++ {
+		h.ackRTT(i, sim.Micros(1000))
+	}
+	low := timelyRate(h)
+	for i := uint32(20); i < 60; i++ {
+		h.ackRTT(i, sim.Micros(20)) // < TLow (50us)
+	}
+	if got := timelyRate(h); got <= low {
+		t.Fatalf("rate did not increase under low RTT: %v -> %v", low, got)
+	}
+}
+
+func TestTimelyGradientDecrease(t *testing.T) {
+	h := newHarness(t, "timely", nil)
+	h.send(10000)
+	// RTTs inside [TLow, THigh] but rising: positive gradient => decrease.
+	rtt := sim.Micros(100)
+	for i := uint32(1); i < 40; i++ {
+		h.ackRTT(i, rtt)
+		rtt += sim.Micros(8)
+	}
+	if got := timelyRate(h); got >= h.p.LineRate {
+		t.Fatalf("rising RTTs did not slow the flow: %v", got)
+	}
+}
+
+func TestTimelyRateBounds(t *testing.T) {
+	h := newHarness(t, "timely", nil)
+	h.send(100000)
+	for i := uint32(1); i < 500; i++ {
+		h.ackRTT(i, sim.Micros(2000))
+	}
+	if got := timelyRate(h); got < h.p.MinRate {
+		t.Fatalf("rate %v below MinRate %v", got, h.p.MinRate)
+	}
+	for i := uint32(500); i < 3000; i++ {
+		h.ackRTT(i, sim.Micros(10))
+	}
+	if got := timelyRate(h); got > h.p.LineRate {
+		t.Fatalf("rate %v above line %v", got, h.p.LineRate)
+	}
+}
+
+// --- cross-cutting properties ---
+
+func TestQuickWindowAlgorithmsKeepCwndInBounds(t *testing.T) {
+	for _, name := range []string{"reno", "dctcp", "cubic"} {
+		name := name
+		f := func(ops []uint16) bool {
+			h := newHarness(t, name, func(p *Params) { p.MaxCwnd = 256 })
+			for _, op := range ops {
+				switch op % 5 {
+				case 0:
+					h.send(uint32(op%7) + 1)
+				case 1:
+					if SeqLT(h.una, h.nxt) {
+						h.ack(h.una+1, 0)
+					}
+				case 2:
+					h.ack(h.una, 0) // dup
+				case 3:
+					h.ack(h.una, packet.FlagECNEcho)
+				case 4:
+					h.timeout()
+				}
+				if h.cwnd < h.p.MinCwnd || h.cwnd > h.p.MaxCwndPkts() {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestQuickRateAlgorithmsKeepRateInBounds(t *testing.T) {
+	for _, name := range []string{"dcqcn", "timely"} {
+		name := name
+		f := func(ops []uint16) bool {
+			h := newHarness(t, name, nil)
+			for _, op := range ops {
+				switch op % 5 {
+				case 0:
+					h.send(uint32(op%7) + 1)
+				case 1:
+					if SeqLT(h.una, h.nxt) {
+						h.ackRTT(h.una+1, sim.Micros(float64(op%1200)+1))
+					}
+				case 2:
+					h.ack(h.una, packet.FlagCNPNotify)
+				case 3:
+					h.timer(TimerAlpha)
+					h.timer(TimerRate)
+				case 4:
+					h.timeout()
+				}
+				rate := h.rate
+				if rate < h.p.MinRate/2 || rate > h.p.LineRate {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams(100*sim.Gbps, 1024)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.MTU = 10 },
+		func(p *Params) { p.MTU = 100000 },
+		func(p *Params) { p.LineRate = 0 },
+		func(p *Params) { p.InitCwnd = 0 },
+		func(p *Params) { p.MinCwnd = 0 },
+		func(p *Params) { p.AlphaBits = 24 },
+		func(p *Params) { p.RTOMin = 0 },
+	}
+	for i, mut := range bad {
+		p := DefaultParams(100*sim.Gbps, 1024)
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d validated", i)
+		}
+	}
+}
+
+func TestOutputLogRoundTrip(t *testing.T) {
+	var o Output
+	o.LogU32x4(1, 2, 3, 4)
+	a, b, c, d := DecodeLogU32x4(o.Log)
+	if a != 1 || b != 2 || c != 3 || d != 4 {
+		t.Fatalf("log round trip: %d %d %d %d", a, b, c, d)
+	}
+	if !o.HasLog {
+		t.Fatal("HasLog not set")
+	}
+}
+
+func BenchmarkRenoOnEvent(b *testing.B)  { benchAlg(b, "reno") }
+func BenchmarkDCTCPOnEvent(b *testing.B) { benchAlg(b, "dctcp") }
+func BenchmarkDCQCNOnEvent(b *testing.B) { benchAlg(b, "dcqcn") }
+func BenchmarkSwiftOnEvent(b *testing.B) { benchAlg(b, "swift") }
+func BenchmarkCubicOnEvent(b *testing.B) { benchAlg(b, "cubic") }
+
+func benchAlg(b *testing.B, name string) {
+	alg, err := New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams(100*sim.Gbps, 1024)
+	var cust, slow State
+	alg.InitFlow(&cust, &slow, &p)
+	in := Input{Type: EvRx, Ack: 1, Una: 0, Nxt: 10, Cwnd: 8, Rate: p.LineRate,
+		MTU: 1024, Params: &p, Cust: &cust, Slow: &slow}
+	var out Output
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Ack = uint32(i + 1)
+		in.Una = uint32(i)
+		in.Nxt = uint32(i + 10)
+		out.Reset()
+		alg.OnEvent(&in, &out)
+	}
+}
+
+// --- Swift ---
+
+func TestSwiftIncreasesBelowTarget(t *testing.T) {
+	h := newHarness(t, "swift", nil)
+	w0 := h.cwnd
+	for i := uint32(1); i <= 50; i++ {
+		h.send(1)
+		h.ackRTT(i, sim.Micros(10)) // well under the ~30us target
+	}
+	if h.cwnd <= w0 {
+		t.Fatalf("cwnd %d did not grow under low delay (w0=%d)", h.cwnd, w0)
+	}
+}
+
+func TestSwiftDecreasesAboveTarget(t *testing.T) {
+	h := newHarness(t, "swift", nil)
+	for i := uint32(1); i <= 60; i++ {
+		h.send(1)
+		h.ackRTT(i, sim.Micros(500)) // far over target
+	}
+	if h.cwnd >= 16 {
+		t.Fatalf("cwnd %d did not shrink under high delay", h.cwnd)
+	}
+	if h.cwnd < h.p.MinCwnd {
+		t.Fatalf("cwnd %d under floor", h.cwnd)
+	}
+}
+
+func TestSwiftAtMostOneDecreasePerWindow(t *testing.T) {
+	h := newHarness(t, "swift", func(p *Params) { p.SwiftInitWnd = 64 })
+	h.send(64)
+	h.ackRTT(1, sim.Micros(800))
+	w := h.cwnd
+	// Further high-RTT acks within the same window must not cut again.
+	h.ackRTT(2, sim.Micros(800))
+	h.ackRTT(3, sim.Micros(800))
+	if h.cwnd < w {
+		t.Fatalf("second decrease within a window: %d -> %d", w, h.cwnd)
+	}
+}
+
+func TestSwiftTargetScalesWithWindow(t *testing.T) {
+	p := DefaultParams(100*sim.Gbps, 1024)
+	small := Swift{}.target(&p, 1)
+	big := Swift{}.target(&p, 256)
+	if small <= big {
+		t.Fatalf("target(1)=%v should exceed target(256)=%v", small, big)
+	}
+	if big < p.SwiftBaseTarget {
+		t.Fatalf("target below base: %v", big)
+	}
+}
+
+func TestSwiftLossRecovery(t *testing.T) {
+	h := newHarness(t, "swift", func(p *Params) { p.SwiftInitWnd = 32 })
+	h.send(32)
+	for i := 0; i < 3; i++ {
+		h.ack(0, 0)
+	}
+	if len(h.rtxes) != 1 || h.rtxes[0] != 0 {
+		t.Fatalf("rtxes = %v", h.rtxes)
+	}
+}

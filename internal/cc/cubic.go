@@ -1,0 +1,169 @@
+package cc
+
+import (
+	"math"
+
+	"marlin/internal/sim"
+)
+
+// Cubic is the CUBIC window algorithm (Ha et al., 2008), included as the
+// paper's §8 extension case: its cube-root falls outside the 40-cycle RMW
+// budget even with a lookup table ("Cubic still requires around 100 clock
+// cycles to process a single packet"), so a Cubic tester trades per-flow
+// PPS for flow count. The module declares that cost so the FPGA model
+// charges it.
+//
+// Loss recovery reuses the Reno machinery (slots 0..6); Cubic adds:
+//
+//	7-8  epoch start, microseconds since flow start (u64)
+//	9    Wmax, packets
+//	10   K, microseconds (cube root computed on the Slow Path)
+//	11   West, Q16 packets (TCP-friendly Reno estimate)
+type Cubic struct{}
+
+// Cubic register slots.
+const (
+	cuEpochLo = iota + 7
+	cuEpochHi
+	cuWmax
+	cuKUs
+	cuWestQ16
+)
+
+// slowCubicRoot is the Slow Path event computing K after a loss epoch.
+const slowCubicRoot uint8 = 2
+
+func init() { Register("cubic", func() Algorithm { return Cubic{} }) }
+
+// Name implements Algorithm.
+func (Cubic) Name() string { return "cubic" }
+
+// Mode implements Algorithm.
+func (Cubic) Mode() Mode { return WindowMode }
+
+// FastPathCycles implements Algorithm (§8: ~100 cycles per packet).
+func (Cubic) FastPathCycles() int { return 100 }
+
+// SlowPathCycles implements Algorithm (cube root via table + refinement).
+func (Cubic) SlowPathCycles() int { return 120 }
+
+// InitFlow implements Algorithm.
+func (Cubic) InitFlow(cust, slow *State, p *Params) {
+	r := RegsOf(cust)
+	r.SetU32(rCwndQ16, p.InitCwnd<<16)
+	r.SetU32(rSsthresh, p.Ssthresh)
+}
+
+// OnEvent implements Algorithm.
+func (c Cubic) OnEvent(in *Input, out *Output) {
+	r := RegsOf(in.Cust)
+	switch in.Type {
+	case EvStart:
+		out.Schedule = true
+	case EvRx:
+		c.onAck(r, in, out)
+	case EvTimeout:
+		renoOnTimeout(r, in, out)
+		r.SetU64(cuEpochLo, 0)
+	}
+	cwnd := clampCwnd(r.U32(rCwndQ16)>>16, in.Params)
+	out.SetCwnd, out.Cwnd = true, cwnd
+	out.LogU32x4(cwnd, r.U32(cuWmax), r.U32(cuKUs), uint32(in.Type))
+	armRTO(r, in, out)
+}
+
+func (c Cubic) onAck(r Regs, in *Input, out *Output) {
+	acked := SeqDiff(in.Ack, in.Una)
+	switch {
+	case acked > 0:
+		if r.U32(rState) == stateRecovery {
+			renoNewAck(r, in, out, uint32(acked)) // recovery exit path
+		} else {
+			r.SetU32(rDupAcks, 0)
+			c.grow(r, in, uint32(acked))
+		}
+	case acked == 0 && SeqDiff(in.Nxt, in.Una) > 0:
+		c.dupAck(r, in, out)
+	}
+	out.Schedule = true
+	updateSrtt(r, in)
+}
+
+// grow applies slow start below ssthresh, cubic growth above.
+func (c Cubic) grow(r Regs, in *Input, acked uint32) {
+	cwndQ := r.U32(rCwndQ16)
+	if cwndQ>>16 < r.U32(rSsthresh) {
+		growWindow(r, in.Params, acked)
+		return
+	}
+	if r.U64(cuEpochLo) == 0 {
+		// First CA ack of this epoch.
+		r.SetU64(cuEpochLo, uint64(in.Timestamp)/uint64(sim.Microsecond)+1)
+		if r.U32(cuWmax) == 0 {
+			r.SetU32(cuWmax, cwndQ>>16)
+		}
+		r.SetU32(cuWestQ16, cwndQ)
+	}
+	tUs := float64(uint64(in.Timestamp)/uint64(sim.Microsecond)+1-r.U64(cuEpochLo)) +
+		float64(r.U32(rSrttUs))
+	// W(t) = C*(t-K)^3 + Wmax, with t in seconds.
+	cConst := float64(in.Params.CubicCQ10) / 1024
+	k := float64(r.U32(cuKUs)) / 1e6
+	t := tUs / 1e6
+	wCubic := cConst*math.Pow(t-k, 3) + float64(r.U32(cuWmax))
+	// TCP-friendly region: grow Reno-equivalent estimate per ack.
+	westQ := r.U32(cuWestQ16)
+	for i := uint32(0); i < acked; i++ {
+		westQ += (1 << 16) / maxU32(westQ>>16, 1)
+	}
+	r.SetU32(cuWestQ16, westQ)
+	target := wCubic
+	if fr := float64(westQ) / 65536; fr > target {
+		target = fr
+	}
+	cwnd := float64(cwndQ) / 65536
+	if target > cwnd {
+		// Approach the target over roughly one RTT of acks.
+		cwnd += (target - cwnd) * float64(acked) / math.Max(cwnd, 1)
+	}
+	maxW := float64(in.Params.MaxCwndPkts())
+	if cwnd > maxW {
+		cwnd = maxW
+	}
+	r.SetU32(rCwndQ16, uint32(cwnd*65536))
+}
+
+func (c Cubic) dupAck(r Regs, in *Input, out *Output) {
+	dups := r.Add32(rDupAcks, 1)
+	if r.U32(rState) == stateRecovery {
+		return
+	}
+	if dups == 3 {
+		cwnd := r.U32(rCwndQ16) >> 16
+		r.SetU32(cuWmax, cwnd)
+		beta := uint64(in.Params.CubicBetaQ10)
+		newW := maxU32(uint32(uint64(cwnd)*beta/1024), in.Params.MinCwnd)
+		r.SetU32(rSsthresh, maxU32(newW, 2))
+		r.SetU32(rCwndQ16, newW<<16)
+		r.SetU32(rState, stateRecovery)
+		r.SetU32(rRecover, in.Nxt)
+		r.SetU64(cuEpochLo, 0)
+		out.Rtx, out.RtxPSN = true, in.Una
+		// The cube root for the new epoch runs on the Slow Path.
+		out.SlowPath, out.SlowPathCode = true, slowCubicRoot
+	}
+}
+
+// OnSlowPath implements Algorithm: K = cbrt(Wmax * (1-beta) / C), stored
+// in microseconds.
+func (Cubic) OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output) {
+	if code != slowCubicRoot {
+		return
+	}
+	r := RegsOf(cust)
+	wmax := float64(r.U32(cuWmax))
+	beta := float64(in.Params.CubicBetaQ10) / 1024
+	cConst := float64(in.Params.CubicCQ10) / 1024
+	k := math.Cbrt(wmax * (1 - beta) / cConst) // seconds
+	r.SetU32(cuKUs, uint32(k*1e6))
+}

@@ -1,0 +1,213 @@
+package cc
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// DCQCN is the rate-based RoCE congestion control of Zhu et al.
+// (SIGCOMM'15), configured per the NVIDIA parameter guidance the paper's
+// §7.3 cites. The reaction point keeps a current rate Rc and target rate
+// Rt:
+//
+//   - On a CNP: alpha <- (1-g)alpha + g, Rt <- Rc, Rc <- Rc(1 - alpha/2),
+//     and both rate-increase stage counters reset.
+//   - Every AlphaTimer without a CNP: alpha <- (1-g)alpha.
+//   - Rate-increase events come from two independent sources — the
+//     RateTimer and a ByteCounter of transmitted data. While both stage
+//     counters are below F the flow is in fast recovery (Rc <- (Rc+Rt)/2);
+//     once one passes F it adds RateAI to Rt; once both pass F it adds
+//     RateHAI (hyper increase).
+//
+// Loss is handled RoCE-style: a NACK triggers go-back-N retransmission.
+//
+// Register map (cust-var):
+//
+//	0-1  Rc, bps (u64)
+//	2-3  Rt, bps (u64)
+//	4    alpha, Q16
+//	5    byte-counter stage count
+//	6    timer stage count
+//	7-8  bytes accumulated toward the next byte-counter event (u64)
+//	9    CNP seen since last alpha-timer tick (the timer only decays
+//	     alpha in quiet intervals)
+type DCQCN struct{}
+
+// DCQCN register slots.
+const (
+	qRcLo = iota
+	qRcHi
+	qRtLo
+	qRtHi
+	qAlphaQ16
+	qBCStage
+	qTStage
+	qBytesLo
+	qBytesHi
+	qCNPSeen
+)
+
+const alphaQ16One = 1 << 16
+
+func init() { Register("dcqcn", func() Algorithm { return DCQCN{} }) }
+
+// Name implements Algorithm.
+func (DCQCN) Name() string { return "dcqcn" }
+
+// Mode implements Algorithm.
+func (DCQCN) Mode() Mode { return RateMode }
+
+// FastPathCycles implements Algorithm (Table 4: DCQCN = 6 cycles).
+func (DCQCN) FastPathCycles() int { return 6 }
+
+// SlowPathCycles implements Algorithm; DCQCN runs entirely on the fast
+// path (Table 4 reports no Slow Path usage).
+func (DCQCN) SlowPathCycles() int { return 0 }
+
+// InitFlow implements Algorithm: start at line rate with alpha = 1, both
+// timers armed.
+func (DCQCN) InitFlow(cust, slow *State, p *Params) {
+	r := RegsOf(cust)
+	r.SetU64(qRcLo, uint64(p.LineRate))
+	r.SetU64(qRtLo, uint64(p.LineRate))
+	r.SetU32(qAlphaQ16, alphaQ16One)
+}
+
+// OnEvent implements Algorithm.
+func (d DCQCN) OnEvent(in *Input, out *Output) {
+	r := RegsOf(in.Cust)
+	switch in.Type {
+	case EvStart:
+		out.Schedule = true
+		out.ArmTimer(TimerAlpha, in.Params.AlphaTimer)
+		out.ArmTimer(TimerRate, in.Params.RateTimer)
+	case EvRx:
+		d.onRx(r, in, out)
+	case EvTimer:
+		switch in.TimerID {
+		case TimerAlpha:
+			d.onAlphaTimer(r, in, out)
+		case TimerRate:
+			r.Add32(qTStage, 1)
+			d.rateIncrease(r, in)
+			out.ArmTimer(TimerRate, in.Params.RateTimer)
+		}
+	case EvTimeout:
+		// RoCE relies on NACKs; a full timeout means everything in
+		// flight is gone — go back to Una.
+		if SeqDiff(in.Nxt, in.Una) > 0 {
+			out.Rtx, out.RtxPSN = true, in.Una
+			out.Schedule = true
+			out.ArmTimer(TimerRTO, in.Params.RTOMin)
+		}
+	}
+	rc := sim.Rate(r.U64(qRcLo))
+	out.SetRate, out.Rate = true, rc
+	out.LogU32x4(uint32(rc/sim.Mbps), r.U32(qAlphaQ16), r.U32(qBCStage), r.U32(qTStage))
+}
+
+func (d DCQCN) onRx(r Regs, in *Input, out *Output) {
+	p := in.Params
+	switch {
+	case in.Flags.Has(packet.FlagCNPNotify):
+		d.onCNP(r, p, out)
+	case in.Flags.Has(packet.FlagNACK):
+		// Go-back-N: resend from the NACKed sequence.
+		out.Rtx, out.RtxPSN = true, in.Ack
+		out.Schedule = true
+		out.ArmTimer(TimerRTO, p.RTOMin)
+	default:
+		d.onAckedBytes(r, in)
+		out.Schedule = true
+		if SeqDiff(in.Ack, in.Nxt) >= 0 {
+			out.StopTimer(TimerRTO)
+		} else {
+			out.ArmTimer(TimerRTO, p.RTOMin)
+		}
+	}
+}
+
+func (d DCQCN) onCNP(r Regs, p *Params, out *Output) {
+	alpha := r.U32(qAlphaQ16)
+	alpha = alpha - alpha>>p.DCQCNGShift + alphaQ16One>>p.DCQCNGShift
+	if alpha > alphaQ16One {
+		alpha = alphaQ16One
+	}
+	r.SetU32(qAlphaQ16, alpha)
+	r.SetU32(qCNPSeen, 1)
+
+	rc := r.U64(qRcLo)
+	r.SetU64(qRtLo, rc) // Rt <- Rc
+	cut := rc * uint64(alpha) / alphaQ16One / 2
+	rc -= cut
+	if rc < uint64(p.MinRate) {
+		rc = uint64(p.MinRate)
+	}
+	r.SetU64(qRcLo, rc)
+
+	// A cut restarts both rate-increase state machines.
+	r.SetU32(qBCStage, 0)
+	r.SetU32(qTStage, 0)
+	r.SetU64(qBytesLo, 0)
+	out.ArmTimer(TimerAlpha, p.AlphaTimer)
+	out.ArmTimer(TimerRate, p.RateTimer)
+}
+
+func (d DCQCN) onAlphaTimer(r Regs, in *Input, out *Output) {
+	p := in.Params
+	if r.U32(qCNPSeen) == 1 {
+		// The CNP path already raised alpha this interval.
+		r.SetU32(qCNPSeen, 0)
+	} else {
+		alpha := r.U32(qAlphaQ16)
+		r.SetU32(qAlphaQ16, alpha-alpha>>p.DCQCNGShift)
+	}
+	out.ArmTimer(TimerAlpha, p.AlphaTimer)
+}
+
+// onAckedBytes advances the byte counter by the acknowledged bytes (the
+// sender-side proxy for transmitted data) and fires byte-stage increases.
+func (d DCQCN) onAckedBytes(r Regs, in *Input) {
+	acked := SeqDiff(in.Ack, in.Una)
+	if acked <= 0 {
+		return
+	}
+	bytes := r.U64(qBytesLo) + uint64(acked)*uint64(in.MTU)
+	bc := uint64(in.Params.ByteCounter)
+	for bytes >= bc {
+		bytes -= bc
+		r.Add32(qBCStage, 1)
+		d.rateIncrease(r, in)
+	}
+	r.SetU64(qBytesLo, bytes)
+}
+
+// rateIncrease applies one fast-recovery / additive / hyper increase step.
+func (d DCQCN) rateIncrease(r Regs, in *Input) {
+	p := in.Params
+	f := uint32(p.FastRecoverySteps)
+	bcs, ts := r.U32(qBCStage), r.U32(qTStage)
+	rt := r.U64(qRtLo)
+	switch {
+	case bcs < f && ts < f:
+		// Fast recovery: approach Rt without raising it.
+	case bcs > f && ts > f:
+		rt += uint64(p.RateHAI)
+	default:
+		rt += uint64(p.RateAI)
+	}
+	if rt > uint64(p.LineRate) {
+		rt = uint64(p.LineRate)
+	}
+	// Round up so integer halving converges onto rt exactly; flooring
+	// would park Rc one bit/s short of line rate forever.
+	rc := (r.U64(qRcLo) + rt + 1) / 2
+	if rc > uint64(p.LineRate) {
+		rc = uint64(p.LineRate)
+	}
+	r.SetU64(qRtLo, rt)
+	r.SetU64(qRcLo, rc)
+}
+
+// OnSlowPath implements Algorithm; DCQCN posts no slow-path events.
+func (DCQCN) OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output) {}

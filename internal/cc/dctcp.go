@@ -1,0 +1,185 @@
+package cc
+
+import "marlin/internal/packet"
+
+// DCTCP is the Data Center TCP module (Alizadeh et al., SIGCOMM'10): Reno
+// mechanics for loss plus a fraction-of-marked-packets estimator alpha that
+// scales the multiplicative decrease on ECN. It is the paper's showcase for
+// the Slow Path: the per-RTT alpha division runs there with 32-bit
+// precision, while the 16-bit fast-path variant exists for the ablation
+// (§5.4: "using the Slow Path to update alpha in DCTCP allows increasing
+// division and alpha precision from 16-bit to 32-bit").
+//
+// Register map (cust-var) — slots 0..6 match Reno, then:
+//
+//	7   alpha observation-window end PSN
+//	8   acked packets in current observation window
+//	9   CE-marked packets in current observation window
+//	10  cwr end PSN (one alpha-based reduction per window)
+//	11  snapshot of acked counter handed to the Slow Path
+//	12  snapshot of CE counter handed to the Slow Path
+//
+// Slow-Path map (slwpth-var):
+//
+//	0  alpha, fixed point (Q10 when AlphaBits=16, Q20 when 32)
+type DCTCP struct{}
+
+// DCTCP-specific register slots (7+ to stay clear of the Reno slots it
+// reuses).
+const (
+	dWndEnd = iota + 7
+	dAcked
+	dMarked
+	dCwrEnd
+	dSnapAcked
+	dSnapMarked
+)
+
+// Slow-path slots.
+const sAlpha = 0
+
+// slowAlphaUpdate is the Slow Path event code for the per-RTT alpha EWMA.
+const slowAlphaUpdate uint8 = 1
+
+func init() { Register("dctcp", func() Algorithm { return DCTCP{} }) }
+
+// Name implements Algorithm.
+func (DCTCP) Name() string { return "dctcp" }
+
+// Mode implements Algorithm.
+func (DCTCP) Mode() Mode { return WindowMode }
+
+// FastPathCycles implements Algorithm (Table 4: DCTCP = 24 cycles; the
+// critical path holds one 16-bit division and two 32-bit multiplications).
+func (DCTCP) FastPathCycles() int { return 24 }
+
+// SlowPathCycles implements Algorithm: the 32-bit division plus EWMA fits
+// comfortably in the hundreds of cycles one RTT affords (§5.4).
+func (DCTCP) SlowPathCycles() int { return 40 }
+
+// InitFlow implements Algorithm.
+func (DCTCP) InitFlow(cust, slow *State, p *Params) {
+	r := RegsOf(cust)
+	r.SetU32(rCwndQ16, p.InitCwnd<<16)
+	r.SetU32(rSsthresh, p.Ssthresh)
+	// Alpha starts at 0 like the reference implementations (ns-3,
+	// Linux); the first marked window raises it by g.
+	RegsOf(slow).SetU32(sAlpha, 0)
+}
+
+// alphaOne returns the fixed-point representation of 1.0 for the
+// configured precision.
+func alphaOne(p *Params) uint32 {
+	if p.AlphaBits == 16 {
+		return 1 << 10
+	}
+	return 1 << 20
+}
+
+// OnEvent implements Algorithm.
+func (d DCTCP) OnEvent(in *Input, out *Output) {
+	r := RegsOf(in.Cust)
+	switch in.Type {
+	case EvStart:
+		out.Schedule = true
+	case EvRx:
+		d.onAck(r, in, out)
+	case EvTimeout:
+		renoOnTimeout(r, in, out)
+	}
+	cwnd := clampCwnd(r.U32(rCwndQ16)>>16, in.Params)
+	out.SetCwnd, out.Cwnd = true, cwnd
+	out.LogU32x4(cwnd, RegsOf(in.Slow).U32(sAlpha), r.U32(rSsthresh), uint32(in.Type))
+	armRTO(r, in, out)
+}
+
+func (d DCTCP) onAck(r Regs, in *Input, out *Output) {
+	acked := SeqDiff(in.Ack, in.Una)
+	if acked > 0 {
+		// Count packets and marks for the alpha estimator.
+		r.Add32(dAcked, uint32(acked))
+		if in.Flags.Has(packet.FlagECNEcho) {
+			r.Add32(dMarked, uint32(acked))
+		}
+		d.maybeEndWindow(r, in, out)
+		if in.Flags.Has(packet.FlagECNEcho) {
+			d.reduceOnECE(r, in)
+		}
+		renoNewAck(r, in, out, uint32(acked))
+	} else if acked == 0 && SeqDiff(in.Nxt, in.Una) > 0 {
+		renoDupAck(r, in, out)
+	}
+	out.Schedule = true
+	updateSrtt(r, in)
+}
+
+// maybeEndWindow closes the per-RTT observation window when the
+// acknowledgement passes its end and triggers the alpha update — on the
+// Slow Path when enabled, inline (16-bit arithmetic) otherwise.
+func (d DCTCP) maybeEndWindow(r Regs, in *Input, out *Output) {
+	if SeqLT(in.Ack, r.U32(dWndEnd)) {
+		return
+	}
+	acked, marked := r.U32(dAcked), r.U32(dMarked)
+	r.SetU32(dAcked, 0)
+	r.SetU32(dMarked, 0)
+	r.SetU32(dWndEnd, in.Nxt)
+	if acked == 0 {
+		return
+	}
+	if in.Params.UseSlowPath {
+		r.SetU32(dSnapAcked, acked)
+		r.SetU32(dSnapMarked, marked)
+		out.SlowPath, out.SlowPathCode = true, slowAlphaUpdate
+		return
+	}
+	// Fast-path-only variant: the division must fit the 16-bit divider,
+	// so counters and alpha are truncated to Q10 (§5.4 ablation).
+	slow := RegsOf(in.Slow)
+	one := alphaOne(in.Params)
+	a16, m16 := acked&0xFFFF, marked&0xFFFF
+	var frac uint32
+	if a16 > 0 {
+		frac = (m16 * one) / a16
+	}
+	slow.SetU32(sAlpha, dctcpEwma(slow.U32(sAlpha), frac, in.Params.DCTCPGShift))
+}
+
+// OnSlowPath implements Algorithm: the 32-bit alpha EWMA.
+func (DCTCP) OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output) {
+	if code != slowAlphaUpdate {
+		return
+	}
+	r, s := RegsOf(cust), RegsOf(slow)
+	acked, marked := r.U32(dSnapAcked), r.U32(dSnapMarked)
+	if acked == 0 {
+		return
+	}
+	one := alphaOne(in.Params)
+	frac := uint32(uint64(marked) * uint64(one) / uint64(acked))
+	s.SetU32(sAlpha, dctcpEwma(s.U32(sAlpha), frac, in.Params.DCTCPGShift))
+}
+
+// dctcpEwma computes alpha <- (1-g)*alpha + g*frac with g = 2^-shift.
+func dctcpEwma(alpha, frac uint32, shift uint) uint32 {
+	return alpha - alpha>>shift + frac>>shift
+}
+
+// reduceOnECE applies cwnd <- cwnd * (1 - alpha/2), at most once per
+// window of data.
+func (d DCTCP) reduceOnECE(r Regs, in *Input) {
+	if r.U32(rState) == stateRecovery || SeqLT(in.Ack, r.U32(dCwrEnd)) {
+		return
+	}
+	alpha := RegsOf(in.Slow).U32(sAlpha)
+	one := alphaOne(in.Params)
+	cwndQ := uint64(r.U32(rCwndQ16))
+	cut := cwndQ * uint64(alpha) / uint64(one) / 2
+	newQ := uint32(cwndQ - cut)
+	if minQ := in.Params.MinCwnd << 16; newQ < minQ {
+		newQ = minQ
+	}
+	r.SetU32(rCwndQ16, newQ)
+	r.SetU32(rSsthresh, maxU32(newQ>>16, in.Params.MinCwnd))
+	r.SetU32(dCwrEnd, in.Nxt)
+}

@@ -1,0 +1,289 @@
+package cc
+
+import "marlin/internal/sim"
+
+// HPCC is High Precision Congestion Control (Li et al., SIGCOMM'19), one
+// of the INT-consuming algorithms the paper's introduction motivates
+// ("many CC algorithms require switches to provide additional network
+// information, such as ECN and in-band network telemetry"). Each ACK
+// carries the telemetry every hop stamped on the DATA packet; the sender
+// computes per-hop utilization
+//
+//	u_j = qlen_j / (B_j * T)  +  txRate_j / B_j
+//
+// (queueing normalized by the bandwidth-delay product plus measured link
+// utilization), takes U = max_j u_j, and steers its window toward the
+// target utilization eta:
+//
+//	if U >= eta or incStage >= maxStage:  W = Wc * eta/U + Wai  (MI down)
+//	else:                                 W = Wc + Wai          (AI probe)
+//
+// with the reference window Wc and incStage updated once per RTT.
+//
+// Per-hop txRate needs the previous telemetry snapshot. The 64-byte
+// cust-var region holds two hop snapshots — exactly the hop count of the
+// tester's topologies; deeper paths fall back to the queueing term alone
+// for unsnapshot hops.
+//
+// Register map (cust-var):
+//
+//	0    W, Q16 packets
+//	1    Wc, Q16 packets
+//	2    incStage
+//	3    lastUpdateSeq (per-RTT Wc update fence)
+//	4-5  hop 0 previous txBytes (u64)
+//	6    hop 0 previous timestamp, ns (u32, wraps at 4.3 s)
+//	7-8  hop 1 previous txBytes (u64)
+//	9    hop 1 previous timestamp, ns
+//	10   dupAcks (loss recovery reuses the Reno mechanics)
+//	11   state (open / recovery)
+//	12   recover PSN
+//	13   srtt us
+type HPCC struct{}
+
+// HPCC register slots.
+const (
+	hW = iota
+	hWc
+	hIncStage
+	hLastUpdate
+	hHop0TxLo
+	hHop0TxHi
+	hHop0TS
+	hHop1TxLo
+	hHop1TxHi
+	hHop1TS
+	hDupAcks
+	hState
+	hRecover
+	hSrttUs
+)
+
+func init() { Register("hpcc", func() Algorithm { return HPCC{} }) }
+
+// Name implements Algorithm.
+func (HPCC) Name() string { return "hpcc" }
+
+// Mode implements Algorithm.
+func (HPCC) Mode() Mode { return WindowMode }
+
+// FastPathCycles implements Algorithm: per-hop divisions put HPCC near the
+// top of the 40-cycle RMW budget (§5.3).
+func (HPCC) FastPathCycles() int { return 38 }
+
+// SlowPathCycles implements Algorithm.
+func (HPCC) SlowPathCycles() int { return 0 }
+
+// InitFlow implements Algorithm.
+func (HPCC) InitFlow(cust, slow *State, p *Params) {
+	r := RegsOf(cust)
+	w := p.HPCCInitWnd
+	if w == 0 {
+		w = p.MaxCwndPkts()
+	}
+	r.SetU32(hW, w<<16)
+	r.SetU32(hWc, w<<16)
+}
+
+// OnEvent implements Algorithm.
+func (h HPCC) OnEvent(in *Input, out *Output) {
+	r := RegsOf(in.Cust)
+	switch in.Type {
+	case EvStart:
+		out.Schedule = true
+	case EvRx:
+		h.onAck(r, in, out)
+	case EvTimeout:
+		h.onTimeout(r, in, out)
+	}
+	cwnd := clampCwnd(r.U32(hW)>>16, in.Params)
+	out.SetCwnd, out.Cwnd = true, cwnd
+	out.LogU32x4(cwnd, r.U32(hIncStage), r.U32(hWc)>>16, uint32(in.Type))
+	h.armRTO(r, in, out)
+}
+
+func (h HPCC) onAck(r Regs, in *Input, out *Output) {
+	acked := SeqDiff(in.Ack, in.Una)
+	switch {
+	case acked > 0:
+		if r.U32(hState) == stateRecovery {
+			if SeqLEQ(r.U32(hRecover), in.Ack) {
+				r.SetU32(hState, stateOpen)
+				r.SetU32(hDupAcks, 0)
+			} else {
+				out.Rtx, out.RtxPSN = true, in.Ack
+			}
+		} else {
+			r.SetU32(hDupAcks, 0)
+		}
+		if in.INT != nil && in.INT.NHops > 0 {
+			h.react(r, in)
+		}
+	case acked == 0 && SeqDiff(in.Nxt, in.Una) > 0:
+		if dups := r.Add32(hDupAcks, 1); dups == 3 && r.U32(hState) != stateRecovery {
+			// Loss: halve W, retransmit, enter recovery.
+			w := maxU32(r.U32(hW)>>17, in.Params.MinCwnd)
+			r.SetU32(hW, w<<16)
+			r.SetU32(hWc, w<<16)
+			r.SetU32(hState, stateRecovery)
+			r.SetU32(hRecover, in.Nxt)
+			out.Rtx, out.RtxPSN = true, in.Una
+		}
+	}
+	out.Schedule = true
+	h.updateSrttLocal(r, in)
+}
+
+// updateSrttLocal keeps HPCC's own RTT EWMA (slot hSrttUs).
+func (HPCC) updateSrttLocal(r Regs, in *Input) {
+	if in.ProbedRTT <= 0 {
+		return
+	}
+	rttUs := uint32(in.ProbedRTT / sim.Microsecond)
+	if rttUs == 0 {
+		rttUs = 1
+	}
+	srtt := r.U32(hSrttUs)
+	if srtt == 0 {
+		srtt = rttUs
+	} else {
+		srtt = uint32(int32(srtt) + (int32(rttUs)-int32(srtt))/8)
+	}
+	r.SetU32(hSrttUs, srtt)
+}
+
+// react runs the HPCC window update from the echoed telemetry.
+//
+// The hop tx-rate term is averaged across a full RTT window (snapshots
+// refresh at the per-RTT Wc boundary): HPCC hardware senders pace their
+// window smoothly, so per-ACK telemetry deltas see the paced rate; this
+// tester's windowed scheduler emits line-rate bursts instead, and the
+// per-RTT average recovers the same utilization signal the paced sender
+// would measure.
+func (h HPCC) react(r Regs, in *Input) {
+	p := in.Params
+	baseT := p.HPCCBaseRTT.Seconds()
+	if baseT <= 0 {
+		baseT = 10e-6
+	}
+	eta := float64(p.HPCCEtaQ10) / 1024
+	boundary := !SeqLT(in.Ack, r.U32(hLastUpdate))
+
+	// U = max over hops.
+	maxU := 0.0
+	sawRate := false
+	for j := 0; j < int(in.INT.NHops); j++ {
+		hop := in.INT.Hops[j]
+		bw := float64(hop.Rate) // bits/s
+		if bw <= 0 {
+			continue
+		}
+		u := float64(hop.QueueBytes) * 8 / (bw * baseT)
+		if j < 2 {
+			if term, ok := h.txRateTerm(r, j, hop.TxBytes, hop.TS, bw, boundary); ok {
+				u += term
+				sawRate = true
+			}
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	if !sawRate && maxU == 0 {
+		// First RTT: snapshots primed, no usable signal yet.
+		if boundary {
+			r.SetU32(hLastUpdate, in.Nxt)
+		}
+		return
+	}
+
+	w := float64(r.U32(hW)) / 65536
+	wc := float64(r.U32(hWc)) / 65536
+	wai := float64(p.HPCCWaiQ16) / 65536
+	maxStage := uint32(p.HPCCMaxStage)
+
+	if maxU >= eta || r.U32(hIncStage) >= maxStage {
+		if maxU > 0 {
+			w = wc*eta/maxU + wai
+		}
+		if boundary {
+			r.SetU32(hIncStage, 0)
+			r.SetU32(hWc, q16(w, p))
+		}
+	} else {
+		w = wc + wai
+		if boundary {
+			r.Add32(hIncStage, 1)
+			r.SetU32(hWc, q16(w, p))
+		}
+	}
+	if boundary {
+		r.SetU32(hLastUpdate, in.Nxt)
+	}
+	r.SetU32(hW, q16(w, p))
+}
+
+// txRateTerm computes txRate/B for a snapshot-tracked hop, averaged since
+// the last per-RTT snapshot; refresh advances the snapshot (at window
+// boundaries).
+func (HPCC) txRateTerm(r Regs, hop int, txBytes uint64, ts sim.Time, bw float64, refresh bool) (float64, bool) {
+	loSlot, tsSlot := hHop0TxLo, hHop0TS
+	if hop == 1 {
+		loSlot, tsSlot = hHop1TxLo, hHop1TS
+	}
+	prevTx := r.U64(loSlot)
+	prevTSns := r.U32(tsSlot)
+	nowNs := uint32(uint64(ts) / uint64(sim.Nanosecond))
+	primed := prevTx != 0 && prevTSns != 0
+	if refresh || !primed {
+		r.SetU64(loSlot, txBytes)
+		r.SetU32(tsSlot, nowNs)
+	}
+	if !primed || nowNs <= prevTSns || txBytes <= prevTx {
+		return 0, false
+	}
+	dt := float64(nowNs-prevTSns) * 1e-9
+	rate := float64(txBytes-prevTx) * 8 / dt
+	return rate / bw, true
+}
+
+func (h HPCC) onTimeout(r Regs, in *Input, out *Output) {
+	if SeqDiff(in.Nxt, in.Una) <= 0 {
+		return
+	}
+	w := maxU32(in.Params.MinCwnd, 1)
+	r.SetU32(hW, w<<16)
+	r.SetU32(hWc, w<<16)
+	r.SetU32(hState, stateOpen)
+	r.SetU32(hDupAcks, 0)
+	out.Rtx, out.RtxPSN = true, in.Una
+	out.Schedule = true
+}
+
+func (HPCC) armRTO(r Regs, in *Input, out *Output) {
+	ackAll := in.Type == EvRx && SeqDiff(in.Ack, in.Nxt) >= 0
+	if SeqDiff(in.Nxt, in.Una) <= 0 || ackAll {
+		out.StopTimer(TimerRTO)
+		return
+	}
+	rto := in.Params.RTOMin
+	if srtt := r.U32(hSrttUs); srtt > 0 {
+		if est := sim.Duration(srtt) * 4 * sim.Microsecond; est > rto {
+			rto = est
+		}
+	}
+	out.ArmTimer(TimerRTO, rto)
+}
+
+// OnSlowPath implements Algorithm; HPCC runs entirely on the fast path.
+func (HPCC) OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output) {}
+
+func q16(w float64, p *Params) uint32 {
+	if w < float64(p.MinCwnd) {
+		w = float64(p.MinCwnd)
+	}
+	if max := float64(p.MaxCwndPkts()); w > max {
+		w = max
+	}
+	return uint32(w * 65536)
+}

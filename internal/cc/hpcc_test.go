@@ -1,0 +1,136 @@
+package cc
+
+import (
+	"testing"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// hpccAck drives one EvRx with a synthetic one-hop telemetry record.
+func (h *harness) hpccAck(ack uint32, queueBytes uint32, txBytes uint64, ts sim.Time) *Output {
+	var rec packet.INTRecord
+	rec.Push(packet.INTHop{
+		QueueBytes: queueBytes,
+		TxBytes:    txBytes,
+		Rate:       100 * sim.Gbps,
+		TS:         ts,
+	})
+	in := &Input{Type: EvRx, Ack: ack, PSN: ack, ProbedRTT: 10 * sim.Microsecond, INT: &rec}
+	return h.deliver(in)
+}
+
+func TestHPCCReducesUnderHighUtilization(t *testing.T) {
+	h := newHarness(t, "hpcc", nil)
+	w0 := h.cwnd
+	// Deep queue: 500 KB at 100G with T=10us -> queueing term ~ 32x eta.
+	tx := uint64(0)
+	ts := sim.Time(0)
+	for i := uint32(1); i <= 40; i++ {
+		h.send(1)
+		tx += 1044
+		ts = ts.Add(sim.Microsecond)
+		h.hpccAck(i, 500_000, tx, ts)
+	}
+	if h.cwnd >= w0 {
+		t.Fatalf("cwnd %d did not shrink under persistent congestion (w0=%d)", h.cwnd, w0)
+	}
+	if h.cwnd < h.p.MinCwnd {
+		t.Fatalf("cwnd %d under floor", h.cwnd)
+	}
+}
+
+func TestHPCCProbesUpWhenIdle(t *testing.T) {
+	h := newHarness(t, "hpcc", func(p *Params) { p.HPCCInitWnd = 8 })
+	// Empty queue, trickle utilization: U << eta -> additive probe. Send
+	// and ack incrementally so per-RTT boundaries advance like a real
+	// closed loop.
+	tx := uint64(0)
+	ts := sim.Time(0)
+	for i := uint32(1); i <= 60; i++ {
+		h.send(1)
+		tx += 100 // tiny tx delta -> low measured utilization
+		ts = ts.Add(sim.Microsecond)
+		h.hpccAck(i, 0, tx, ts)
+	}
+	if h.cwnd <= 8 {
+		t.Fatalf("cwnd %d did not probe upward with an idle bottleneck", h.cwnd)
+	}
+}
+
+func TestHPCCConvergesNearTargetUtilization(t *testing.T) {
+	// Closed loop against a fluid one-hop model: the sender's window maps
+	// to offered rate W*MTU/T; the hop reports queue growth when offered
+	// exceeds capacity. HPCC should settle near eta (95%).
+	h := newHarness(t, "hpcc", func(p *Params) { p.HPCCInitWnd = 200 })
+	const (
+		bw  = 100e9                      // bits/s
+		tUs = 10.0                       // base RTT us
+		bdp = bw * tUs * 1e-6 / 8 / 1044 // packets in flight at 100%
+	)
+	queue := 0.0
+	tx := uint64(0)
+	ts := sim.Time(0)
+	var lastW float64
+	const dtSec = tUs / 12 * 1e-6  // fluid tick
+	const tickCap = bw * dtSec / 8 // bytes the hop serves per tick
+	for i := uint32(1); i <= 4000; i++ {
+		h.send(1)
+		offered := float64(h.cwnd) / bdp // utilization offered by window
+		served := offered
+		if served > 1 {
+			served = 1
+		}
+		queue += (offered - served) * tickCap
+		if queue < 0 {
+			queue = 0
+		}
+		tx += uint64(served * tickCap)
+		ts = ts.Add(sim.Micros(tUs / 12))
+		h.hpccAck(i, uint32(queue), tx, ts)
+		lastW = float64(h.cwnd)
+	}
+	util := lastW / bdp
+	if util < 0.5 || util > 1.3 {
+		t.Fatalf("converged utilization = %.2f (W=%v, BDP=%v pkts), want ~0.95", util, lastW, bdp)
+	}
+	if queue > 200*1044 {
+		t.Fatalf("standing queue = %.0f bytes, HPCC should keep it near zero", queue)
+	}
+}
+
+func TestHPCCLossRecovery(t *testing.T) {
+	h := newHarness(t, "hpcc", func(p *Params) { p.HPCCInitWnd = 64 })
+	h.send(64)
+	for i := 0; i < 3; i++ {
+		h.ack(0, 0) // dup acks without INT
+	}
+	if len(h.rtxes) != 1 || h.rtxes[0] != 0 {
+		t.Fatalf("rtxes = %v", h.rtxes)
+	}
+	if h.cwnd >= 64 {
+		t.Fatalf("cwnd %d not halved on loss", h.cwnd)
+	}
+}
+
+func TestHPCCIgnoresMissingINT(t *testing.T) {
+	h := newHarness(t, "hpcc", func(p *Params) { p.HPCCInitWnd = 16 })
+	h.send(100)
+	w0 := h.cwnd
+	for i := uint32(1); i <= 20; i++ {
+		h.ack(i, 0) // plain acks, no telemetry
+	}
+	// Without INT the window must stay stable (no reaction, no crash).
+	if h.cwnd != w0 {
+		t.Fatalf("cwnd moved without telemetry: %d -> %d", w0, h.cwnd)
+	}
+}
+
+func TestHPCCTimeoutResets(t *testing.T) {
+	h := newHarness(t, "hpcc", func(p *Params) { p.HPCCInitWnd = 64 })
+	h.send(64)
+	h.timeout()
+	if h.cwnd != h.p.MinCwnd {
+		t.Fatalf("cwnd after timeout = %d, want %d", h.cwnd, h.p.MinCwnd)
+	}
+}

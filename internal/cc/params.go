@@ -1,0 +1,189 @@
+package cc
+
+import (
+	"fmt"
+
+	"marlin/internal/sim"
+)
+
+// Params is the CC parameter block the control plane writes to FPGA BRAM
+// before a test starts (§3.2: "CC parameters are sent to the FPGA's BRAM
+// via drivers"). One block serves every algorithm; unused fields are
+// ignored by algorithms that do not consume them.
+type Params struct {
+	// MTU is the DATA frame size in bytes.
+	MTU int
+	// LineRate is the per-port line rate flows are bound to.
+	LineRate sim.Rate
+
+	// InitCwnd is the initial congestion window in packets.
+	InitCwnd uint32
+	// Ssthresh is the initial slow-start threshold in packets.
+	Ssthresh uint32
+	// MinCwnd floors the window.
+	MinCwnd uint32
+	// MaxCwnd caps the window (0 = 65535, the 16-bit register limit).
+	MaxCwnd uint32
+	// RTOMin floors the retransmission timer.
+	RTOMin sim.Duration
+
+	// DCTCPGShift sets the DCTCP gain g = 2^-DCTCPGShift (paper default
+	// g = 1/16).
+	DCTCPGShift uint
+	// AlphaBits selects the fixed-point width of DCTCP's alpha: 16 for
+	// the fast-path-only variant, 32 when the Slow Path performs the
+	// division (§5.4: "increasing division and alpha precision from
+	// 16-bit to 32-bit").
+	AlphaBits int
+	// UseSlowPath routes DCTCP's alpha update through the Slow Path.
+	UseSlowPath bool
+
+	// DCQCN parameters, named after the NVIDIA configuration guide the
+	// paper cites for its §7.3 setup.
+	DCQCNGShift       uint         // alpha gain g = 2^-shift
+	AlphaTimer        sim.Duration // alpha-decay timer period
+	RateTimer         sim.Duration // rate-increase timer period
+	ByteCounter       int64        // bytes per rate-increase byte-stage
+	RateAI            sim.Rate     // additive-increase step
+	RateHAI           sim.Rate     // hyper-increase step
+	MinRate           sim.Rate     // rate floor
+	FastRecoverySteps int          // stages before additive increase
+	CNPInterval       sim.Duration // receiver-side min CNP spacing
+
+	// CubicC and CubicBetaQ10 configure Cubic: C scaled by 2^10 and
+	// beta in Q10 (multiplicative decrease factor).
+	CubicCQ10    uint32
+	CubicBetaQ10 uint32
+
+	// Timely parameters (Mittal et al., SIGMOD'15 defaults scaled to the
+	// simulated RTTs).
+	TimelyTLow      sim.Duration
+	TimelyTHigh     sim.Duration
+	TimelyAddStep   sim.Rate
+	TimelyBetaQ10   uint32
+	TimelyEwmaShift uint
+
+	// CBRRate pins the constant-bit-rate module's rate (0 = line rate).
+	CBRRate sim.Rate
+
+	// Swift parameters (Kumar et al., SIGCOMM'20).
+	SwiftBaseTarget sim.Duration // base delay target
+	SwiftRange      sim.Duration // flow-scaling range added as Range/sqrt(cwnd)
+	SwiftAIQ16      uint32       // additive increase per window, Q16 packets
+	SwiftBetaQ10    uint32       // multiplicative-decrease gain
+	SwiftMaxMDFQ10  uint32       // maximum decrease fraction per window
+	SwiftInitWnd    uint32       // initial window (0 = 16)
+
+	// HPCC parameters (Li et al., SIGCOMM'19).
+	HPCCEtaQ10   uint32       // target utilization eta in Q10 (973 = 95%)
+	HPCCMaxStage int          // additive-increase stages per MI epoch
+	HPCCWaiQ16   uint32       // additive-increase step, Q16 packets
+	HPCCBaseRTT  sim.Duration // base RTT T used to normalize queueing
+	HPCCInitWnd  uint32       // initial window in packets (0 = BDP cap)
+}
+
+// DefaultParams returns the parameter block used throughout the evaluation
+// unless an experiment overrides it: MTU 1024 (RoCE default under Ethernet
+// MTU, §3.3), 100 Gbps ports, and DCQCN constants from the NVIDIA guidance
+// the paper references.
+func DefaultParams(line sim.Rate, mtu int) Params {
+	return Params{
+		MTU:      mtu,
+		LineRate: line,
+
+		InitCwnd: 1,
+		Ssthresh: 64,
+		MinCwnd:  1,
+		MaxCwnd:  0,
+		RTOMin:   sim.Micros(500),
+
+		DCTCPGShift: 4, // g = 1/16
+		AlphaBits:   32,
+		UseSlowPath: true,
+
+		DCQCNGShift:       8, // g = 1/256
+		AlphaTimer:        sim.Micros(55),
+		RateTimer:         sim.Micros(300),
+		ByteCounter:       10 << 20,
+		RateAI:            5 * sim.Mbps * 8, // 40 Mbps
+		RateHAI:           50 * sim.Mbps * 8,
+		MinRate:           40 * sim.Mbps,
+		FastRecoverySteps: 5,
+		CNPInterval:       sim.Micros(4),
+
+		CubicCQ10:    410, // C = 0.4
+		CubicBetaQ10: 717, // beta = 0.7
+
+		TimelyTLow:      sim.Micros(50),
+		TimelyTHigh:     sim.Micros(500),
+		TimelyAddStep:   10 * sim.Mbps,
+		TimelyBetaQ10:   819, // 0.8
+		TimelyEwmaShift: 3,
+
+		SwiftBaseTarget: sim.Micros(15),
+		SwiftRange:      sim.Micros(60),
+		SwiftAIQ16:      1 << 16, // 1 packet per window
+		SwiftBetaQ10:    819,     // 0.8
+		SwiftMaxMDFQ10:  512,     // 0.5
+		SwiftInitWnd:    16,
+
+		HPCCEtaQ10:   973, // 95%
+		HPCCMaxStage: 5,
+		HPCCWaiQ16:   1 << 15, // half a packet per update
+		HPCCBaseRTT:  sim.Micros(10),
+		HPCCInitWnd:  128,
+	}
+}
+
+// ScaleDCQCNTime compresses DCQCN's recovery timescale by the given factor
+// for short simulated horizons: timers and the byte counter shrink while
+// the increase steps grow, preserving the control law's shape. The paper's
+// §7.3/§7.5 runs span up to 180 wall-clock seconds; the experiment
+// harnesses run millisecond horizons and scale DCQCN accordingly
+// (documented per experiment in EXPERIMENTS.md).
+func (p *Params) ScaleDCQCNTime(factor float64) {
+	if factor <= 1 {
+		return
+	}
+	p.AlphaTimer = sim.Duration(float64(p.AlphaTimer) / factor)
+	p.RateTimer = sim.Duration(float64(p.RateTimer) / factor)
+	if p.AlphaTimer < sim.Microsecond {
+		p.AlphaTimer = sim.Microsecond
+	}
+	if p.RateTimer < 2*sim.Microsecond {
+		p.RateTimer = 2 * sim.Microsecond
+	}
+	p.ByteCounter = int64(float64(p.ByteCounter) / factor)
+	if p.ByteCounter < 64<<10 {
+		p.ByteCounter = 64 << 10
+	}
+	p.RateAI = sim.Rate(float64(p.RateAI) * factor)
+	p.RateHAI = sim.Rate(float64(p.RateHAI) * factor)
+}
+
+// Validate rejects parameter blocks a control plane must not deploy.
+func (p *Params) Validate() error {
+	switch {
+	case p.MTU < 64 || p.MTU > 9216:
+		return fmt.Errorf("cc: MTU %d outside [64, 9216]", p.MTU)
+	case p.LineRate <= 0:
+		return fmt.Errorf("cc: non-positive line rate %v", p.LineRate)
+	case p.InitCwnd < 1:
+		return fmt.Errorf("cc: initial cwnd %d < 1", p.InitCwnd)
+	case p.MinCwnd < 1:
+		return fmt.Errorf("cc: min cwnd %d < 1", p.MinCwnd)
+	case p.AlphaBits != 16 && p.AlphaBits != 32:
+		return fmt.Errorf("cc: AlphaBits %d must be 16 or 32", p.AlphaBits)
+	case p.RTOMin <= 0:
+		return fmt.Errorf("cc: non-positive RTOMin")
+	}
+	return nil
+}
+
+// MaxCwndPkts returns the effective window cap.
+func (p *Params) MaxCwndPkts() uint32 {
+	if p.MaxCwnd == 0 {
+		return 65535
+	}
+	return p.MaxCwnd
+}

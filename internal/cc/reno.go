@@ -1,0 +1,229 @@
+package cc
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Reno is the classic window-based TCP Reno/NewReno module: slow start,
+// congestion avoidance, fast retransmit on three duplicate ACKs, NewReno
+// partial-ACK retransmission during fast recovery, and RTO fallback. It is
+// the simplest of the paper's three reference modules (Table 4: 156 LoC,
+// 2 clock cycles).
+//
+// Register map (cust-var):
+//
+//	0  cwnd, Q16 packets (source of truth; the intrinsic integer window
+//	   is derived from it)
+//	1  ssthresh, packets
+//	2  duplicate-ACK counter
+//	3  state: 0 = open, 1 = fast recovery
+//	4  recover PSN (fast-recovery exit point)
+//	5  cwr end PSN (one ECN reduction per window)
+//	6  srtt, microseconds (EWMA, for RTO)
+type Reno struct{}
+
+// Reno register slots.
+const (
+	rCwndQ16 = iota
+	rSsthresh
+	rDupAcks
+	rState
+	rRecover
+	rCwrEnd
+	rSrttUs
+)
+
+// Reno states.
+const (
+	stateOpen     = 0
+	stateRecovery = 1
+)
+
+func init() { Register("reno", func() Algorithm { return Reno{} }) }
+
+// Name implements Algorithm.
+func (Reno) Name() string { return "reno" }
+
+// Mode implements Algorithm.
+func (Reno) Mode() Mode { return WindowMode }
+
+// FastPathCycles implements Algorithm (Table 4).
+func (Reno) FastPathCycles() int { return 2 }
+
+// SlowPathCycles implements Algorithm; Reno has no Slow Path logic.
+func (Reno) SlowPathCycles() int { return 0 }
+
+// InitFlow implements Algorithm.
+func (Reno) InitFlow(cust, slow *State, p *Params) {
+	r := RegsOf(cust)
+	r.SetU32(rCwndQ16, p.InitCwnd<<16)
+	r.SetU32(rSsthresh, p.Ssthresh)
+}
+
+// OnEvent implements Algorithm.
+func (Reno) OnEvent(in *Input, out *Output) {
+	r := RegsOf(in.Cust)
+	switch in.Type {
+	case EvStart:
+		out.Schedule = true
+	case EvRx:
+		renoOnAck(r, in, out)
+	case EvTimeout:
+		renoOnTimeout(r, in, out)
+	}
+	cwnd := clampCwnd(r.U32(rCwndQ16)>>16, in.Params)
+	out.SetCwnd, out.Cwnd = true, cwnd
+	out.LogU32x4(cwnd, r.U32(rSsthresh), r.U32(rDupAcks), uint32(in.Type))
+	armRTO(r, in, out)
+}
+
+func renoOnAck(r Regs, in *Input, out *Output) {
+	acked := SeqDiff(in.Ack, in.Una)
+	switch {
+	case acked > 0:
+		renoNewAck(r, in, out, uint32(acked))
+	case acked == 0 && SeqDiff(in.Nxt, in.Una) > 0:
+		renoDupAck(r, in, out)
+	}
+	if in.Flags.Has(packet.FlagECNEcho) {
+		renoECE(r, in)
+	}
+	out.Schedule = true
+	updateSrtt(r, in)
+}
+
+func renoNewAck(r Regs, in *Input, out *Output, acked uint32) {
+	if r.U32(rState) == stateRecovery {
+		if SeqLEQ(r.U32(rRecover), in.Ack) {
+			// Full ACK: leave recovery with the deflated window.
+			r.SetU32(rState, stateOpen)
+			r.SetU32(rDupAcks, 0)
+			r.SetU32(rCwndQ16, maxU32(r.U32(rSsthresh), in.Params.MinCwnd)<<16)
+		} else {
+			// NewReno partial ACK: the next hole is lost too.
+			out.Rtx, out.RtxPSN = true, in.Ack
+		}
+		return
+	}
+	r.SetU32(rDupAcks, 0)
+	growWindow(r, in.Params, acked)
+}
+
+// growWindow applies slow start below ssthresh and 1/cwnd-per-ACK
+// congestion avoidance above it.
+func growWindow(r Regs, p *Params, acked uint32) {
+	cwndQ := r.U32(rCwndQ16)
+	ssthresh := r.U32(rSsthresh)
+	for i := uint32(0); i < acked; i++ {
+		cwnd := cwndQ >> 16
+		if cwnd >= p.MaxCwndPkts() {
+			break
+		}
+		if cwnd < ssthresh {
+			cwndQ += 1 << 16
+		} else {
+			cwndQ += (1 << 16) / maxU32(cwnd, 1)
+		}
+	}
+	r.SetU32(rCwndQ16, cwndQ)
+}
+
+func renoDupAck(r Regs, in *Input, out *Output) {
+	dups := r.Add32(rDupAcks, 1)
+	if r.U32(rState) == stateRecovery {
+		// Window inflation: each dup ACK signals a departure.
+		r.SetU32(rCwndQ16, r.U32(rCwndQ16)+1<<16)
+		return
+	}
+	if dups == 3 {
+		flight := uint32(SeqDiff(in.Nxt, in.Una))
+		ss := maxU32(flight/2, 2)
+		r.SetU32(rSsthresh, ss)
+		r.SetU32(rCwndQ16, (ss+3)<<16)
+		r.SetU32(rState, stateRecovery)
+		r.SetU32(rRecover, in.Nxt)
+		out.Rtx, out.RtxPSN = true, in.Una
+	}
+}
+
+// renoECE applies the RFC 3168 response: at most one multiplicative
+// decrease per window of data.
+func renoECE(r Regs, in *Input) {
+	if r.U32(rState) == stateRecovery || SeqLT(in.Ack, r.U32(rCwrEnd)) {
+		return
+	}
+	cwnd := r.U32(rCwndQ16) >> 16
+	ss := maxU32(cwnd/2, in.Params.MinCwnd)
+	r.SetU32(rSsthresh, ss)
+	r.SetU32(rCwndQ16, ss<<16)
+	r.SetU32(rCwrEnd, in.Nxt)
+}
+
+func renoOnTimeout(r Regs, in *Input, out *Output) {
+	flight := uint32(SeqDiff(in.Nxt, in.Una))
+	if flight == 0 {
+		return
+	}
+	r.SetU32(rSsthresh, maxU32(flight/2, 2))
+	r.SetU32(rCwndQ16, in.Params.MinCwnd<<16)
+	r.SetU32(rState, stateOpen)
+	r.SetU32(rDupAcks, 0)
+	out.Rtx, out.RtxPSN = true, in.Una
+	out.Schedule = true
+}
+
+// OnSlowPath implements Algorithm; Reno posts no slow-path events.
+func (Reno) OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output) {}
+
+// updateSrtt keeps a 1/8-gain RTT EWMA in microseconds for RTO sizing.
+func updateSrtt(r Regs, in *Input) {
+	if in.ProbedRTT <= 0 {
+		return
+	}
+	rttUs := uint32(in.ProbedRTT / sim.Microsecond)
+	if rttUs == 0 {
+		rttUs = 1
+	}
+	srtt := r.U32(rSrttUs)
+	if srtt == 0 {
+		srtt = rttUs
+	} else {
+		srtt = uint32(int32(srtt) + (int32(rttUs)-int32(srtt))/8)
+	}
+	r.SetU32(rSrttUs, srtt)
+}
+
+// armRTO (re)arms the retransmission timer while data is outstanding and
+// stops it when the flow goes idle.
+func armRTO(r Regs, in *Input, out *Output) {
+	ackAll := in.Type == EvRx && SeqDiff(in.Ack, in.Nxt) >= 0
+	if SeqDiff(in.Nxt, in.Una) <= 0 || ackAll {
+		out.StopTimer(TimerRTO)
+		return
+	}
+	rto := in.Params.RTOMin
+	if srtt := r.U32(rSrttUs); srtt > 0 {
+		if est := sim.Duration(srtt) * 4 * sim.Microsecond; est > rto {
+			rto = est
+		}
+	}
+	out.ArmTimer(TimerRTO, rto)
+}
+
+func clampCwnd(cwnd uint32, p *Params) uint32 {
+	if cwnd < p.MinCwnd {
+		return p.MinCwnd
+	}
+	if maxW := p.MaxCwndPkts(); cwnd > maxW {
+		return maxW
+	}
+	return cwnd
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,22 @@
+package cc
+
+// PSNs live in a 32-bit circular sequence space (RoCE-style). These helpers
+// implement serial-number arithmetic so windows behave correctly across
+// wraparound.
+
+// SeqLT reports whether a precedes b in circular order.
+func SeqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEQ reports whether a precedes or equals b in circular order.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// SeqMax returns the later of a and b in circular order.
+func SeqMax(a, b uint32) uint32 {
+	if SeqLT(a, b) {
+		return b
+	}
+	return a
+}
+
+// SeqDiff returns a-b as a signed distance.
+func SeqDiff(a, b uint32) int32 { return int32(a - b) }

@@ -1,0 +1,159 @@
+package cc
+
+import (
+	"math"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Swift is Google's delay-target congestion control (Kumar et al.,
+// SIGCOMM'20), cited by the paper's introduction among the algorithms a
+// tester must be able to emulate. It steers end-to-end RTT toward a
+// target that scales with the inverse square root of the window (so many
+// small flows share a bounded queue):
+//
+//	target = BaseTarget + Range / sqrt(cwnd)
+//	rtt <= target: cwnd += AI * acked / cwnd      (additive increase)
+//	rtt  > target: cwnd *= 1 - Beta*(rtt-target)/rtt, at most once per
+//	               window, floored at 1 - MaxMDF  (multiplicative decrease)
+//
+// Loss handling reuses the Reno fast-retransmit machinery. Like the
+// paper's §2.1 argument for Timely, Swift depends on the FPGA's precise
+// prb-rtt timestamps; host jitter would swamp its delay signal.
+//
+// Register map (cust-var): slots 0..6 are the shared Reno loss-recovery
+// block; Swift adds:
+//
+//	7  decrease fence PSN (one MD per window)
+type Swift struct{}
+
+const swDecreaseEnd = 7
+
+func init() { Register("swift", func() Algorithm { return Swift{} }) }
+
+// Name implements Algorithm.
+func (Swift) Name() string { return "swift" }
+
+// Mode implements Algorithm.
+func (Swift) Mode() Mode { return WindowMode }
+
+// FastPathCycles implements Algorithm: the square root comes from a
+// lookup table like Cubic's cube root, but over a far smaller domain.
+func (Swift) FastPathCycles() int { return 18 }
+
+// SlowPathCycles implements Algorithm.
+func (Swift) SlowPathCycles() int { return 0 }
+
+// InitFlow implements Algorithm.
+func (Swift) InitFlow(cust, slow *State, p *Params) {
+	r := RegsOf(cust)
+	w := p.SwiftInitWnd
+	if w == 0 {
+		w = 16
+	}
+	r.SetU32(rCwndQ16, w<<16)
+	r.SetU32(rSsthresh, p.MaxCwndPkts()) // no slow-start phase: delay-driven
+}
+
+// OnEvent implements Algorithm.
+func (s Swift) OnEvent(in *Input, out *Output) {
+	r := RegsOf(in.Cust)
+	switch in.Type {
+	case EvStart:
+		out.Schedule = true
+	case EvRx:
+		s.onAck(r, in, out)
+	case EvTimeout:
+		renoOnTimeout(r, in, out)
+	}
+	cwnd := clampCwnd(r.U32(rCwndQ16)>>16, in.Params)
+	out.SetCwnd, out.Cwnd = true, cwnd
+	targetUs := uint32(s.target(in.Params, float64(cwnd)) / sim.Microsecond)
+	out.LogU32x4(cwnd, targetUs, r.U32(rSrttUs), uint32(in.Type))
+	armRTO(r, in, out)
+}
+
+// target computes the delay target for the current window.
+func (Swift) target(p *Params, cwnd float64) sim.Duration {
+	base := p.SwiftBaseTarget
+	if base <= 0 {
+		base = sim.Micros(15)
+	}
+	rng := p.SwiftRange
+	if rng <= 0 {
+		rng = sim.Micros(60)
+	}
+	if cwnd < 1 {
+		cwnd = 1
+	}
+	return base + sim.Duration(float64(rng)/math.Sqrt(cwnd))
+}
+
+func (s Swift) onAck(r Regs, in *Input, out *Output) {
+	acked := SeqDiff(in.Ack, in.Una)
+	switch {
+	case acked > 0:
+		if r.U32(rState) == stateRecovery {
+			renoNewAck(r, in, out, uint32(acked))
+		} else {
+			r.SetU32(rDupAcks, 0)
+			s.delayControl(r, in, uint32(acked))
+		}
+	case acked == 0 && SeqDiff(in.Nxt, in.Una) > 0:
+		renoDupAck(r, in, out)
+	}
+	if in.Flags.Has(packet.FlagNACK) {
+		out.Rtx, out.RtxPSN = true, in.Ack
+	}
+	out.Schedule = true
+	updateSrtt(r, in)
+}
+
+func (s Swift) delayControl(r Regs, in *Input, acked uint32) {
+	if in.ProbedRTT <= 0 {
+		return
+	}
+	p := in.Params
+	cwndQ := r.U32(rCwndQ16)
+	cwnd := float64(cwndQ) / 65536
+	target := s.target(p, cwnd)
+	if in.ProbedRTT <= target {
+		// Additive increase: AI packets per window of ACKs.
+		ai := float64(p.SwiftAIQ16) / 65536
+		if ai == 0 {
+			ai = 1
+		}
+		cwnd += ai * float64(acked) / math.Max(cwnd, 1)
+	} else {
+		// Multiplicative decrease, once per window of data.
+		if SeqLT(in.Ack, r.U32(swDecreaseEnd)) {
+			return
+		}
+		beta := float64(p.SwiftBetaQ10) / 1024
+		if beta == 0 {
+			beta = 0.8
+		}
+		maxMDF := float64(p.SwiftMaxMDFQ10) / 1024
+		if maxMDF == 0 {
+			maxMDF = 0.5
+		}
+		over := float64(in.ProbedRTT-target) / float64(in.ProbedRTT)
+		factor := 1 - beta*over
+		if factor < 1-maxMDF {
+			factor = 1 - maxMDF
+		}
+		cwnd *= factor
+		r.SetU32(swDecreaseEnd, in.Nxt)
+	}
+	if cwnd < float64(p.MinCwnd) {
+		cwnd = float64(p.MinCwnd)
+	}
+	if max := float64(p.MaxCwndPkts()); cwnd > max {
+		cwnd = max
+	}
+	r.SetU32(rCwndQ16, uint32(cwnd*65536))
+}
+
+// OnSlowPath implements Algorithm; Swift runs on the fast path.
+func (Swift) OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output) {}

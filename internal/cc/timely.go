@@ -1,0 +1,149 @@
+package cc
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Timely is the RTT-gradient rate control of Mittal et al. (SIGMOD'15),
+// included because the paper's motivation (§2.1) singles out delay-based
+// CC as the class that most needs FPGA-grade timestamping: "the latency
+// and jitter introduced by the host processing are much greater than FPGA,
+// which is detrimental to delay-based congestion control".
+//
+// The module consumes the prb-rtt intrinsic input (Table 3) on every ACK:
+//
+//   - rtt < TLow: additive increase.
+//   - rtt > THigh: multiplicative decrease by beta*(1 - THigh/rtt).
+//   - otherwise: follow the normalized RTT gradient (EWMA of successive
+//     RTT differences divided by the minimum RTT).
+//
+// Register map (cust-var):
+//
+//	0-1  rate, bps (u64)
+//	2    previous RTT, microseconds
+//	3    RTT-difference EWMA, microseconds, signed stored as uint32
+//	4    minimum observed RTT, microseconds
+//	5    completion events in gradient mode (HAI counter)
+type Timely struct{}
+
+// Timely register slots.
+const (
+	tyRateLo = iota
+	tyRateHi
+	tyPrevRTT
+	tyDiffEwma
+	tyMinRTT
+	tyHAICount
+)
+
+func init() { Register("timely", func() Algorithm { return Timely{} }) }
+
+// Name implements Algorithm.
+func (Timely) Name() string { return "timely" }
+
+// Mode implements Algorithm.
+func (Timely) Mode() Mode { return RateMode }
+
+// FastPathCycles implements Algorithm: the gradient division makes Timely
+// a moderately expensive module, comparable to DCTCP (§5.4 names Timely
+// among the per-RTT slow-logic algorithms).
+func (Timely) FastPathCycles() int { return 30 }
+
+// SlowPathCycles implements Algorithm.
+func (Timely) SlowPathCycles() int { return 0 }
+
+// InitFlow implements Algorithm.
+func (Timely) InitFlow(cust, slow *State, p *Params) {
+	r := RegsOf(cust)
+	r.SetU64(tyRateLo, uint64(p.LineRate))
+}
+
+// OnEvent implements Algorithm.
+func (t Timely) OnEvent(in *Input, out *Output) {
+	r := RegsOf(in.Cust)
+	switch in.Type {
+	case EvStart:
+		out.Schedule = true
+	case EvRx:
+		if in.Flags.Has(packet.FlagNACK) {
+			out.Rtx, out.RtxPSN = true, in.Ack
+		} else if in.ProbedRTT > 0 {
+			t.onRTT(r, in)
+		}
+		out.Schedule = true
+		if SeqDiff(in.Ack, in.Nxt) >= 0 {
+			out.StopTimer(TimerRTO)
+		} else {
+			out.ArmTimer(TimerRTO, in.Params.RTOMin)
+		}
+	case EvTimeout:
+		if SeqDiff(in.Nxt, in.Una) > 0 {
+			out.Rtx, out.RtxPSN = true, in.Una
+			out.Schedule = true
+			out.ArmTimer(TimerRTO, in.Params.RTOMin)
+		}
+	}
+	rate := sim.Rate(r.U64(tyRateLo))
+	out.SetRate, out.Rate = true, rate
+	out.LogU32x4(uint32(rate/sim.Mbps), r.U32(tyPrevRTT), uint32(int32(r.U32(tyDiffEwma))), uint32(in.Type))
+}
+
+func (t Timely) onRTT(r Regs, in *Input) {
+	p := in.Params
+	rttUs := uint32(in.ProbedRTT / sim.Microsecond)
+	if rttUs == 0 {
+		rttUs = 1
+	}
+	prev := r.U32(tyPrevRTT)
+	r.SetU32(tyPrevRTT, rttUs)
+	if minRTT := r.U32(tyMinRTT); minRTT == 0 || rttUs < minRTT {
+		r.SetU32(tyMinRTT, rttUs)
+	}
+	if prev == 0 {
+		return
+	}
+	diff := int32(rttUs) - int32(prev)
+	ewma := int32(r.U32(tyDiffEwma))
+	ewma += (diff - ewma) >> p.TimelyEwmaShift
+	r.SetU32(tyDiffEwma, uint32(ewma))
+
+	rate := int64(r.U64(tyRateLo))
+	switch {
+	case sim.Duration(rttUs)*sim.Microsecond < p.TimelyTLow:
+		rate += int64(p.TimelyAddStep)
+		r.SetU32(tyHAICount, 0)
+	case sim.Duration(rttUs)*sim.Microsecond > p.TimelyTHigh:
+		tHighUs := int64(p.TimelyTHigh / sim.Microsecond)
+		// rate *= 1 - beta*(1 - THigh/rtt)
+		cutQ10 := int64(p.TimelyBetaQ10) * (int64(rttUs) - tHighUs) / int64(rttUs)
+		rate -= rate * cutQ10 / 1024
+		r.SetU32(tyHAICount, 0)
+	default:
+		grad := float64(ewma) / float64(maxU32(r.U32(tyMinRTT), 1))
+		if grad <= 0 {
+			n := int64(1)
+			if hai := r.Add32(tyHAICount, 1); hai >= 5 {
+				n = 5 // hyperactive increase after 5 good signals
+			}
+			rate += n * int64(p.TimelyAddStep)
+		} else {
+			r.SetU32(tyHAICount, 0)
+			cut := float64(rate) * float64(p.TimelyBetaQ10) / 1024 * grad
+			if cut > float64(rate)/2 {
+				cut = float64(rate) / 2
+			}
+			rate -= int64(cut)
+		}
+	}
+	if rate > int64(p.LineRate) {
+		rate = int64(p.LineRate)
+	}
+	if rate < int64(p.MinRate) {
+		rate = int64(p.MinRate)
+	}
+	r.SetU64(tyRateLo, uint64(rate))
+}
+
+// OnSlowPath implements Algorithm; Timely posts no slow-path events.
+func (Timely) OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output) {}

@@ -1,0 +1,237 @@
+// Package controlplane is the operator-facing layer of Marlin (§3.2):
+// validating a test specification, deploying it to the switch and FPGA
+// models, starting traffic, and reading results back out of "hardware
+// registers" — the same role the paper's Python control-plane program
+// plays over gRPC and PCIe.
+package controlplane
+
+import (
+	"fmt"
+
+	"marlin/internal/cc"
+	"marlin/internal/core"
+	"marlin/internal/fpga"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+	"marlin/internal/tofino"
+)
+
+// Spec is an operator's test description: "selecting the CC algorithm,
+// setting CC parameters, choosing the test ports, and determining the
+// number of flows per port" (§3.2).
+type Spec struct {
+	// Algorithm names a registered CC module (cc.Names()).
+	Algorithm string
+	// MTU is the DATA frame size (default 1024).
+	MTU int
+	// PortRate is the per-port line rate (default 100 Gbps).
+	PortRate sim.Rate
+	// Ports is how many data ports the test uses (default: plan max).
+	Ports int
+	// FlowsPerPort is the initial concurrent flows per port.
+	FlowsPerPort int
+	// Receiver forces the receiver logic: "", "tcp", or "roce".
+	Receiver string
+	// ECNThresholdPkts enables step marking at K packets (0 = off).
+	ECNThresholdPkts int
+	// NetQueueBytes sizes each tested-network egress buffer. RoCE tests
+	// set it deep (multi-MB) to stand in for PFC losslessness.
+	NetQueueBytes int
+	// EnableINT stamps in-band telemetry at every hop (HPCC-style CC).
+	EnableINT bool
+	// EnablePFC makes the tested network lossless via pause frames.
+	EnablePFC bool
+	// ReceiverOnFPGA moves receiver logic to the FPGA over the reserved
+	// port (Figure 2's dashed path).
+	ReceiverOnFPGA bool
+	// ExtraHops deepens every forward path by this many additional
+	// store-and-forward hops.
+	ExtraHops int
+	// LinkDelay is the tested network's per-link one-way delay.
+	LinkDelay sim.Duration
+	// DCQCNTimeScale compresses DCQCN's recovery timescale for short
+	// simulated horizons (1 = paper parameters).
+	DCQCNTimeScale float64
+	// Params fully overrides the parameter block when non-nil.
+	Params *cc.Params
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Validate rejects malformed specs before deployment.
+func (s *Spec) Validate() error {
+	if s.Algorithm == "" {
+		return fmt.Errorf("controlplane: no algorithm selected")
+	}
+	if _, err := cc.New(s.Algorithm); err != nil {
+		return err
+	}
+	if s.FlowsPerPort < 0 {
+		return fmt.Errorf("controlplane: negative flows per port")
+	}
+	switch s.Receiver {
+	case "", "tcp", "roce":
+	default:
+		return fmt.Errorf("controlplane: unknown receiver mode %q", s.Receiver)
+	}
+	if s.Params != nil {
+		if err := s.Params.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lint reports configuration smells that deploy fine but tend to produce
+// misleading tests — the judgement calls an experienced operator makes
+// before burning a testbed run.
+func (s *Spec) Lint() []string {
+	var warns []string
+	mtu := s.MTU
+	if mtu == 0 {
+		mtu = 1024
+	}
+	queue := s.NetQueueBytes
+	if queue == 0 {
+		queue = netem.DefaultQueueCapacity
+	}
+	if s.ECNThresholdPkts > 0 {
+		kBytes := s.ECNThresholdPkts * mtu
+		if kBytes >= queue {
+			warns = append(warns, fmt.Sprintf(
+				"ECN threshold (%d pkts = %d B) is at or beyond the %d B queue: drops will precede marking",
+				s.ECNThresholdPkts, kBytes, queue))
+		} else if kBytes > queue/2 {
+			warns = append(warns, fmt.Sprintf(
+				"ECN threshold (%d B) above half the %d B queue leaves little headroom for bursts",
+				kBytes, queue))
+		}
+	}
+	if alg, err := cc.New(s.Algorithm); err == nil {
+		if alg.Mode() == cc.RateMode && !s.EnablePFC && queue < 2<<20 {
+			warns = append(warns, fmt.Sprintf(
+				"rate-based %s on a lossy %d B buffer without PFC: expect go-back-N retransmission storms",
+				s.Algorithm, queue))
+		}
+		if s.Algorithm == "hpcc" && !s.EnableINT {
+			warns = append(warns, "hpcc without EnableINT receives no telemetry and will not react")
+		}
+		if s.Algorithm == "dcqcn" && s.DCQCNTimeScale <= 1 {
+			warns = append(warns,
+				"dcqcn with paper-scale timers recovers over hundreds of ms; set DCQCNTimeScale for short horizons")
+		}
+	}
+	if s.EnableINT && s.ExtraHops+2 > packet.MaxINTHops {
+		warns = append(warns, fmt.Sprintf(
+			"%d-hop paths exceed the %d-entry INT stack: later hops go unstamped",
+			s.ExtraHops+2, packet.MaxINTHops))
+	}
+	return warns
+}
+
+// Deploy validates the spec, generates the device configurations, and
+// builds a wired tester — the moment the paper's control plane writes the
+// switch tables and FPGA firmware/BRAM.
+func (s *Spec) Deploy(eng *sim.Engine) (*core.Tester, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	alg, err := cc.New(s.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Algorithm:      alg,
+		MTU:            s.MTU,
+		PortRate:       s.PortRate,
+		DataPorts:      s.Ports,
+		LinkDelay:      s.LinkDelay,
+		NetQueueBytes:  s.NetQueueBytes,
+		EnableINT:      s.EnableINT,
+		EnablePFC:      s.EnablePFC,
+		ReceiverOnFPGA: s.ReceiverOnFPGA,
+		ExtraHops:      s.ExtraHops,
+		Seed:           s.Seed,
+	}
+	if s.Params != nil {
+		cfg.Params = *s.Params
+	} else {
+		mtu := s.MTU
+		if mtu == 0 {
+			mtu = 1024
+		}
+		rate := s.PortRate
+		if rate == 0 {
+			rate = 100 * sim.Gbps
+		}
+		cfg.Params = cc.DefaultParams(rate, mtu)
+	}
+	if s.DCQCNTimeScale > 1 {
+		cfg.Params.ScaleDCQCNTime(s.DCQCNTimeScale)
+	}
+	if s.ECNThresholdPkts > 0 {
+		mtu := cfg.Params.MTU
+		cfg.ECN = netem.StepMarking(s.ECNThresholdPkts, mtu)
+	}
+	switch s.Receiver {
+	case "tcp":
+		cfg.Receiver = tofino.TCPReceiver
+		cfg.ReceiverSet = true
+	case "roce":
+		cfg.Receiver = tofino.RoCEReceiver
+		cfg.ReceiverSet = true
+	}
+	return core.New(eng, cfg)
+}
+
+// Snapshot is a readout of every control-plane-visible register, as
+// gathered by reading the switch and FPGA models.
+type Snapshot struct {
+	At       sim.Time
+	Switch   tofino.Counters
+	Ports    []tofino.PortCounters
+	NIC      fpga.Stats
+	FCTCount int
+}
+
+// ReadRegisters collects a Snapshot from a running tester.
+func ReadRegisters(t *core.Tester) Snapshot {
+	snap := Snapshot{
+		At:       t.Eng.Now(),
+		Switch:   t.Pipeline.Counters(),
+		NIC:      t.NIC.Stats(),
+		FCTCount: t.FCTs.Len(),
+	}
+	for i := 0; i < t.Plan().DataPorts; i++ {
+		snap.Ports = append(snap.Ports, t.Pipeline.PortCounters(i))
+	}
+	return snap
+}
+
+// LossReport summarises where packets were lost — the distinction between
+// real network drops and tester-internal false losses matters because
+// §4.2 requires the latter to be zero in correct operation.
+type LossReport struct {
+	// NetworkDrops are tested-network queue drops (congestion).
+	NetworkDrops uint64
+	// FalseLosses are switch register-queue overflows (tester bugs or
+	// deliberate Challenge 1 ablations).
+	FalseLosses uint64
+	// RXDrops are FPGA RX-FIFO overflows.
+	RXDrops uint64
+}
+
+// ReadLosses collects a LossReport.
+func ReadLosses(t *core.Tester) LossReport {
+	var r LossReport
+	for i := 0; i < t.Net.Ports(); i++ {
+		r.NetworkDrops += t.Net.Port(i).Queue().Stats().Drops
+	}
+	for i := 0; i < t.Plan().DataPorts; i++ {
+		r.NetworkDrops += t.TxLink(i).Queue().Stats().Drops
+	}
+	r.FalseLosses = t.Pipeline.Counters().ScheDrops
+	r.RXDrops = t.NIC.Stats().InfoDrops
+	return r
+}

@@ -1,0 +1,136 @@
+package controlplane
+
+import (
+	"strings"
+	"testing"
+
+	"marlin/internal/cc"
+	"marlin/internal/sim"
+	"marlin/internal/tofino"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Algorithm: "dctcp"}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{},
+		{Algorithm: "nope"},
+		{Algorithm: "reno", FlowsPerPort: -1},
+		{Algorithm: "reno", Receiver: "quic"},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+	badParams := cc.DefaultParams(100*sim.Gbps, 1024)
+	badParams.MTU = 1
+	if err := (&Spec{Algorithm: "reno", Params: &badParams}).Validate(); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestDeployDefaults(t *testing.T) {
+	eng := sim.NewEngine()
+	tr, err := (&Spec{Algorithm: "dctcp"}).Deploy(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Plan().MTU != 1024 || tr.Plan().DataPorts != 12 {
+		t.Fatalf("plan = %+v", tr.Plan())
+	}
+}
+
+func TestDeployReceiverOverride(t *testing.T) {
+	eng := sim.NewEngine()
+	tr, err := (&Spec{Algorithm: "dcqcn", Receiver: "tcp"}).Deploy(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Config().Receiver != tofino.TCPReceiver {
+		t.Fatal("receiver override ignored")
+	}
+}
+
+func TestDeployECNAndRun(t *testing.T) {
+	eng := sim.NewEngine()
+	tr, err := (&Spec{
+		Algorithm:        "dctcp",
+		Ports:            3,
+		ECNThresholdPkts: 65,
+		Seed:             9,
+	}).Deploy(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two senders into one receiver port: marking must fire.
+	tr.StartFlow(0, 0, 2, 0)
+	tr.StartFlow(1, 1, 2, 0)
+	tr.Run(sim.Time(2 * sim.Millisecond))
+	if tr.Net.Port(2).Queue().Stats().ECNMarks == 0 {
+		t.Fatal("deployed ECN config never marked")
+	}
+	snap := ReadRegisters(tr)
+	if snap.Switch.DataTx == 0 || snap.NIC.ScheTx == 0 || len(snap.Ports) != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	losses := ReadLosses(tr)
+	if losses.FalseLosses != 0 {
+		t.Fatalf("false losses in correct operation: %+v", losses)
+	}
+}
+
+func TestDeployDCQCNTimeScale(t *testing.T) {
+	eng := sim.NewEngine()
+	tr, err := (&Spec{Algorithm: "dcqcn", DCQCNTimeScale: 30, Ports: 2}).Deploy(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.NIC.Params()
+	if p.RateTimer >= sim.Micros(300) {
+		t.Fatalf("rate timer not scaled: %v", p.RateTimer)
+	}
+	if p.RateAI <= 40*sim.Mbps {
+		t.Fatalf("AI step not scaled: %v", p.RateAI)
+	}
+}
+
+func TestLintWarnings(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"ecn beyond queue", Spec{Algorithm: "dctcp", ECNThresholdPkts: 300, NetQueueBytes: 256 << 10}, "drops will precede marking"},
+		{"ecn above half", Spec{Algorithm: "dctcp", ECNThresholdPkts: 200, NetQueueBytes: 256 << 10}, "little headroom"},
+		{"lossy roce", Spec{Algorithm: "dcqcn", DCQCNTimeScale: 10}, "go-back-N"},
+		{"hpcc no int", Spec{Algorithm: "hpcc", EnableINT: false}, "no telemetry"},
+		{"dcqcn paper timers", Spec{Algorithm: "dcqcn", EnablePFC: true, NetQueueBytes: 8 << 20}, "DCQCNTimeScale"},
+		{"int stack overflow", Spec{Algorithm: "hpcc", EnableINT: true, ExtraHops: 5}, "INT stack"},
+	}
+	for _, c := range cases {
+		warns := c.spec.Lint()
+		found := false
+		for _, w := range warns {
+			if strings.Contains(w, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: warnings %v missing %q", c.name, warns, c.want)
+		}
+	}
+}
+
+func TestLintCleanSpec(t *testing.T) {
+	clean := Spec{
+		Algorithm:        "dctcp",
+		ECNThresholdPkts: 65,
+		NetQueueBytes:    1 << 20,
+	}
+	if warns := clean.Lint(); len(warns) != 0 {
+		t.Fatalf("clean spec warned: %v", warns)
+	}
+}

@@ -1,0 +1,405 @@
+// Package core assembles Marlin's devices into a runnable tester: the
+// programmable-switch pipeline, the FPGA NIC, the 100 Gbps device
+// interconnect, and an emulated tested network, wired as in Figure 1.
+//
+// Topology. Every test uses the paper's canonical arrangement (§7.1: "the
+// sender and receiver are connected with a programmable switch via twelve
+// 100 Gbps links each"): the tester's data ports send DATA through an
+// intermediate switch that forwards each flow to a destination port, where
+// the tester's own receiver logic generates ACKs that travel back over
+// reverse links. Congestion appears wherever the flow routing concentrates
+// traffic (pass-through for §7.2, fan-in for §7.3).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"marlin/internal/cc"
+	"marlin/internal/fpga"
+	"marlin/internal/measure"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+	"marlin/internal/tofino"
+)
+
+// Config assembles a tester. Zero values select the paper's defaults.
+type Config struct {
+	// Algorithm is the CC module to deploy (required).
+	Algorithm cc.Algorithm
+	// Params is the CC parameter block (zero = cc.DefaultParams).
+	Params cc.Params
+	// MTU is the DATA frame size (default 1024, §3.3).
+	MTU int
+	// PortRate is the per-port line rate (default 100 Gbps).
+	PortRate sim.Rate
+	// DataPorts limits how many of the pipeline's data ports the test
+	// uses (default: all the plan provides).
+	DataPorts int
+	// Receiver selects the switch receiver logic; defaults to TCP for
+	// window algorithms and RoCE for rate algorithms.
+	Receiver tofino.ReceiverMode
+	// ReceiverSet forces Receiver to be honored even when it is the
+	// zero value (TCPReceiver).
+	ReceiverSet bool
+	// LinkDelay is the one-way delay of each tested-network link
+	// (default 2 us).
+	LinkDelay sim.Duration
+	// ECN configures marking at the tested network's egress queues.
+	ECN netem.ECNConfig
+	// NetQueueBytes bounds each tested-network egress queue
+	// (default 256 KiB).
+	NetQueueBytes int
+	// MaxFlows bounds concurrent flows (default 65,536-capable).
+	MaxFlows int
+	// RegQueueDepth is the switch register-queue depth (0 = default).
+	RegQueueDepth int
+	// Scheduler selects the FPGA scheduler design (§5.2 vs scan).
+	Scheduler fpga.SchedulerMode
+	// DisableRXTimer removes ingress pacing (Challenge 3 ablation).
+	DisableRXTimer bool
+	// SingleRXFIFO funnels all INFO into one FIFO (§5.3 ablation).
+	SingleRXFIFO bool
+	// SharedQueue uses one switch register queue (§4.2 ablation).
+	SharedQueue bool
+	// TXTimerPPS overrides the FPGA's per-port SCHE pacing. The default
+	// is the plan's per-port DATA rate; raising it overruns the switch
+	// queues (Challenge 1 ablation).
+	TXTimerPPS float64
+	// EnableINT stamps in-band telemetry on DATA packets at every
+	// tested-network hop (for INT-based CC such as HPCC).
+	EnableINT bool
+	// ReceiverOnFPGA moves the receiver logic from the switch to the
+	// FPGA over the reserved port (Figure 2's dashed path, §4.1).
+	ReceiverOnFPGA bool
+	// ForwardJitter adds uniform [0, ForwardJitter] propagation jitter
+	// on the tested network's egress links; jitter beyond the frame gap
+	// reorders DATA packets.
+	ForwardJitter sim.Duration
+	// ExtraHops inserts additional store-and-forward hops on every
+	// forward path (leaf/spine-depth networks); each hop adds one link
+	// of LinkDelay and, with EnableINT, one telemetry stack entry.
+	ExtraHops int
+	// EnablePFC makes the tested network lossless: each egress queue
+	// pauses its upstream links at the XOFF watermark (RoCE fabrics).
+	EnablePFC bool
+	// PFCXOFFBytes overrides the pause watermark (0 = half the queue).
+	PFCXOFFBytes int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Tester is an assembled Marlin instance plus its tested network.
+type Tester struct {
+	Eng      *sim.Engine
+	Pipeline *tofino.Pipeline
+	NIC      *fpga.NIC
+	Net      *netem.Switch
+	FCTs     *measure.FCTRecorder
+
+	cfg     Config
+	plan    tofino.Plan
+	rng     *sim.Rand
+	flowDst map[packet.FlowID]int
+	sizes   map[packet.FlowID]uint32
+	starts  map[packet.FlowID]sim.Time
+
+	txLinks  []*netem.Link
+	revLinks []*netem.Link
+	pfcs     []*netem.PFC
+	fpgaRecv *fpga.Receiver
+	scheLink *netem.Link
+	infoLink *netem.Link
+
+	userComplete func(flow packet.FlowID, fct sim.Duration)
+}
+
+// New builds and wires a tester.
+func New(eng *sim.Engine, cfg Config) (*Tester, error) {
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("core: no CC algorithm configured")
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = 1024
+	}
+	if cfg.PortRate == 0 {
+		cfg.PortRate = 100 * sim.Gbps
+	}
+	if cfg.Params.MTU == 0 {
+		cfg.Params = cc.DefaultParams(cfg.PortRate, cfg.MTU)
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = sim.Micros(2)
+	}
+	if !cfg.ReceiverSet && cfg.Algorithm.Mode() == cc.RateMode {
+		cfg.Receiver = tofino.RoCEReceiver
+	}
+
+	plan, err := tofino.NewPlan(cfg.MTU, cfg.PortRate)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DataPorts == 0 || cfg.DataPorts > plan.DataPorts {
+		cfg.DataPorts = plan.DataPorts
+	}
+	// Shrink the plan to the ports actually used so validation and
+	// throughput accounting stay honest.
+	plan.DataPorts = cfg.DataPorts
+	plan.Throughput = sim.Rate(int64(cfg.PortRate) * int64(cfg.DataPorts))
+
+	pl, err := tofino.NewPipeline(eng, tofino.Config{
+		Plan:           plan,
+		QueueDepth:     cfg.RegQueueDepth,
+		SharedQueue:    cfg.SharedQueue,
+		Receiver:       cfg.Receiver,
+		ReceiverOnFPGA: cfg.ReceiverOnFPGA,
+		CNPInterval:    cfg.Params.CNPInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	txPPS := cfg.TXTimerPPS
+	if txPPS == 0 {
+		txPPS = plan.DataPPSPerPort
+	}
+	rxPPS := plan.DataPPSPerPort
+	if rxPPS > txPPS {
+		rxPPS = txPPS
+	}
+	nic, err := fpga.NewNIC(eng, fpga.Config{
+		Ports:          cfg.DataPorts,
+		MaxFlows:       cfg.MaxFlows,
+		Algorithm:      cfg.Algorithm,
+		Params:         cfg.Params,
+		TXTimerPPS:     txPPS,
+		RXTimerPPS:     rxPPS,
+		DisableRXTimer: cfg.DisableRXTimer,
+		SingleRXFIFO:   cfg.SingleRXFIFO,
+		Scheduler:      cfg.Scheduler,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Tester{
+		Eng:      eng,
+		Pipeline: pl,
+		NIC:      nic,
+		FCTs:     &measure.FCTRecorder{},
+		cfg:      cfg,
+		plan:     plan,
+		rng:      sim.NewRand(cfg.Seed),
+		flowDst:  make(map[packet.FlowID]int),
+		sizes:    make(map[packet.FlowID]uint32),
+		starts:   make(map[packet.FlowID]sim.Time),
+	}
+
+	// Device interconnect: one 100 Gbps cable carrying SCHE one way and
+	// INFO the other (§3.1).
+	deviceDelay := sim.Duration(200 * sim.Nanosecond)
+	scheLink := netem.NewLink(eng, netem.LinkConfig{
+		Rate: cfg.PortRate, Delay: deviceDelay, QueueBytes: 1 << 20,
+	}, pl.ScheIn())
+	nic.ConnectSche(scheLink)
+	infoLink := netem.NewLink(eng, netem.LinkConfig{
+		Rate: cfg.PortRate, Delay: deviceDelay, QueueBytes: 1 << 20,
+	}, nic.InfoIn())
+	pl.ConnectInfo(infoLink)
+	t.scheLink, t.infoLink = scheLink, infoLink
+
+	if cfg.ReceiverOnFPGA {
+		// Reserved-port pair (§4.3): truncated DATA to the FPGA, the
+		// receiver's ACK/NACK/CNP responses back to the switch.
+		respLink := netem.NewLink(eng, netem.LinkConfig{
+			Rate: cfg.PortRate, Delay: deviceDelay, QueueBytes: 1 << 20,
+		}, pl.FPGAAckIn())
+		mode := fpga.TCPReceiver
+		if cfg.Receiver == tofino.RoCEReceiver {
+			mode = fpga.RoCEReceiver
+		}
+		t.fpgaRecv = fpga.NewReceiver(eng, mode, cfg.Params.CNPInterval, respLink)
+		truncLink := netem.NewLink(eng, netem.LinkConfig{
+			Rate: cfg.PortRate, Delay: deviceDelay, QueueBytes: 1 << 20,
+		}, t.fpgaRecv.DataIn())
+		pl.ConnectRxForward(truncLink)
+	}
+
+	// Tested network: tester -> intermediate switch -> tester.
+	t.Net = netem.NewSwitch("tested-network", func(p *packet.Packet) int {
+		if dst, ok := t.flowDst[p.Flow]; ok {
+			return dst
+		}
+		return -1
+	})
+	txQueueBytes := cfg.NetQueueBytes
+	if cfg.EnablePFC && txQueueBytes < 4<<20 {
+		// PFC backpressure parks packets at the tester's uplinks; give
+		// them room so losslessness holds end to end.
+		txQueueBytes = 4 << 20
+	}
+	for i := 0; i < cfg.DataPorts; i++ {
+		tx := netem.NewLink(eng, netem.LinkConfig{
+			Rate: cfg.PortRate, Delay: cfg.LinkDelay, QueueBytes: txQueueBytes,
+			EnableINT: cfg.EnableINT,
+		}, t.Net)
+		t.txLinks = append(t.txLinks, tx)
+		pl.ConnectDataPort(i, tx)
+
+		// The last-hop destination, preceded by any extra hops (built
+		// back to front so packets traverse them in order).
+		var dst netem.Node = pl.DataIn(i)
+		for h := 0; h < cfg.ExtraHops; h++ {
+			dst = netem.NewLink(eng, netem.LinkConfig{
+				Rate: cfg.PortRate, Delay: cfg.LinkDelay,
+				QueueBytes: cfg.NetQueueBytes, ECN: cfg.ECN,
+				EnableINT: cfg.EnableINT,
+				RNG:       t.rng.Split(),
+			}, dst)
+		}
+		t.Net.AddPort(eng, netem.LinkConfig{
+			Rate: cfg.PortRate, Delay: cfg.LinkDelay,
+			QueueBytes: cfg.NetQueueBytes, ECN: cfg.ECN,
+			EnableINT: cfg.EnableINT,
+			Jitter:    cfg.ForwardJitter,
+			RNG:       t.rng.Split(),
+		}, dst)
+
+		rev := netem.NewLink(eng, netem.LinkConfig{
+			Rate: cfg.PortRate, Delay: 2 * cfg.LinkDelay, QueueBytes: 1 << 20,
+		}, pl.AckIn())
+		t.revLinks = append(t.revLinks, rev)
+		pl.ConnectAckPort(i, rev)
+	}
+	if cfg.EnablePFC {
+		// Each tested-network egress queue pauses all tester uplinks
+		// (single-priority, port-level PFC).
+		for i := 0; i < cfg.DataPorts; i++ {
+			q := t.Net.Port(i).Queue()
+			xoff := cfg.PFCXOFFBytes
+			if xoff == 0 {
+				xoff = q.Capacity() / 2
+			}
+			pfc, err := netem.NewPFC(eng, q, t.txLinks, netem.PFCConfig{
+				XOFF: xoff, XON: xoff / 2, Delay: cfg.LinkDelay,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.pfcs = append(t.pfcs, pfc)
+		}
+	}
+
+	nic.OnComplete(t.flowDone)
+	return t, nil
+}
+
+// PFCPauses reports pause episodes across all PFC controllers (0 when PFC
+// is disabled).
+func (t *Tester) PFCPauses() uint64 {
+	var n uint64
+	for _, p := range t.pfcs {
+		n += p.Pauses()
+	}
+	return n
+}
+
+// Plan returns the port plan in force.
+func (t *Tester) Plan() tofino.Plan { return t.plan }
+
+// Config returns the tester's effective configuration.
+func (t *Tester) Config() Config { return t.cfg }
+
+// RNG returns the tester's seeded random stream.
+func (t *Tester) RNG() *sim.Rand { return t.rng }
+
+// ForwardLink returns the tested network's egress link toward receiver
+// port rx; experiments attach loss/ECN scripts to it (§7.1).
+func (t *Tester) ForwardLink(rx int) *netem.Link { return t.Net.Port(rx) }
+
+// TxLink returns the link from tester data port i into the network.
+func (t *Tester) TxLink(i int) *netem.Link { return t.txLinks[i] }
+
+// ScheLink returns the FPGA->switch device link (SCHE direction).
+func (t *Tester) ScheLink() *netem.Link { return t.scheLink }
+
+// InfoLink returns the switch->FPGA device link (INFO direction).
+func (t *Tester) InfoLink() *netem.Link { return t.infoLink }
+
+// OnComplete registers a hook invoked after each flow completion (after
+// the FCT is recorded); closed-loop workloads start the next flow here.
+func (t *Tester) OnComplete(fn func(flow packet.FlowID, fct sim.Duration)) {
+	t.userComplete = fn
+}
+
+// StartFlow launches a flow of sizePkts MTU-sized packets from tx port to
+// rx port. sizePkts == 0 runs an unbounded flow (stopped via StopFlow).
+func (t *Tester) StartFlow(flow packet.FlowID, tx, rx int, sizePkts uint32) error {
+	if rx < 0 || rx >= t.cfg.DataPorts {
+		return fmt.Errorf("core: rx port %d out of range [0,%d)", rx, t.cfg.DataPorts)
+	}
+	if err := t.Pipeline.BindFlow(flow, tx); err != nil {
+		return err
+	}
+	t.Pipeline.ResetFlow(flow)
+	if t.fpgaRecv != nil {
+		t.fpgaRecv.Reset(flow)
+	}
+	t.flowDst[flow] = rx
+	t.sizes[flow] = sizePkts
+	t.starts[flow] = t.Eng.Now()
+	return t.NIC.StartFlow(flow, tx, sizePkts)
+}
+
+// StopFlow terminates a flow immediately (§7.3's staggered termination).
+func (t *Tester) StopFlow(flow packet.FlowID) { t.NIC.StopFlow(flow) }
+
+func (t *Tester) flowDone(flow packet.FlowID, fct sim.Duration) {
+	t.FCTs.Add(measure.FCTRecord{
+		Flow:     flow,
+		SizePkts: t.sizes[flow],
+		Start:    t.starts[flow],
+		FCT:      fct,
+	})
+	if t.userComplete != nil {
+		t.userComplete(flow, fct)
+	}
+}
+
+// Run advances the simulation to the given absolute time.
+func (t *Tester) Run(until sim.Time) { t.Eng.Run(until) }
+
+// GoodputBits returns the DATA bits the switch emitted for a flow.
+func (t *Tester) GoodputBits(flow packet.FlowID) uint64 {
+	return t.Pipeline.FlowTxBytes(flow) * 8
+}
+
+// TopologyDOT renders the wired test setup as a Graphviz digraph: the
+// FPGA/switch device pair, the per-port forward paths through the tested
+// network, and the reverse ACK paths — the picture Figure 1 draws, for
+// this deployment's actual configuration.
+func (t *Tester) TopologyDOT() string {
+	var b strings.Builder
+	b.WriteString("digraph marlin {\n  rankdir=LR;\n")
+	b.WriteString("  fpga [shape=box,label=\"FPGA NIC\\n")
+	fmt.Fprintf(&b, "%s, %d ports\"];\n", t.cfg.Algorithm.Name(), t.cfg.DataPorts)
+	b.WriteString("  switch [shape=box,label=\"switch pipeline\\n")
+	fmt.Fprintf(&b, "MTU %d, %v/port\"];\n", t.plan.MTU, t.plan.PortRate)
+	fmt.Fprintf(&b, "  net [shape=ellipse,label=\"tested network\\n%d+%d hops, delay %v\"];\n",
+		1, t.cfg.ExtraHops, t.cfg.LinkDelay)
+	b.WriteString("  fpga -> switch [label=\"SCHE 64B\"];\n")
+	b.WriteString("  switch -> fpga [label=\"INFO 64B\"];\n")
+	for i := 0; i < t.cfg.DataPorts; i++ {
+		fmt.Fprintf(&b, "  switch -> net [label=\"DATA p%d\"];\n", i)
+		fmt.Fprintf(&b, "  net -> switch [label=\"ACK p%d\"];\n", i)
+	}
+	if t.cfg.EnablePFC {
+		b.WriteString("  net -> switch [style=dashed,label=\"PFC pause\"];\n")
+	}
+	if t.fpgaRecv != nil {
+		b.WriteString("  switch -> fpga [style=dashed,label=\"truncated DATA (reserved port)\"];\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"marlin/internal/cc"
+	"marlin/internal/fpga"
+	"marlin/internal/measure"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+	"marlin/internal/tofino"
+)
+
+func mustAlg(t testing.TB, name string) cc.Algorithm {
+	t.Helper()
+	alg, err := cc.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg
+}
+
+func newTester(t testing.TB, cfg Config) *Tester {
+	t.Helper()
+	eng := sim.NewEngine()
+	tester, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tester
+}
+
+func TestNewDefaults(t *testing.T) {
+	tr := newTester(t, Config{Algorithm: mustAlg(t, "dctcp")})
+	if tr.Plan().MTU != 1024 || tr.Plan().DataPorts != 12 {
+		t.Fatalf("plan = %+v", tr.Plan())
+	}
+	if tr.Config().Receiver != tofino.TCPReceiver {
+		t.Fatal("window algorithm did not default to TCP receiver")
+	}
+	tr2 := newTester(t, Config{Algorithm: mustAlg(t, "dcqcn")})
+	if tr2.Config().Receiver != tofino.RoCEReceiver {
+		t.Fatal("rate algorithm did not default to RoCE receiver")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(eng, Config{}); err == nil {
+		t.Fatal("nil algorithm accepted")
+	}
+	if _, err := New(eng, Config{Algorithm: mustAlg(t, "reno"), MTU: 1}); err == nil {
+		t.Fatal("bad MTU accepted")
+	}
+}
+
+func TestSingleFlowReachesLineRate(t *testing.T) {
+	// §7.1/§2.1: "throughput can reach the line rate for a single flow".
+	tr := newTester(t, Config{
+		Algorithm: mustAlg(t, "dctcp"),
+		DataPorts: 2,
+		Seed:      1,
+	})
+	if err := tr.StartFlow(0, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 2 * sim.Millisecond
+	tr.Run(sim.Time(horizon))
+	// Skip slow start: measure the last millisecond.
+	bytesAtHalf := uint64(0)
+	tr2 := newTester(t, Config{Algorithm: mustAlg(t, "dctcp"), DataPorts: 2, Seed: 1})
+	tr2.StartFlow(0, 0, 1, 0)
+	tr2.Run(sim.Time(horizon / 2))
+	bytesAtHalf = tr2.Pipeline.FlowTxBytes(0)
+	total := tr.Pipeline.FlowTxBytes(0)
+	gbps := float64(total-bytesAtHalf) * 8 / (horizon / 2).Seconds() / 1e9
+	if gbps < 90 {
+		t.Fatalf("steady-state single-flow rate = %.1f Gbps, want ~98", gbps)
+	}
+	if gbps > 100 {
+		t.Fatalf("rate %.1f Gbps exceeds line", gbps)
+	}
+}
+
+func TestFlowCompletionRecordsFCT(t *testing.T) {
+	tr := newTester(t, Config{Algorithm: mustAlg(t, "dctcp"), DataPorts: 2, Seed: 2})
+	if err := tr.StartFlow(0, 0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(20 * sim.Millisecond))
+	if tr.FCTs.Len() != 1 {
+		t.Fatalf("recorded %d FCTs, want 1", tr.FCTs.Len())
+	}
+	rec := tr.FCTs.Records()[0]
+	if rec.SizePkts != 100 || rec.FCT <= 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+	// 100 packets through an ~8.5us RTT pipe with slow start from 1:
+	// at least ~7 RTTs; sanity bound the FCT.
+	if us := rec.FCT.Microseconds(); us < 20 || us > 5000 {
+		t.Fatalf("fct = %vus, implausible", us)
+	}
+}
+
+func TestClosedLoopFlowReplacement(t *testing.T) {
+	tr := newTester(t, Config{Algorithm: mustAlg(t, "dctcp"), DataPorts: 2, Seed: 3})
+	tr.Config()
+	count := 0
+	tr.OnComplete(func(flow packet.FlowID, fct sim.Duration) {
+		count++
+		if count < 50 {
+			if err := tr.StartFlow(flow, 0, 1, 20); err != nil {
+				t.Errorf("restart failed: %v", err)
+			}
+		}
+	})
+	if err := tr.StartFlow(0, 0, 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(100 * sim.Millisecond))
+	if count < 50 {
+		t.Fatalf("completed %d closed-loop flows, want 50", count)
+	}
+	if tr.FCTs.Len() != count {
+		t.Fatalf("FCT records %d != completions %d", tr.FCTs.Len(), count)
+	}
+}
+
+func TestFanInCongestionSharesFairly(t *testing.T) {
+	// Four senders into one destination port: DCTCP should converge to
+	// ~25 Gbps each with a high Jain index (§7.3 in miniature).
+	tr := newTester(t, Config{
+		Algorithm: mustAlg(t, "dctcp"),
+		DataPorts: 5,
+		ECN:       netem.StepMarking(65, 1024), // K=65 packets
+		Seed:      4,
+	})
+	for f := packet.FlowID(0); f < 4; f++ {
+		if err := tr.StartFlow(f, int(f), 4, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := sim.Time(3 * sim.Millisecond)
+	tr.Run(warm)
+	var base [4]uint64
+	for f := range base {
+		base[f] = tr.Pipeline.FlowTxBytes(packet.FlowID(f))
+	}
+	tr.Run(warm + sim.Time(3*sim.Millisecond))
+	var rates []float64
+	var total float64
+	for f := range base {
+		bits := float64(tr.Pipeline.FlowTxBytes(packet.FlowID(f))-base[f]) * 8
+		gbps := bits / sim.Duration(3*sim.Millisecond).Seconds() / 1e9
+		rates = append(rates, gbps)
+		total += gbps
+	}
+	if total < 80 || total > 102 {
+		t.Fatalf("aggregate = %.1f Gbps through a 100G bottleneck: %v", total, rates)
+	}
+	if jain := measure.JainIndex(rates); jain < 0.95 {
+		t.Fatalf("Jain index = %.3f (rates %v), want > 0.95", jain, rates)
+	}
+}
+
+func TestDCQCNFanInConverges(t *testing.T) {
+	// DCQCN's paper parameters recover over hundreds of ms; compress its
+	// timescale ~30x so convergence fits a millisecond-horizon test.
+	params := cc.DefaultParams(100*sim.Gbps, 1024)
+	params.ScaleDCQCNTime(30)
+	tr := newTester(t, Config{
+		Algorithm: mustAlg(t, "dcqcn"),
+		Params:    params,
+		DataPorts: 5,
+		ECN:       netem.StepMarking(65, 1024),
+		Seed:      5,
+	})
+	for f := packet.FlowID(0); f < 4; f++ {
+		if err := tr.StartFlow(f, int(f), 4, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := sim.Time(4 * sim.Millisecond)
+	tr.Run(warm)
+	var base [4]uint64
+	for f := range base {
+		base[f] = tr.Pipeline.FlowTxBytes(packet.FlowID(f))
+	}
+	tr.Run(warm + sim.Time(4*sim.Millisecond))
+	var rates []float64
+	var total float64
+	for f := range base {
+		bits := float64(tr.Pipeline.FlowTxBytes(packet.FlowID(f))-base[f]) * 8
+		rates = append(rates, bits/sim.Duration(4*sim.Millisecond).Seconds()/1e9)
+		total += rates[f]
+	}
+	if total < 60 || total > 102 {
+		t.Fatalf("DCQCN aggregate = %.1f Gbps: %v", total, rates)
+	}
+	if jain := measure.JainIndex(rates); jain < 0.9 {
+		t.Fatalf("DCQCN Jain = %.3f (%v)", jain, rates)
+	}
+	// Lossless fabric: ECN (not loss) must carry the signal.
+	if tr.Pipeline.Counters().CnpTx == 0 {
+		t.Fatal("no CNPs generated under congestion")
+	}
+}
+
+func TestStopFlowReleasesBandwidth(t *testing.T) {
+	tr := newTester(t, Config{
+		Algorithm: mustAlg(t, "dctcp"),
+		DataPorts: 3,
+		ECN:       netem.StepMarking(65, 1024),
+		Seed:      6,
+	})
+	tr.StartFlow(0, 0, 2, 0)
+	tr.StartFlow(1, 1, 2, 0)
+	tr.Run(sim.Time(3 * sim.Millisecond))
+	tr.StopFlow(1)
+	base := tr.Pipeline.FlowTxBytes(0)
+	tr.Run(sim.Time(6 * sim.Millisecond))
+	gbps := float64(tr.Pipeline.FlowTxBytes(0)-base) * 8 / sim.Duration(3*sim.Millisecond).Seconds() / 1e9
+	if gbps < 85 {
+		t.Fatalf("survivor rate = %.1f Gbps after peer stopped, want ~98", gbps)
+	}
+}
+
+func TestScriptedLossOnForwardLink(t *testing.T) {
+	tr := newTester(t, Config{Algorithm: mustAlg(t, "dctcp"), DataPorts: 2, Seed: 7})
+	script := netem.NewScript().DropOnce(0, 50)
+	tr.ForwardLink(1).AddHook(script.Hook)
+	tr.StartFlow(0, 0, 1, 200)
+	tr.Run(sim.Time(50 * sim.Millisecond))
+	if script.Pending() != 0 {
+		t.Fatal("scripted drop never fired")
+	}
+	if tr.FCTs.Len() != 1 {
+		t.Fatal("flow did not recover from scripted loss")
+	}
+	if tr.NIC.Stats().RtxTx == 0 {
+		t.Fatal("no retransmission despite a drop")
+	}
+}
+
+func TestSchedulerModesBothComplete(t *testing.T) {
+	for _, mode := range []fpga.SchedulerMode{fpga.ReschedulingFIFO, fpga.CyclicScan} {
+		tr := newTester(t, Config{
+			Algorithm: mustAlg(t, "dctcp"),
+			DataPorts: 2,
+			Scheduler: mode,
+			MaxFlows:  128,
+			Seed:      8,
+		})
+		for f := packet.FlowID(0); f < 4; f++ {
+			tr.StartFlow(f, 0, 1, 50)
+		}
+		tr.Run(sim.Time(50 * sim.Millisecond))
+		if tr.FCTs.Len() != 4 {
+			t.Fatalf("%v scheduler completed %d/4 flows", mode, tr.FCTs.Len())
+		}
+	}
+}
+
+func BenchmarkTesterSingleFlow(b *testing.B) {
+	tr := newTester(b, Config{Algorithm: mustAlg(b, "dctcp"), DataPorts: 2, Seed: 1})
+	if err := tr.StartFlow(0, 0, 1, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Run(tr.Eng.Now().Add(sim.Duration(10 * sim.Microsecond)))
+	}
+	b.ReportMetric(float64(tr.Pipeline.Counters().DataTx)/float64(b.N), "pkts/op")
+}
+
+func TestReceiverOnFPGA(t *testing.T) {
+	// Figure 2's dashed path: the switch truncates DATA over the reserved
+	// port; the FPGA runs receiver logic. The flow must behave like the
+	// switch-receiver path, with one extra device round trip of latency.
+	for _, algo := range []string{"dctcp", "dcqcn"} {
+		tr := newTester(t, Config{
+			Algorithm:      mustAlg(t, algo),
+			DataPorts:      2,
+			ReceiverOnFPGA: true,
+			Seed:           21,
+		})
+		if err := tr.StartFlow(0, 0, 1, 300); err != nil {
+			t.Fatal(err)
+		}
+		tr.Run(sim.Time(20 * sim.Millisecond))
+		if tr.FCTs.Len() != 1 {
+			t.Fatalf("%s: flow did not complete via FPGA receiver", algo)
+		}
+		c := tr.Pipeline.Counters()
+		if c.AckTx == 0 {
+			t.Fatalf("%s: no ACKs relayed from the FPGA receiver", algo)
+		}
+		if c.InfoTx == 0 {
+			t.Fatalf("%s: no INFO generated", algo)
+		}
+	}
+}
+
+func TestReceiverOnFPGALossRecovery(t *testing.T) {
+	tr := newTester(t, Config{
+		Algorithm:      mustAlg(t, "dctcp"),
+		DataPorts:      2,
+		ReceiverOnFPGA: true,
+		Seed:           22,
+	})
+	script := netem.NewScript().DropOnce(0, 40)
+	tr.ForwardLink(1).AddHook(script.Hook)
+	if err := tr.StartFlow(0, 0, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(50 * sim.Millisecond))
+	if tr.FCTs.Len() != 1 {
+		t.Fatal("flow did not recover from loss via FPGA receiver")
+	}
+	if tr.NIC.Stats().RtxTx == 0 {
+		t.Fatal("no retransmission")
+	}
+}
+
+func TestForwardJitterReordersButCompletes(t *testing.T) {
+	// Jitter several frame times beyond the gap reorders DATA arrivals;
+	// the TCP receiver's out-of-order buffer must absorb it and the flow
+	// must still finish without spurious retransmission storms.
+	tr := newTester(t, Config{
+		Algorithm:     mustAlg(t, "dctcp"),
+		DataPorts:     2,
+		ForwardJitter: sim.Micros(1), // ~12 frame times at 100G
+		Seed:          31,
+	})
+	if err := tr.StartFlow(0, 0, 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(100 * sim.Millisecond))
+	if tr.FCTs.Len() != 1 {
+		t.Fatal("flow did not complete under reordering")
+	}
+	if tr.Pipeline.Counters().OutOfOrderRx == 0 {
+		t.Fatal("jitter produced no reordering (test ineffective)")
+	}
+}
+
+// TestControlPacketsSurviveWireCodec round-trips every SCHE and INFO
+// packet crossing the device links through the 64-byte wire format,
+// proving the in-simulation fields all fit the real encoding.
+func TestControlPacketsSurviveWireCodec(t *testing.T) {
+	tr := newTester(t, Config{Algorithm: mustAlg(t, "dctcp"), DataPorts: 2, Seed: 32})
+	checked := 0
+	codecHook := func(p *packet.Packet) netem.HookAction {
+		switch p.Type {
+		case packet.SCHE, packet.INFO, packet.ACK, packet.CNP:
+		default:
+			return netem.Pass
+		}
+		var buf [packet.ControlSize]byte
+		if err := packet.MarshalControl(p, buf[:]); err != nil {
+			t.Errorf("marshal %v: %v", p.Type, err)
+			return netem.Pass
+		}
+		q, err := packet.Unmarshal(buf[:])
+		if err != nil {
+			t.Errorf("unmarshal %v: %v", p.Type, err)
+			return netem.Pass
+		}
+		if q.Type != p.Type || q.Flow != p.Flow || q.PSN != p.PSN ||
+			q.Ack != p.Ack || q.Flags != p.Flags || q.Port != p.Port ||
+			q.SentAt != p.SentAt {
+			t.Errorf("wire round trip changed %v: %+v -> %+v", p.Type, p, q)
+		}
+		checked++
+		return netem.Pass
+	}
+	tr.ScheLink().AddHook(codecHook)
+	tr.InfoLink().AddHook(codecHook)
+	if err := tr.StartFlow(0, 0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(10 * sim.Millisecond))
+	if checked < 100 {
+		t.Fatalf("codec hook saw only %d control packets", checked)
+	}
+	if tr.FCTs.Len() != 1 {
+		t.Fatal("flow did not complete")
+	}
+}
+
+func TestExtraHopsDeepenPathAndINT(t *testing.T) {
+	// Baseline RTT with the 2-hop forward path, then with 2 extra hops:
+	// RTT must grow by ~2 link delays, HPCC must see 4 INT entries, and
+	// the flow must still run at line rate.
+	rtt := func(extra int) float64 {
+		tr := newTester(t, Config{
+			Algorithm: mustAlg(t, "hpcc"),
+			DataPorts: 2,
+			EnableINT: true,
+			ExtraHops: extra,
+			Seed:      41,
+		})
+		if err := tr.StartFlow(0, 0, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		tr.Run(sim.Time(2 * sim.Millisecond))
+		_, count, ewma := tr.NIC.RTTSamples()
+		if count == 0 {
+			t.Fatal("no RTT probes")
+		}
+		gbps := float64(tr.Pipeline.FlowTxBytes(0)) * 8 / 0.002 / 1e9
+		if gbps < 60 {
+			t.Fatalf("extra=%d: throughput %v Gbps", extra, gbps)
+		}
+		return ewma
+	}
+	base := rtt(0)
+	deep := rtt(2)
+	// Two extra hops add 2 x 2us of propagation each way is forward-only:
+	// expect roughly +4us of RTT.
+	if deep-base < 3 || deep-base > 8 {
+		t.Fatalf("RTT grew %.1fus with 2 extra hops, want ~4", deep-base)
+	}
+}
+
+func TestExtraHopsINTStack(t *testing.T) {
+	tr := newTester(t, Config{
+		Algorithm: mustAlg(t, "dctcp"),
+		DataPorts: 2,
+		EnableINT: true,
+		ExtraHops: 2,
+		Seed:      42,
+	})
+	var hops uint8
+	tr.ForwardLink(1) // bottleneck exists
+	// Inspect the INT stack on INFO packets at the NIC by hooking the
+	// info link.
+	tr.InfoLink().AddHook(func(p *packet.Packet) netem.HookAction {
+		if p.Type == packet.INFO && p.INT.NHops > hops {
+			hops = p.INT.NHops
+		}
+		return netem.Pass
+	})
+	if err := tr.StartFlow(0, 0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(10 * sim.Millisecond))
+	// tx link + bottleneck + 2 extra = 4 stamping hops.
+	if hops != 4 {
+		t.Fatalf("INT stack depth = %d, want 4", hops)
+	}
+}
+
+func TestEveryAlgorithmRunsEndToEnd(t *testing.T) {
+	// A single finite flow must complete under every registered module,
+	// with the receiver mode the deployment derives for it.
+	for _, name := range cc.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			params := cc.DefaultParams(100*sim.Gbps, 1024)
+			params.ScaleDCQCNTime(30)
+			params.HPCCInitWnd = 32
+			tr := newTester(t, Config{
+				Algorithm: mustAlg(t, name),
+				Params:    params,
+				DataPorts: 2,
+				EnableINT: name == "hpcc",
+				Seed:      99,
+			})
+			if err := tr.StartFlow(0, 0, 1, 300); err != nil {
+				t.Fatal(err)
+			}
+			tr.Run(sim.Time(30 * sim.Millisecond))
+			if tr.FCTs.Len() != 1 {
+				t.Fatalf("%s: flow did not complete", name)
+			}
+			if tr.Pipeline.Counters().ScheDrops != 0 {
+				t.Fatalf("%s: false losses", name)
+			}
+		})
+	}
+}
+
+func TestTopologyDOT(t *testing.T) {
+	tr := newTester(t, Config{
+		Algorithm: mustAlg(t, "dctcp"), DataPorts: 2,
+		EnablePFC: true, ReceiverOnFPGA: true, Seed: 1,
+	})
+	dot := tr.TopologyDOT()
+	for _, want := range []string{
+		"digraph marlin", "FPGA NIC", "SCHE 64B", "INFO 64B",
+		"DATA p0", "ACK p1", "PFC pause", "reserved port",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"marlin/internal/controlplane"
+	"marlin/internal/measure"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/refcc"
+	"marlin/internal/sim"
+)
+
+// TestRenoTrajectoryMatchesReference extends Figure 5's methodology to a
+// second algorithm: Marlin's fixed-point Reno module against the
+// float-arithmetic reference stack (which degenerates to NewReno when no
+// packet is ever CE-marked), under an identical loss script.
+func TestRenoTrajectoryMatchesReference(t *testing.T) {
+	horizon := 1200 * sim.Microsecond
+	script := func() *netem.Script {
+		return netem.NewScript().DropOnce(0, 500).DropOnce(0, 4000)
+	}
+
+	// Marlin run.
+	eng := sim.NewEngine()
+	tr, err := (&controlplane.Spec{Algorithm: "reno", Ports: 2, Seed: 77}).Deploy(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ForwardLink(1).AddHook(script().Hook)
+	if err := tr.StartFlow(0, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(horizon))
+	var mCwnd measure.StepTrace
+	for _, p := range tr.NIC.Logger().FlowTrace(0) {
+		mCwnd = append(mCwnd, measure.Point{At: p.At, V: float64(p.A)})
+	}
+	if len(mCwnd) == 0 {
+		t.Fatal("no Marlin trace")
+	}
+
+	// Reference run over an equivalent path.
+	eng2 := sim.NewEngine()
+	var sender *refcc.DCTCPSender
+	reverse := netem.NewLink(eng2, netem.LinkConfig{
+		Rate: 100 * sim.Gbps, Delay: sim.Micros(4), QueueBytes: 1 << 20,
+	}, netem.NodeFunc(func(p *packet.Packet) { sender.Receive(p) }))
+	recv := refcc.NewReceiver(eng2, reverse)
+	hop2 := netem.NewLink(eng2, netem.LinkConfig{
+		Rate: 100 * sim.Gbps, Delay: sim.Micros(2), QueueBytes: 1 << 20,
+	}, recv)
+	hop2.AddHook(script().Hook)
+	hop1 := netem.NewLink(eng2, netem.LinkConfig{
+		Rate: 100 * sim.Gbps, Delay: sim.Micros(2), QueueBytes: 1 << 20,
+	}, hop2)
+	sender = refcc.NewDCTCPSender(eng2, refcc.DCTCPConfig{
+		Flow: 0, MTU: 1024, LineRate: 100 * sim.Gbps, InitCwnd: 1, Ssthresh: 64,
+	}, hop1)
+	sender.Start()
+	eng2.Run(sim.Time(horizon))
+	rCwnd := measure.StepTrace(sender.CwndTrace)
+
+	grid := horizon / 300
+	shift, cmp := measure.CompareStepTracesAligned(
+		mCwnd, rCwnd, sim.Time(grid), sim.Time(horizon), grid, sim.Micros(60))
+	if cmp.NormRMSE() > 0.25 {
+		t.Errorf("reno NormRMSE = %v (shift %v), want <= 0.25", cmp.NormRMSE(), shift)
+	}
+	mPeak := measure.Series(mCwnd).Max()
+	rPeak := measure.Series(rCwnd).Max()
+	if mPeak < rPeak*0.9 || mPeak > rPeak*1.1 {
+		t.Errorf("reno peaks diverge: marlin %v vs ref %v", mPeak, rPeak)
+	}
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the paper's qualitative claims — who wins,
+// by roughly what factor, where the crossovers fall — at the CI scale.
+// They are the executable form of EXPERIMENTS.md.
+
+func runExp(t *testing.T, name string) *Result {
+	t.Helper()
+	res, err := Run(name, Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatalf("%s produced no rows", name)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"table-capabilities", "table-amplify", "table-ccmodules",
+		"ablate-queue", "ablate-rxtimer", "ablate-overrun",
+		"ablate-scheduler", "ablate-slowpath", "ablate-rxdemux",
+		"ext-hpcc", "ext-pfc", "ext-multipipe", "ext-fpgarecv", "ext-openloop", "ext-algos",
+	}
+	have := map[string]bool{}
+	for _, n := range Names() {
+		have[n] = true
+		if Describe(n) == "" {
+			t.Errorf("experiment %s has no description", n)
+		}
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("experiment %s not registered", n)
+		}
+	}
+	if _, err := Run("bogus", Options{}); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+}
+
+func TestResultPrint(t *testing.T) {
+	r := newResult("x", "title", "a", "b")
+	r.AddRow("1", "2")
+	r.Metrics["m"] = 3
+	r.Note("n")
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: title ==", "a  b", "1  2", "m", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5TrajectoriesMatch(t *testing.T) {
+	res := runExp(t, "fig5")
+	// §7.1 claim: Marlin's cwnd/alpha match the reference simulation.
+	if v := res.Metrics["cwnd_norm_rmse"]; v > 0.25 {
+		t.Errorf("cwnd NormRMSE = %v, want <= 0.25", v)
+	}
+	if v := res.Metrics["alpha_max_abs_dev"]; v > 0.1 {
+		t.Errorf("alpha max deviation = %v, want <= 0.1", v)
+	}
+	// Peaks within 10%: same slow-start exit and CA trajectory.
+	m, r := res.Metrics["marlin_peak_cwnd"], res.Metrics["ref_peak_cwnd"]
+	if m < r*0.9 || m > r*1.1 {
+		t.Errorf("peak cwnd: marlin %v vs ref %v", m, r)
+	}
+	// Point B visibly raised alpha.
+	if v := res.Metrics["marlin_peak_alpha"]; v < 0.1 {
+		t.Errorf("alpha peak = %v, want >= 0.1 (ECN episode invisible)", v)
+	}
+	if res.Metrics["marlin_trace_points"] < 1000 {
+		t.Error("fine-grained tracing produced too few points")
+	}
+}
+
+func TestFig6FairSingriePort(t *testing.T) {
+	res := runExp(t, "fig6")
+	if v := res.Metrics["mean_jain"]; v < 0.99 {
+		t.Errorf("Jain index = %v, want >= 0.99 (§7.2 even sharing)", v)
+	}
+	if v := res.Metrics["mean_total_gbps"]; v < 95 {
+		t.Errorf("total = %v Gbps, want ~98 (near line rate)", v)
+	}
+}
+
+func TestFig7LineRatePerPortAnd1_2Tbps(t *testing.T) {
+	res := runExp(t, "fig7")
+	if v := res.Metrics["min_flow_gbps_steady"]; v < 95 {
+		t.Errorf("slowest flow = %v Gbps, want ~98 (§7.2 no interference)", v)
+	}
+	if v := res.Metrics["mean_total_tbps"]; v < 1.15 {
+		t.Errorf("aggregate = %v Tbps, want ~1.18 (the 1.2 Tbps headline)", v)
+	}
+	if v := res.Metrics["sche_drops"]; v != 0 {
+		t.Errorf("false losses = %v, want 0", v)
+	}
+}
+
+func TestFig8ConvergenceAndReclaim(t *testing.T) {
+	res := runExp(t, "fig8")
+	for _, algo := range []string{"dctcp", "dcqcn"} {
+		if v := res.Metrics[algo+"_overlap_jain"]; v < 0.95 {
+			t.Errorf("%s overlap Jain = %v, want >= 0.95 (§7.3 even sharing)", algo, v)
+		}
+		if v := res.Metrics[algo+"_reclaim_gbps"]; v < 90 {
+			t.Errorf("%s reclaim = %v Gbps, want ~98 (§7.3 bandwidth reclaim)", algo, v)
+		}
+	}
+	if v := res.Metrics["dctcp_overlap_total_gbps"]; v < 85 || v > 102 {
+		t.Errorf("dctcp bottleneck total = %v Gbps", v)
+	}
+}
+
+func TestFig9FidelityShape(t *testing.T) {
+	res := runExp(t, "fig9")
+	// §7.4 claim: distributional consistency with a commercial NIC. The
+	// tails must agree closely; low percentiles reflect proprietary
+	// scheduling differences and get a wide band.
+	for _, cast := range []string{"2cast", "3cast"} {
+		for _, p := range []string{"p90", "p99"} {
+			ratio := res.Metrics[cast+"_"+p+"_ratio"]
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("%s %s ratio = %v, want within 2x", cast, p, ratio)
+			}
+		}
+		if res.Metrics[cast+"_marlin_flows"] < 100 {
+			t.Errorf("%s: too few Marlin completions", cast)
+		}
+		if res.Metrics[cast+"_connectx_flows"] < 100 {
+			t.Errorf("%s: too few ConnectX completions", cast)
+		}
+	}
+}
+
+func TestFig10ComprehensiveOrdering(t *testing.T) {
+	res := runExp(t, "fig10")
+	for _, algo := range []string{"dctcp", "dcqcn"} {
+		// Both algorithms are worse than ideal...
+		if v := res.Metrics[algo+"_p50_slowdown"]; v < 1.0 {
+			t.Errorf("%s p50 slowdown = %v, beats ideal?!", algo, v)
+		}
+		// ...but within a sane factor at the tail.
+		if v := res.Metrics[algo+"_p99_slowdown"]; v > 2 {
+			t.Errorf("%s p99 slowdown = %v, want < 2", algo, v)
+		}
+		if res.Metrics[algo+"_completions"] < 500 {
+			t.Errorf("%s: too few completions", algo)
+		}
+		// Near the 1.2 Tbps aggregate.
+		if v := res.Metrics[algo+"_throughput_gbps"]; v < 1100 {
+			t.Errorf("%s aggregate = %v Gbps, want ~1177", algo, v)
+		}
+	}
+	// §7.5: "DCQCN shows a significant improvement in performance
+	// compared to DCTCP when sending short flows".
+	d, q := res.Metrics["dctcp_short_median_us"], res.Metrics["dcqcn_short_median_us"]
+	if q >= d {
+		t.Errorf("short-flow medians: dcqcn %v >= dctcp %v us", q, d)
+	}
+}
+
+func TestTableCapabilitiesOnlyMarlinMeetsAll(t *testing.T) {
+	res := runExp(t, "table-capabilities")
+	if res.Metrics["marl_meets_all"] != 1 {
+		t.Error("Marlin does not meet all requirements")
+	}
+	for _, dev := range []string{"host", "prog", "fpga"} {
+		if res.Metrics[dev+"_meets_all"] != 0 {
+			t.Errorf("%s meets all requirements; Tables 1-2 say it must not", dev)
+		}
+	}
+	// R1 measured: CC-less CBR traffic drops heavily where DCTCP does not.
+	if res.Metrics["r1_cbr_drops"] < 100 {
+		t.Errorf("CBR drops = %v, want heavy loss without CC", res.Metrics["r1_cbr_drops"])
+	}
+	if res.Metrics["r1_dctcp_drops"] != 0 {
+		t.Errorf("DCTCP drops = %v, want 0", res.Metrics["r1_dctcp_drops"])
+	}
+}
+
+func TestTableAmplificationHeadlines(t *testing.T) {
+	res := runExp(t, "table-amplify")
+	if res.Metrics["amp_1024"] != 12 || res.Metrics["tbps_1024"] != 1.2 {
+		t.Errorf("MTU 1024: amp=%v tbps=%v, want 12 / 1.2 (§3.3)",
+			res.Metrics["amp_1024"], res.Metrics["tbps_1024"])
+	}
+	if res.Metrics["amp_1518"] != 18 || res.Metrics["ideal_tbps_1518"] != 1.8 {
+		t.Errorf("MTU 1518: amp=%v ideal=%v, want 18 / 1.8 (§3.3)",
+			res.Metrics["amp_1518"], res.Metrics["ideal_tbps_1518"])
+	}
+	if res.Metrics["tbps_1518_portlimited"] != 1.3 {
+		t.Errorf("MTU 1518 port-limited = %v, want 1.3 (§4.3)", res.Metrics["tbps_1518_portlimited"])
+	}
+	if v := res.Metrics["measured_tbps_1024"]; v < 1.15 || v > 1.25 {
+		t.Errorf("measured amplification = %v Tbps, want ~1.2", v)
+	}
+	if res.Metrics["false_losses"] != 0 {
+		t.Error("paced amplification produced false losses")
+	}
+}
+
+func TestTableCCModulesMatchesTable4Cycles(t *testing.T) {
+	res := runExp(t, "table-ccmodules")
+	// Table 4's clk column, matched exactly.
+	for name, clk := range map[string]float64{"reno": 2, "dctcp": 24, "dcqcn": 6} {
+		if v := res.Metrics[name+"_clk"]; v != clk {
+			t.Errorf("%s cycles = %v, want %v", name, v, clk)
+		}
+	}
+	// LoC within a plausible band of the paper's (156/175/98 in HLS C++).
+	for _, name := range []string{"reno", "dctcp", "dcqcn", "cubic", "timely"} {
+		loc := res.Metrics[name+"_loc"]
+		if loc < 50 || loc > 300 {
+			t.Errorf("%s LoC = %v, implausible", name, loc)
+		}
+	}
+	if v := res.Metrics["bram_flows_capacity"]; v < 65536 {
+		t.Errorf("BRAM capacity = %v flows, want >= 65536", v)
+	}
+	if v := res.Metrics["bram_pct"]; v > 100 {
+		t.Errorf("65,536 flows exceed BRAM: %v%%", v)
+	}
+}
+
+func TestAblationQueue(t *testing.T) {
+	res := runExp(t, "ablate-queue")
+	if v := res.Metrics["per-port_misdelivery_pct"]; v != 0 {
+		t.Errorf("per-port queues misdelivered %v%%", v)
+	}
+	if v := res.Metrics["shared_misdelivery_pct"]; v < 10 {
+		t.Errorf("shared queue misdelivery = %v%%, want substantial", v)
+	}
+}
+
+func TestAblationRXTimer(t *testing.T) {
+	res := runExp(t, "ablate-rxtimer")
+	if v := res.Metrics["rx-timer-on_conflict_pct"]; v != 0 {
+		t.Errorf("paced ingress had %v%% conflicts", v)
+	}
+	if v := res.Metrics["rx-timer-off_conflict_pct"]; v < 50 {
+		t.Errorf("unpaced ingress conflicts = %v%%, want bursty majority", v)
+	}
+	if v := res.Metrics["rate_error_factor"]; v < 5 {
+		t.Errorf("lost CNP cuts changed rate only %vx, want large error", v)
+	}
+}
+
+func TestAblationOverrun(t *testing.T) {
+	res := runExp(t, "ablate-overrun")
+	if v := res.Metrics["loss_pct_1.0x"]; v != 0 {
+		t.Errorf("correctly paced SCHE lost %v%%", v)
+	}
+	if v := res.Metrics["loss_pct_3.0x"]; v < 20 {
+		t.Errorf("3x overrun false losses = %v%%, want heavy", v)
+	}
+}
+
+func TestAblationScheduler(t *testing.T) {
+	res := runExp(t, "ablate-scheduler")
+	if v := res.Metrics["fifo_gbps"]; v < 90 {
+		t.Errorf("FIFO scheduler = %v Gbps with 2000 flows, want ~95", v)
+	}
+	if v := res.Metrics["fifo_speedup"]; v < 2 {
+		t.Errorf("FIFO vs scan speedup = %vx, want >= 2x (Challenge 2)", v)
+	}
+}
+
+func TestAblationSlowPath(t *testing.T) {
+	res := runExp(t, "ablate-slowpath")
+	sp, fp := res.Metrics["slowpath_err"], res.Metrics["fastpath_err"]
+	if sp >= fp {
+		t.Errorf("slow path error %v >= fast path error %v", sp, fp)
+	}
+	if fp/maxFloat(sp, 1e-12) < 10 {
+		t.Errorf("precision gain only %vx, want >= 10x", fp/sp)
+	}
+	if res.Metrics["slowpath_runs"] == 0 {
+		t.Error("slow path never ran")
+	}
+}

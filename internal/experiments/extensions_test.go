@@ -1,0 +1,138 @@
+package experiments
+
+import "testing"
+
+func TestExtHPCCKeepsQueuesEmpty(t *testing.T) {
+	res := runExp(t, "ext-hpcc")
+	// The INT-based controller must hold a near-zero standing queue
+	// while the ECN-based one rides its marking threshold.
+	hq, dq := res.Metrics["hpcc_mean_queue_pkts"], res.Metrics["dctcp_mean_queue_pkts"]
+	if hq > 5 {
+		t.Errorf("HPCC standing queue = %v pkts, want ~0", hq)
+	}
+	if dq < 20 {
+		t.Errorf("DCTCP standing queue = %v pkts, want near threshold (~60)", dq)
+	}
+	if res.Metrics["hpcc_jain"] < 0.97 {
+		t.Errorf("HPCC Jain = %v", res.Metrics["hpcc_jain"])
+	}
+	if res.Metrics["hpcc_total_gbps"] < 60 {
+		t.Errorf("HPCC utilization = %v Gbps, want reasonable", res.Metrics["hpcc_total_gbps"])
+	}
+	if res.Metrics["hpcc_drops"] > 10 {
+		t.Errorf("HPCC drops = %v", res.Metrics["hpcc_drops"])
+	}
+}
+
+func TestExtPFCLossless(t *testing.T) {
+	res := runExp(t, "ext-pfc")
+	if res.Metrics["lossy_drops"] == 0 {
+		t.Error("lossy baseline did not drop (test not stressing the buffer)")
+	}
+	if res.Metrics["lossy_rtx"] == 0 {
+		t.Error("drops produced no go-back-N retransmissions")
+	}
+	if res.Metrics["pfc_drops"] != 0 {
+		t.Errorf("PFC fabric dropped %v packets", res.Metrics["pfc_drops"])
+	}
+	if res.Metrics["pfc_rtx"] != 0 {
+		t.Errorf("PFC fabric retransmitted %v packets", res.Metrics["pfc_rtx"])
+	}
+	if res.Metrics["pfc_pauses"] == 0 {
+		t.Error("PFC never engaged under incast")
+	}
+	// Goodput must not collapse under PFC.
+	if res.Metrics["pfc_goodput_gbps"] < res.Metrics["lossy_goodput_gbps"]*0.8 {
+		t.Errorf("PFC goodput %v << lossy %v",
+			res.Metrics["pfc_goodput_gbps"], res.Metrics["lossy_goodput_gbps"])
+	}
+}
+
+func TestExtMultiPipeReaches2_2Tbps(t *testing.T) {
+	res := runExp(t, "ext-multipipe")
+	if v := res.Metrics["device_tbps"]; v < 2.0 {
+		t.Errorf("two-pipeline device = %v Tbps, want > 2.0", v)
+	}
+	for _, pipe := range []string{"pipe0_gbps", "pipe1_gbps"} {
+		if v := res.Metrics[pipe]; v < 1000 {
+			t.Errorf("%s = %v, want ~1100 (no cross-pipeline interference)", pipe, v)
+		}
+	}
+}
+
+func TestExtFPGAReceiverEquivalence(t *testing.T) {
+	res := runExp(t, "ext-fpgarecv")
+	// Same goodput within 10%, small positive FCT penalty (the extra
+	// device round trip), similar completion counts.
+	s, f := res.Metrics["switch_goodput_gbps"], res.Metrics["fpga_goodput_gbps"]
+	if f < s*0.9 || f > s*1.1 {
+		t.Errorf("goodput: switch %v vs fpga %v", s, f)
+	}
+	pen := res.Metrics["fct_penalty_us"]
+	if pen < 0 || pen > 20 {
+		t.Errorf("FCT penalty = %v us, want a small positive round trip", pen)
+	}
+	if res.Metrics["fpga_completions"] < 50 {
+		t.Errorf("too few completions via FPGA receiver")
+	}
+}
+
+func TestExtOpenLoopHockeyStick(t *testing.T) {
+	res := runExp(t, "ext-openloop")
+	// Tail latency grows with load; throughput grows with load.
+	if res.Metrics["p99_at_90"] <= res.Metrics["p99_at_30"] {
+		t.Errorf("p99 did not grow with load: %v vs %v",
+			res.Metrics["p99_at_30"], res.Metrics["p99_at_90"])
+	}
+	if res.Metrics["gbps_at_90"] <= res.Metrics["gbps_at_30"] {
+		t.Errorf("throughput did not grow with load")
+	}
+	for _, l := range []string{"30", "50", "70", "90"} {
+		if res.Metrics["n_at_"+l] < 30 {
+			t.Errorf("load %s%%: too few completions", l)
+		}
+	}
+}
+
+func TestExtAlgosCharacteristicBehaviours(t *testing.T) {
+	res := runExp(t, "ext-algos")
+	// Every algorithm controls congestion to a fair share.
+	for _, algo := range []string{"reno", "dctcp", "dcqcn", "cubic", "timely", "hpcc", "swift"} {
+		if v := res.Metrics[algo+"_jain"]; v < 0.9 {
+			t.Errorf("%s jain = %v", algo, v)
+		}
+		if v := res.Metrics[algo+"_total_gbps"]; v < 30 || v > 102 {
+			t.Errorf("%s total = %v Gbps", algo, v)
+		}
+	}
+	// Signature orderings: loss-based Cubic rides the deepest queue,
+	// DCTCP sits near its marking threshold, HPCC keeps it empty.
+	cu, d, h := res.Metrics["cubic_queue_pkts"], res.Metrics["dctcp_queue_pkts"], res.Metrics["hpcc_queue_pkts"]
+	if !(cu > d && d > h) {
+		t.Errorf("queue ordering violated: cubic=%v dctcp=%v hpcc=%v", cu, d, h)
+	}
+	if h > 5 {
+		t.Errorf("hpcc standing queue = %v pkts", h)
+	}
+	// Only the loss-based algorithm drops.
+	for _, algo := range []string{"dctcp", "dcqcn", "hpcc", "timely", "swift"} {
+		if v := res.Metrics[algo+"_drops"]; v != 0 {
+			t.Errorf("%s dropped %v packets", algo, v)
+		}
+	}
+}
+
+func TestAblationRXDemux(t *testing.T) {
+	res := runExp(t, "ablate-rxdemux")
+	if v := res.Metrics["per-port_gbps"]; v < 450 {
+		t.Errorf("per-port FIFOs reached only %v Gbps over 6 ports", v)
+	}
+	// The shared FIFO caps aggregate feedback at one port's drain rate,
+	// collapsing throughput to roughly one port.
+	if v := res.Metrics["shared_gbps"]; v > 150 {
+		t.Errorf("shared FIFO reached %v Gbps; §5.3 predicts ~one port", v)
+	}
+	if v := res.Metrics["throughput_ratio"]; v < 3 {
+		t.Errorf("demux speedup = %vx, want large", v)
+	}
+}

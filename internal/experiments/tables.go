@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"marlin/internal/cc"
+	"marlin/internal/controlplane"
+	"marlin/internal/core"
+	"marlin/internal/fpga"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+	"marlin/internal/tofino"
+)
+
+func init() {
+	register("table-capabilities", "device capability matrix: why only the hybrid meets R1-R3 (Tables 1-2)", TableCapabilities)
+	register("table-amplify", "throughput amplification and port allocation across MTUs (§3.3, §4.3, Figure 3)", TableAmplification)
+	register("table-ccmodules", "per-algorithm CC module cost: LoC, cycles, state, BRAM (Table 4)", TableCCModules)
+}
+
+// TableCapabilities regenerates Tables 1 and 2: the quantitative case that
+// no single device class meets all three requirements, computed from the
+// same constants the models use.
+func TableCapabilities(opts Options) (*Result, error) {
+	res := newResult("table-capabilities",
+		"device characteristics vs requirements (programmability / pps / throughput)",
+		"device", "programmability", "pps_capability_mpps", "needed_mpps", "tbps_per_device", "meets_R1", "meets_R2", "meets_R3")
+
+	// §2.1 arithmetic: 1 Tbps at MTU 1518 needs ~81 Mpps; a 3 GHz core
+	// running a 50-cycle CC algorithm manages 60 Mpps; the FPGA's 322 MHz
+	// exceeds the need; Tofino forwards at 2,400 Mpps.
+	neededPPS := (1000.0 * 1e9) / float64(packet.WireSize(1518)*8) / 1e6 // Mpps for 1 Tbps
+	hostPPS := 3000.0 / 50                                               // 3 GHz / 50 cycles, Mpps
+	fpgaPPS := float64(fpga.ClockHz) / 1e6
+	tofinoPPS := 2400.0
+
+	hostTbps := 0.8   // 4 dual-port 100G NICs in a 2U server (§2.1)
+	fpgaTbps := 0.2   // two 100G interfaces
+	tofinoTbps := 3.2 // Tofino 3.2 Tbps
+	plan, err := tofino.NewPlan(1024, 100*sim.Gbps)
+	if err != nil {
+		return nil, err
+	}
+	marlinTbps := 2 * float64(plan.Throughput) / 1e12 // two pipelines
+
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	type row struct {
+		name   string
+		prog   string
+		pps    float64
+		tbps   float64
+		r1, r2 bool
+	}
+	rows := []row{
+		{"host (DPDK)", "high", hostPPS, hostTbps, true, true},
+		{"programmable switch", "restricted", tofinoPPS, tofinoTbps, false, false},
+		{"fpga nic", "high", fpgaPPS, fpgaTbps, true, true},
+		{"marlin (switch+fpga)", "high", fpgaPPS, marlinTbps, true, true},
+	}
+	for _, r := range rows {
+		r3 := r.tbps >= 1.0 && r.pps >= neededPPS
+		res.AddRow(r.name, r.prog, f2(r.pps), f2(neededPPS), f2(r.tbps),
+			yn(r.r1), yn(r.r2), yn(r3))
+		key := r.name[:4]
+		res.Metrics[key+"_meets_all"] = b2f(r.r1 && r.r2 && r3)
+	}
+	res.Metrics["needed_mpps"] = neededPPS
+	res.Metrics["host_mpps"] = hostPPS
+
+	// R1 measured: the same 2:1 fan-in run with CC-less CBR traffic (what
+	// a Norma/HyperTester-style generator emits) versus DCTCP. Without CC
+	// behaviour the tester mangles the network under test.
+	for _, algo := range []string{"cbr", "dctcp"} {
+		eng := sim.NewEngine()
+		tr, err := core.New(eng, core.Config{
+			Algorithm: mustCC(algo),
+			DataPorts: 3,
+			ECN:       netem.StepMarking(65, 1024),
+			Seed:      opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr.StartFlow(0, 0, 2, 0)
+		tr.StartFlow(1, 1, 2, 0)
+		tr.Run(sim.Time(opts.scaleD(2 * sim.Millisecond)))
+		drops := controlplane.ReadLosses(tr).NetworkDrops
+		res.Metrics["r1_"+algo+"_drops"] = float64(drops)
+	}
+	res.Note("R1 measured: 2:1 overload drops %g packets with CC-less CBR vs %g with DCTCP",
+		res.Metrics["r1_cbr_drops"], res.Metrics["r1_dctcp_drops"])
+	res.Note("R1 = CC traffic, R2 = customizable CC, R3 = Tbps throughput + sufficient pps (§1, Tables 1-2)")
+	return res, nil
+}
+
+func mustCC(name string) cc.Algorithm {
+	alg, err := cc.New(name)
+	if err != nil {
+		panic(err)
+	}
+	return alg
+}
+
+// TableAmplification regenerates the §3.3 arithmetic and §4.3 port
+// allocation across MTUs, then validates the MTU-1024 row end-to-end on
+// the pipeline model.
+func TableAmplification(opts Options) (*Result, error) {
+	res := newResult("table-amplify",
+		"SCHE->DATA amplification and per-pipeline port allocation by MTU",
+		"mtu", "sche_mpps", "data_mpps_per_port", "amp_factor", "data_ports", "loopback+fpga+enq", "reserved", "throughput", "ideal")
+	for _, mtu := range []int{256, 512, 1024, 1072, 1500, 1518, 4096, 9000} {
+		p, err := tofino.NewPlan(mtu, 100*sim.Gbps)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		res.AddRow(
+			fmt.Sprintf("%d", mtu),
+			f2(p.SchePPS/1e6), f2(p.DataPPSPerPort/1e6),
+			fmt.Sprintf("%d", p.AmplificationFactor()),
+			fmt.Sprintf("%d", p.DataPorts),
+			fmt.Sprintf("%d", p.FPGAPorts+p.EnqueuePorts+p.LoopbackPorts),
+			fmt.Sprintf("%d", p.Reserved),
+			p.Throughput.String(), p.IdealThroughput().String(),
+		)
+	}
+	p1024, _ := tofino.NewPlan(1024, 100*sim.Gbps)
+	p1518, _ := tofino.NewPlan(1518, 100*sim.Gbps)
+	res.Metrics["amp_1024"] = float64(p1024.AmplificationFactor())
+	res.Metrics["tbps_1024"] = float64(p1024.Throughput) / 1e12
+	res.Metrics["amp_1518"] = float64(p1518.AmplificationFactor())
+	res.Metrics["ideal_tbps_1518"] = float64(p1518.IdealThroughput()) / 1e12
+	res.Metrics["tbps_1518_portlimited"] = float64(p1518.Throughput) / 1e12
+
+	// End-to-end validation of the headline row: drive all 12 ports with
+	// paced SCHE for 50 us of simulated time and measure aggregate DATA.
+	eng := sim.NewEngine()
+	pl, err := tofino.NewPipeline(eng, tofino.Config{Plan: p1024, QueueDepth: 1 << 13})
+	if err != nil {
+		return nil, err
+	}
+	var wireBytes uint64
+	for port := 0; port < p1024.DataPorts; port++ {
+		pl.ConnectDataPort(port, netem.NodeFunc(func(p *packet.Packet) {
+			wireBytes += uint64(packet.WireSize(p.Size))
+		}))
+		pl.BindFlow(packet.FlowID(port), port)
+	}
+	in := pl.ScheIn()
+	horizon := sim.Micros(50)
+	perPort := int(p1024.DataPPSPerPort * horizon.Seconds())
+	for i := 0; i < perPort; i++ {
+		at := sim.Time(float64(horizon) * float64(i) / float64(perPort))
+		i := i
+		eng.ScheduleAt(at, func() {
+			for port := 0; port < p1024.DataPorts; port++ {
+				in.Receive(packet.NewSche(packet.FlowID(port), uint32(i), port, eng.Now()))
+			}
+		})
+	}
+	eng.RunAll()
+	measuredTbps := float64(wireBytes) * 8 / eng.Now().Seconds() / 1e12
+	res.Metrics["measured_tbps_1024"] = measuredTbps
+	res.Metrics["false_losses"] = float64(pl.Counters().ScheDrops)
+	res.Note("measured row: pipeline model driven at per-port DATA rate for 50 us -> %.3f Tbps wire", measuredTbps)
+
+	// Data-plane resource accounting for the headline configuration
+	// (§6 reports 58/960 SRAM, 3/288 TCAM, 4 stages).
+	rr := tofino.Resources(p1024, 0, 65536)
+	if err := rr.Validate(); err != nil {
+		return nil, err
+	}
+	res.Metrics["sram_blocks"] = float64(rr.SRAMUsed)
+	res.Metrics["tcam_blocks"] = float64(rr.TCAMUsed)
+	res.Metrics["mau_stages"] = float64(rr.Stages)
+	res.Note("resources at 65,536 flows: %d/%d SRAM blocks, %d/%d TCAM, %d/%d stages (paper: 58/960, 3/288, 4/12)",
+		rr.SRAMUsed, tofino.SRAMBlocks, rr.TCAMUsed, tofino.TCAMBlocks, rr.Stages, tofino.PipelineStages)
+	return res, nil
+}
+
+// TableCCModules regenerates Table 4's software-visible columns for every
+// implemented algorithm: module lines of code, fast-path clock cycles,
+// cust-var register slots used, and the BRAM share of a 65,536-flow
+// deployment. (LUT/FF synthesis results have no Go analogue; the state
+// footprint is reported instead — see DESIGN.md.)
+func TableCCModules(opts Options) (*Result, error) {
+	res := newResult("table-ccmodules",
+		"CC module cost per algorithm (LoC / cycles / state / BRAM)",
+		"algorithm", "mode", "loc", "fastpath_clk", "slowpath_clk", "state_slots(16)", "bram_pct_65536_flows")
+	const flows = 65536
+	bramPct := 100 * float64(flows*fpga.BytesPerFlow*8) / float64(fpga.BRAMBits)
+	for _, name := range cc.Names() {
+		alg, err := cc.New(name)
+		if err != nil {
+			return nil, err
+		}
+		loc := cc.SourceLines(name)
+		res.AddRow(name, alg.Mode().String(),
+			fmt.Sprintf("%d", loc),
+			fmt.Sprintf("%d", alg.FastPathCycles()),
+			fmt.Sprintf("%d", alg.SlowPathCycles()),
+			fmt.Sprintf("%d", cc.StateSlotsUsed(name)),
+			f2(bramPct))
+		res.Metrics[name+"_loc"] = float64(loc)
+		res.Metrics[name+"_clk"] = float64(alg.FastPathCycles())
+	}
+	res.Metrics["bram_pct"] = bramPct
+	res.Metrics["bram_flows_capacity"] = float64(fpga.MaxFlowsByBRAM())
+	res.Note("paper Table 4: Reno 156 LoC / 2 clk, DCTCP 175 / 24, DCQCN 98 / 6; cycle counts are matched, LoC is language-dependent")
+	res.Note("LUT/FF synthesis percentages are hardware-only; register-slot usage is the model's footprint analogue")
+	return res, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

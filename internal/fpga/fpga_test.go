@@ -1,0 +1,538 @@
+package fpga
+
+import (
+	"testing"
+
+	"marlin/internal/cc"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// testRig couples a NIC to a synthetic switch stub that captures SCHE
+// packets and lets the test inject INFO packets.
+type testRig struct {
+	t    *testing.T
+	eng  *sim.Engine
+	nic  *NIC
+	sche []*packet.Packet
+	fcts map[packet.FlowID]sim.Duration
+}
+
+func newRig(t *testing.T, mutate func(*Config)) *testRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	alg, err := cc.New("reno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Ports:      12,
+		MaxFlows:   1024,
+		Algorithm:  alg,
+		Params:     cc.DefaultParams(100*sim.Gbps, 1024),
+		TXTimerPPS: 11.97e6,
+		RXTimerPPS: 11.97e6,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	nic, err := NewNIC(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &testRig{t: t, eng: eng, nic: nic, fcts: map[packet.FlowID]sim.Duration{}}
+	nic.ConnectSche(netem.NodeFunc(func(p *packet.Packet) {
+		rig.sche = append(rig.sche, p)
+	}))
+	nic.OnComplete(func(f packet.FlowID, fct sim.Duration) { rig.fcts[f] = fct })
+	return rig
+}
+
+// ackUpTo injects an INFO acknowledging everything scheduled so far.
+func (r *testRig) ackUpTo(flow packet.FlowID, ack uint32, flags packet.Flags) {
+	r.nic.InfoIn().Receive(&packet.Packet{
+		Type: packet.INFO, Flow: flow, Ack: ack, PSN: ack,
+		Flags: flags, Size: packet.ControlSize, Port: r.flowPort(flow),
+	})
+}
+
+func (r *testRig) flowPort(flow packet.FlowID) int {
+	return r.nic.flows[flow].port
+}
+
+func (r *testRig) scheFor(flow packet.FlowID) []*packet.Packet {
+	var out []*packet.Packet
+	for _, p := range r.sche {
+		if p.Flow == flow {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestMaxFlowsByBRAMSupports65536(t *testing.T) {
+	if got := MaxFlowsByBRAM(); got < 65536 {
+		t.Fatalf("BRAM capacity = %d flows, want >= 65536 (§8)", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	alg, _ := cc.New("reno")
+	base := Config{Ports: 1, Algorithm: alg,
+		Params: cc.DefaultParams(100*sim.Gbps, 1024), TXTimerPPS: 1e6}
+	bad := []func(*Config){
+		func(c *Config) { c.Ports = 0 },
+		func(c *Config) { c.Algorithm = nil },
+		func(c *Config) { c.TXTimerPPS = 0 },
+		func(c *Config) { c.RXTimerPPS = 2e6 }, // RX > TX violates §5.3
+		func(c *Config) { c.MaxFlows = 1 << 20 },
+		func(c *Config) { c.Params.MTU = 1 },
+	}
+	for i, mut := range bad {
+		cfg := base
+		mut(&cfg)
+		if _, err := NewNIC(eng, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewNIC(eng, base); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestStartFlowValidation(t *testing.T) {
+	r := newRig(t, nil)
+	if err := r.nic.StartFlow(1, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic.StartFlow(1, 0, 10); err == nil {
+		t.Error("duplicate StartFlow accepted")
+	}
+	if err := r.nic.StartFlow(2, 99, 10); err == nil {
+		t.Error("bad port accepted")
+	}
+	if err := r.nic.StartFlow(9999, 0, 10); err == nil {
+		t.Error("flow beyond MaxFlows accepted")
+	}
+	if r.nic.ActiveFlows() != 1 {
+		t.Errorf("ActiveFlows = %d", r.nic.ActiveFlows())
+	}
+}
+
+func TestWindowLimitsInflight(t *testing.T) {
+	r := newRig(t, nil) // Reno, InitCwnd=1
+	r.nic.StartFlow(1, 0, 100)
+	r.eng.Run(sim.Time(sim.Millisecond))
+	// cwnd=1 and no acks: exactly one SCHE.
+	if got := len(r.scheFor(1)); got != 1 {
+		t.Fatalf("SCHE count = %d with cwnd=1 and no acks, want 1", got)
+	}
+	p := r.sche[0]
+	if p.Type != packet.SCHE || p.PSN != 0 || p.Port != 0 {
+		t.Fatalf("SCHE = %+v", p)
+	}
+}
+
+func TestAckOpensWindow(t *testing.T) {
+	r := newRig(t, nil)
+	r.nic.StartFlow(1, 0, 100)
+	r.eng.Run(sim.Time(sim.Microsecond))
+	r.ackUpTo(1, 1, 0) // ack PSN 0 -> slow start doubles cwnd to 2
+	r.eng.Run(sim.Time(sim.Millisecond))
+	// After the ack: cwnd=2, una=1 -> two more packets (PSN 1, 2).
+	if got := len(r.scheFor(1)); got != 3 {
+		t.Fatalf("SCHE count = %d after one ack, want 3", got)
+	}
+}
+
+func TestTXTimerPacesSche(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Params.InitCwnd = 64; c.Params.Ssthresh = 64 })
+	r.nic.StartFlow(1, 0, 1000)
+	r.eng.Run(sim.Time(sim.Millisecond))
+	sches := r.scheFor(1)
+	if len(sches) < 10 {
+		t.Fatalf("too few SCHE to check pacing: %d", len(sches))
+	}
+	slot := sim.Interval(11.97e6)
+	for i := 1; i < len(sches); i++ {
+		gap := sches[i].SentAt.Sub(sches[i-1].SentAt)
+		if gap < slot {
+			t.Fatalf("SCHE gap %v < TX slot %v (egress overrun, §5.3)", gap, slot)
+		}
+	}
+}
+
+func TestFlowCompletionReportsFCT(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Params.InitCwnd = 16 })
+	r.nic.StartFlow(1, 0, 4)
+	r.eng.Run(sim.Time(sim.Millisecond))
+	if got := len(r.scheFor(1)); got != 4 {
+		t.Fatalf("scheduled %d packets of a 4-packet flow", got)
+	}
+	r.ackUpTo(1, 4, 0)
+	r.eng.RunAll()
+	fct, ok := r.fcts[1]
+	if !ok {
+		t.Fatal("completion not reported")
+	}
+	if fct <= 0 {
+		t.Fatalf("fct = %v", fct)
+	}
+	if _, _, active := r.nic.FlowProgress(1); active {
+		t.Fatal("flow still active after completion")
+	}
+	if r.nic.Stats().Completions != 1 {
+		t.Fatal("completion counter not bumped")
+	}
+}
+
+func TestFlowIDReuseAfterCompletion(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Params.InitCwnd = 16 })
+	r.nic.StartFlow(1, 0, 2)
+	r.eng.Run(sim.Time(sim.Millisecond))
+	r.ackUpTo(1, 2, 0)
+	r.eng.RunAll()
+	if err := r.nic.StartFlow(1, 3, 2); err != nil {
+		t.Fatalf("flow reuse rejected: %v", err)
+	}
+	r.eng.Run(r.eng.Now().Add(sim.Duration(sim.Millisecond)))
+	var first *packet.Packet
+	for _, p := range r.sche {
+		if p.Port == 3 {
+			first = p
+			break
+		}
+	}
+	if first == nil || first.PSN != 0 {
+		t.Fatalf("reused flow first SCHE = %+v, want PSN 0 on port 3", first)
+	}
+}
+
+func TestDupAcksTriggerPriorityRetransmission(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Params.InitCwnd = 16; c.Params.Ssthresh = 16 })
+	r.nic.StartFlow(1, 0, 100)
+	r.eng.Run(sim.Time(sim.Millisecond))
+	for i := 0; i < 3; i++ {
+		r.ackUpTo(1, 0, 0) // dup acks at 0
+		r.eng.Run(r.eng.Now().Add(sim.Duration(sim.Microsecond)))
+	}
+	r.eng.Run(r.eng.Now().Add(sim.Duration(sim.Millisecond)))
+	var rtx *packet.Packet
+	for _, p := range r.scheFor(1) {
+		if p.Flags.Has(packet.FlagRetransmit) {
+			rtx = p
+			break
+		}
+	}
+	if rtx == nil {
+		t.Fatal("no retransmission SCHE after 3 dup acks")
+	}
+	if rtx.PSN != 0 {
+		t.Fatalf("retransmitted PSN %d, want 0", rtx.PSN)
+	}
+	if r.nic.Stats().RtxTx == 0 {
+		t.Fatal("RtxTx counter not bumped")
+	}
+}
+
+func TestRTOFiresWithoutAcks(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Params.InitCwnd = 4; c.Params.RTOMin = sim.Micros(100) })
+	r.nic.StartFlow(1, 0, 100)
+	// Need one event to arm the RTO: a partial ack.
+	r.eng.Run(sim.Time(sim.Microsecond))
+	r.ackUpTo(1, 1, 0)
+	r.eng.Run(sim.Time(sim.Millisecond * 10))
+	if r.nic.Stats().Timeouts == 0 {
+		t.Fatal("RTO never fired with unacked data")
+	}
+}
+
+func TestRateModePacing(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		alg, _ := cc.New("dcqcn")
+		c.Algorithm = alg
+	})
+	r.nic.StartFlow(1, 0, 0) // unbounded
+	r.eng.Run(sim.Time(sim.Micros(100)))
+	sches := r.scheFor(1)
+	// At line rate, pacing gap = wire time of one MTU: expect roughly
+	// 100us / 83.52ns ~ 1197 packets; TX timer may shave a little.
+	if len(sches) < 1000 || len(sches) > 1250 {
+		t.Fatalf("rate-mode SCHE count = %d in 100us, want ~1100-1200", len(sches))
+	}
+}
+
+func TestRateModeSlowsAfterCNP(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		alg, _ := cc.New("dcqcn")
+		c.Algorithm = alg
+		// Keep the rate down: no recovery timers firing in the window.
+		c.Params.RateTimer = sim.Millisecond * 100
+		c.Params.AlphaTimer = sim.Millisecond * 100
+	})
+	r.nic.StartFlow(1, 0, 0)
+	r.eng.Run(sim.Time(sim.Micros(50)))
+	before := len(r.scheFor(1))
+	r.ackUpTo(1, 10, packet.FlagCNPNotify) // 50% rate cut
+	r.eng.Run(sim.Time(sim.Micros(100)))
+	after := len(r.scheFor(1)) - before
+	// Second 50us at half rate should emit roughly half of the first.
+	if after >= before || after < before/3 {
+		t.Fatalf("before=%d after=%d: CNP did not halve pacing", before, after)
+	}
+}
+
+func TestRXTimerPreventsRMWConflicts(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		alg, _ := cc.New("dctcp") // 24-cycle module
+		c.Algorithm = alg
+		c.Params.InitCwnd = 64
+	})
+	r.nic.StartFlow(1, 0, 0)
+	r.eng.Run(sim.Time(sim.Microsecond))
+	// Burst of INFO packets back-to-back (DPDK-style ack burst, §5.3).
+	for i := uint32(1); i <= 64; i++ {
+		r.ackUpTo(1, i, 0)
+	}
+	r.eng.Run(sim.Time(sim.Millisecond))
+	st := r.nic.Stats()
+	if st.RMWConflicts != 0 {
+		t.Fatalf("RX timer enabled but %d conflicts occurred", st.RMWConflicts)
+	}
+	if st.InfoRx != 64 {
+		t.Fatalf("InfoRx = %d", st.InfoRx)
+	}
+}
+
+func TestDisabledRXTimerExposesRMWConflicts(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		alg, _ := cc.New("dctcp")
+		c.Algorithm = alg
+		c.Params.InitCwnd = 64
+		c.DisableRXTimer = true
+	})
+	r.nic.StartFlow(1, 0, 0)
+	r.eng.Run(sim.Time(sim.Microsecond))
+	for i := uint32(1); i <= 64; i++ {
+		r.ackUpTo(1, i, 0) // same instant: arrival rate >> 1/24 cycles
+	}
+	r.eng.Run(sim.Time(sim.Millisecond))
+	if r.nic.Stats().RMWConflicts == 0 {
+		t.Fatal("burst at line rate produced no conflicts with RX timer off (Challenge 3)")
+	}
+}
+
+func TestRXFIFOOverflowCounted(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.RXFIFODepth = 8 })
+	r.nic.StartFlow(1, 0, 0)
+	r.eng.Run(sim.Time(sim.Microsecond))
+	for i := uint32(1); i <= 100; i++ {
+		r.ackUpTo(1, i, 0)
+	}
+	// No time passes between injections, so the FIFO must shed.
+	if r.nic.Stats().InfoDrops == 0 {
+		t.Fatal("RX FIFO burst not dropped")
+	}
+	r.eng.Run(sim.Time(sim.Millisecond))
+}
+
+func TestSchedulerFairnessTwoFlowsOnePort(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.Params.InitCwnd = 8
+		c.Params.Ssthresh = 8
+	})
+	r.nic.StartFlow(1, 0, 0)
+	r.nic.StartFlow(2, 0, 0)
+	// Closed loop: ack everything each flow sends, keeping both active.
+	for round := 0; round < 200; round++ {
+		r.eng.Run(r.eng.Now().Add(sim.Duration(sim.Micros(2))))
+		for _, fl := range []packet.FlowID{1, 2} {
+			_, nxt, _ := r.nic.FlowProgress(fl)
+			r.ackUpTo(fl, nxt, 0)
+		}
+	}
+	n1, n2 := len(r.scheFor(1)), len(r.scheFor(2))
+	if n1 == 0 || n2 == 0 {
+		t.Fatalf("starvation: n1=%d n2=%d", n1, n2)
+	}
+	ratio := float64(n1) / float64(n2)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("unfair scheduling: n1=%d n2=%d", n1, n2)
+	}
+}
+
+func TestSlowPathRuns(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		alg, _ := cc.New("dctcp")
+		c.Algorithm = alg
+		c.Params.InitCwnd = 8
+	})
+	r.nic.StartFlow(1, 0, 0)
+	for i := uint32(1); i <= 50; i++ {
+		r.eng.Run(r.eng.Now().Add(sim.Duration(sim.Micros(1))))
+		r.ackUpTo(1, i, packet.FlagECNEcho)
+	}
+	r.eng.Run(r.eng.Now().Add(sim.Duration(sim.Millisecond)))
+	if r.nic.Stats().SlowPathRuns == 0 {
+		t.Fatal("DCTCP alpha updates never reached the Slow Path")
+	}
+}
+
+func TestStopFlowCancelsTimers(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Params.RTOMin = sim.Micros(50) })
+	r.nic.StartFlow(1, 0, 100)
+	r.eng.Run(sim.Time(sim.Microsecond))
+	r.ackUpTo(1, 1, 0) // arms RTO
+	r.nic.StopFlow(1)
+	r.eng.Run(sim.Time(sim.Second))
+	if r.nic.Stats().Timeouts != 0 {
+		t.Fatal("timer fired after StopFlow")
+	}
+}
+
+func TestScanSchedulerWorksButWastesSlots(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.Scheduler = CyclicScan
+		c.Params.InitCwnd = 4
+		c.MaxFlows = 4096
+	})
+	// Many registered-but-idle flows ahead of the active one: the scan
+	// budget (cycles per slot) is exhausted before reaching it.
+	for i := packet.FlowID(0); i < 2000; i++ {
+		if err := r.nic.StartFlow(i, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run(sim.Time(sim.Micros(200)))
+	st := r.nic.Stats()
+	if st.ScheTx == 0 {
+		t.Fatal("scan scheduler emitted nothing")
+	}
+	if st.ScanGiveUps == 0 {
+		t.Fatal("scan over 2000 mostly-window-limited flows never exhausted its budget (Challenge 2)")
+	}
+}
+
+func TestLoggerRingAndTrace(t *testing.T) {
+	l := NewLogger(4)
+	var rec [16]byte
+	for i := 0; i < 6; i++ {
+		var o cc.Output
+		o.LogU32x4(uint32(i), uint32(i*2), 0, 0)
+		rec = o.Log
+		l.Record(sim.Time(i), 7, rec)
+	}
+	if l.Len() != 4 || l.Total() != 6 || l.Evicted() != 2 {
+		t.Fatalf("len=%d total=%d evicted=%d", l.Len(), l.Total(), l.Evicted())
+	}
+	tr := l.FlowTrace(7)
+	if len(tr) != 4 || tr[0].A != 2 || tr[3].A != 5 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr[0].At > tr[3].At {
+		t.Fatal("trace out of order")
+	}
+	if l.QDMAPackets() == 0 {
+		t.Fatal("QDMA accounting missing")
+	}
+}
+
+func TestLoggerDisabled(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.DisableLog = true })
+	if r.nic.Logger() != nil {
+		t.Fatal("logger present despite DisableLog")
+	}
+	r.nic.StartFlow(1, 0, 10)
+	r.eng.Run(sim.Time(sim.Microsecond * 10))
+	r.ackUpTo(1, 1, 0) // must not panic without a logger
+	r.eng.Run(sim.Time(sim.Millisecond))
+}
+
+func BenchmarkNICClosedLoop(b *testing.B) {
+	eng := sim.NewEngine()
+	alg, _ := cc.New("dctcp")
+	cfg := Config{
+		Ports: 1, MaxFlows: 16, Algorithm: alg,
+		Params:     cc.DefaultParams(100*sim.Gbps, 1024),
+		TXTimerPPS: 11.97e6, DisableLog: true,
+	}
+	cfg.Params.InitCwnd = 16
+	nic, err := NewNIC(eng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pending []*packet.Packet
+	nic.ConnectSche(netem.NodeFunc(func(p *packet.Packet) { pending = append(pending, p) }))
+	if err := nic.StartFlow(1, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	info := nic.InfoIn()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.Run(eng.Now().Add(sim.Duration(sim.Micros(1))))
+		for _, p := range pending {
+			info.Receive(&packet.Packet{
+				Type: packet.INFO, Flow: p.Flow, Ack: p.PSN + 1,
+				Size: packet.ControlSize,
+			})
+		}
+		pending = pending[:0]
+	}
+}
+
+func Test65536ConcurrentFlows(t *testing.T) {
+	// The paper's headline concurrency: 65,536 flows live at once within
+	// the BRAM budget, scheduled across 12 ports, every one completing.
+	// A loopback stub acknowledges each SCHE immediately (zero-RTT
+	// switch+network), so the test isolates the NIC's flow machinery.
+	eng := sim.NewEngine()
+	alg, _ := cc.New("dctcp")
+	params := cc.DefaultParams(100*sim.Gbps, 1024)
+	params.InitCwnd = 2
+	nic, err := NewNIC(eng, Config{
+		Ports:      12,
+		MaxFlows:   65536,
+		Algorithm:  alg,
+		Params:     params,
+		TXTimerPPS: 11.97e6,
+		DisableLog: true, // 131k events would otherwise fill the ring
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := nic.InfoIn()
+	nic.ConnectSche(netem.NodeFunc(func(p *packet.Packet) {
+		ack := p.PSN + 1
+		port := p.Port
+		eng.Schedule(sim.Microsecond, func() {
+			info.Receive(&packet.Packet{
+				Type: packet.INFO, Flow: p.Flow, Ack: ack,
+				Port: port, Size: packet.ControlSize, SentAt: p.SentAt,
+			})
+		})
+	}))
+	done := 0
+	nic.OnComplete(func(packet.FlowID, sim.Duration) { done++ })
+	const flows = 65536
+	for f := 0; f < flows; f++ {
+		if err := nic.StartFlow(packet.FlowID(f), f%12, 2); err != nil {
+			t.Fatalf("flow %d: %v", f, err)
+		}
+	}
+	if got := nic.ActiveFlows(); got != flows {
+		t.Fatalf("active = %d, want %d", got, flows)
+	}
+	eng.Run(sim.Time(100 * sim.Millisecond))
+	if done != flows {
+		t.Fatalf("completed %d/%d flows", done, flows)
+	}
+	st := nic.Stats()
+	if st.ScheTx < 2*flows {
+		t.Fatalf("ScheTx = %d, want >= %d", st.ScheTx, 2*flows)
+	}
+	if st.InfoDrops != 0 {
+		t.Fatalf("RX FIFO drops at max concurrency: %d", st.InfoDrops)
+	}
+}

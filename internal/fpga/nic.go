@@ -1,0 +1,539 @@
+// Package fpga models Marlin's FPGA NIC (§5): the sender-side transport
+// that runs the CC algorithm module and schedules traffic by emitting SCHE
+// packets toward the programmable switch.
+//
+// The model is clocked at 322 MHz like the Alveo U280 build: every CC
+// module execution is charged its algorithm's clock-cycle cost, which makes
+// the paper's Challenge 3 (read-modify-write conflicts under bursty INFO
+// arrivals) observable — disable the RX timer and conflicts corrupt CC
+// state; enable it and they disappear (§5.3).
+//
+// Data paths mirror Figure 4:
+//
+//	INFO in ──parser──> per-port RX FIFO ──RX timer──> CC module ──┐
+//	   timeouts/timers from the event generator ──────────────────┤
+//	                                                               v
+//	   scheduling FIFO (per port) <── rescheduling ── scheduler ──TX timer──> SCHE out
+//
+// plus the Slow Path executor, the BRAM flow store, and the QDMA logger.
+package fpga
+
+import (
+	"fmt"
+
+	"marlin/internal/cc"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// ClockHz is the FPGA fabric clock (§5.1: "a 322 MHz hardware clock").
+const ClockHz = 322_000_000
+
+// CyclePeriod is the duration of one fabric clock cycle (~3.1 ns).
+const CyclePeriod = sim.Duration(int64(sim.Second) / ClockHz)
+
+// BRAMBits is the on-chip BRAM budget (§8: "we utilized 72 Mb of BRAM to
+// support 65,536 flows").
+const BRAMBits = 72 * 1000 * 1000
+
+// BytesPerFlow is the BRAM charged per flow: the 64 B cust-var region and
+// the 64 B slwpth-var region. The intrinsic transport word lives in
+// distributed RAM. At 128 B/flow the 72 Mb budget holds 70,312 flows,
+// matching the paper's 65,536-flow capacity with headroom.
+const BytesPerFlow = cc.StateSize + cc.StateSize
+
+// MaxFlowsByBRAM returns how many flows fit the BRAM budget.
+func MaxFlowsByBRAM() int { return BRAMBits / (BytesPerFlow * 8) }
+
+// SchedulerMode selects the line-rate scheduler of §5.2 or the naive
+// cyclic-scan baseline it replaces (Challenge 2 ablation).
+type SchedulerMode int
+
+// Scheduler modes.
+const (
+	// ReschedulingFIFO circulates scheduling events through per-port
+	// FIFOs; the whole loop costs six clock cycles (§5.2).
+	ReschedulingFIFO SchedulerMode = iota
+	// CyclicScan scans the port's flow table looking for a schedulable
+	// flow, spending one cycle per flow examined.
+	CyclicScan
+)
+
+func (m SchedulerMode) String() string {
+	if m == CyclicScan {
+		return "scan"
+	}
+	return "fifo"
+}
+
+// Config configures a NIC instance.
+type Config struct {
+	// Ports is the number of switch data ports the NIC schedules for.
+	Ports int
+	// MaxFlows bounds concurrent flows (0 = BRAM-derived 65,536).
+	MaxFlows int
+	// Algorithm is the deployed CC module.
+	Algorithm cc.Algorithm
+	// Params is the CC parameter block written to BRAM.
+	Params cc.Params
+	// TXTimerPPS paces SCHE emission per port; it must not exceed the
+	// switch port's DATA packet rate or register queues overflow (§5.3).
+	TXTimerPPS float64
+	// RXTimerPPS paces INFO delivery from each RX FIFO to the CC module.
+	// It must be <= TXTimerPPS (§5.3).
+	RXTimerPPS float64
+	// DisableRXTimer bypasses ingress pacing: INFO packets hit the CC
+	// module at arrival rate, exposing RMW conflicts (ablation).
+	DisableRXTimer bool
+	// SingleRXFIFO funnels every INFO packet into one RX FIFO instead of
+	// demultiplexing by switch port — the design §5.3 rejects: one FIFO
+	// drained at the per-port rate cannot absorb the aggregate of all
+	// ports, so INFO packets drop and the CC modules starve (ablation).
+	SingleRXFIFO bool
+	// Scheduler selects the §5.2 design or the scan baseline.
+	Scheduler SchedulerMode
+	// RXFIFODepth bounds each RX FIFO (0 = 4096 entries).
+	RXFIFODepth int
+	// DisableLog turns the fine-grained logging module off.
+	DisableLog bool
+	// LogCapacity bounds retained log records (0 = 1<<20).
+	LogCapacity int
+	// SlowPathLatency is the queueing delay before a posted Slow Path
+	// event executes (0 = 100 cycles).
+	SlowPathLatency sim.Duration
+}
+
+// Stats are the NIC's aggregate counters.
+type Stats struct {
+	InfoRx        uint64
+	InfoDrops     uint64 // RX FIFO overflows
+	ScheTx        uint64
+	RtxTx         uint64
+	Timeouts      uint64
+	RMWConflicts  uint64 // lost CC updates with the RX timer disabled
+	SlowPathRuns  uint64
+	Completions   uint64
+	SchedWasted   uint64 // TX slots that found no eligible flow
+	ScanGiveUps   uint64 // scan-mode slots that exhausted the cycle budget
+	EventsHandled uint64
+}
+
+// flowState is the per-flow BRAM word plus model bookkeeping.
+type flowState struct {
+	active    bool
+	port      int
+	una, nxt  uint32
+	end       uint32 // flow length in packets; 0 = unbounded
+	cwnd      uint32
+	rate      sim.Rate
+	nextSend  sim.Time // rate-mode pacing deadline
+	inFIFO    bool     // scheduling-event uniqueness (§5.2)
+	rtxPSN    uint32
+	rtxWait   bool
+	busyUntil sim.Time // CC module RMW occupancy (Challenge 3)
+	started   sim.Time
+	cust      cc.State
+	slow      cc.State
+	timers    [cc.NumTimers]sim.Handle
+}
+
+// CompletionFunc is invoked when a flow's final packet is acknowledged.
+type CompletionFunc func(flow packet.FlowID, fct sim.Duration)
+
+// NIC is the FPGA model.
+type NIC struct {
+	eng *sim.Engine
+	cfg Config
+
+	flows []flowState
+
+	rxFIFO   [][]*packet.Packet // per-port INFO FIFOs
+	rxHead   []int
+	rxActive []bool
+
+	sched *scheduler
+
+	scheOut    netem.Node
+	onComplete CompletionFunc
+
+	logger *Logger
+	stats  Stats
+	out    cc.Output // reused fast-path output struct
+
+	// rttRing holds the most recent RTT probes (microseconds) for the
+	// control plane's latency readout; rttEwma is a 1/16-gain average.
+	rttRing  []float64
+	rttNext  int
+	rttCount uint64
+	rttEwma  float64
+}
+
+// rttRingSize bounds retained RTT samples.
+const rttRingSize = 8192
+
+// NewNIC validates cfg and builds the NIC.
+func NewNIC(eng *sim.Engine, cfg Config) (*NIC, error) {
+	if cfg.Ports <= 0 {
+		return nil, fmt.Errorf("fpga: need at least one port")
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("fpga: no CC algorithm deployed")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxFlows == 0 {
+		cfg.MaxFlows = MaxFlowsByBRAM()
+	}
+	if cfg.MaxFlows > MaxFlowsByBRAM() {
+		return nil, fmt.Errorf("fpga: %d flows exceed BRAM capacity %d",
+			cfg.MaxFlows, MaxFlowsByBRAM())
+	}
+	if cfg.TXTimerPPS <= 0 {
+		return nil, fmt.Errorf("fpga: TXTimerPPS must be positive")
+	}
+	if cfg.RXTimerPPS <= 0 {
+		cfg.RXTimerPPS = cfg.TXTimerPPS
+	}
+	if !cfg.DisableRXTimer && cfg.RXTimerPPS > cfg.TXTimerPPS {
+		return nil, fmt.Errorf("fpga: RX timer (%.3g pps) must not exceed TX timer (%.3g pps), §5.3",
+			cfg.RXTimerPPS, cfg.TXTimerPPS)
+	}
+	if cfg.RXFIFODepth <= 0 {
+		cfg.RXFIFODepth = 4096
+	}
+	if cfg.SlowPathLatency <= 0 {
+		cfg.SlowPathLatency = 100 * CyclePeriod
+	}
+	n := &NIC{
+		eng:      eng,
+		cfg:      cfg,
+		flows:    make([]flowState, cfg.MaxFlows),
+		rxFIFO:   make([][]*packet.Packet, cfg.Ports),
+		rxHead:   make([]int, cfg.Ports),
+		rxActive: make([]bool, cfg.Ports),
+	}
+	n.sched = newScheduler(n)
+	if !cfg.DisableLog {
+		n.logger = NewLogger(cfg.LogCapacity)
+	}
+	return n, nil
+}
+
+// ConnectSche attaches the SCHE egress (the link to the switch).
+func (n *NIC) ConnectSche(out netem.Node) { n.scheOut = out }
+
+// OnComplete registers the flow-completion callback; the FPGA computes
+// each FCT and reports it to the control plane (§7.4).
+func (n *NIC) OnComplete(fn CompletionFunc) { n.onComplete = fn }
+
+// Stats returns a snapshot of the NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// Logger returns the fine-grained logging module, or nil when disabled.
+func (n *NIC) Logger() *Logger { return n.logger }
+
+// Params returns the deployed parameter block.
+func (n *NIC) Params() *cc.Params { return &n.cfg.Params }
+
+// ActiveFlows counts flows currently in progress.
+func (n *NIC) ActiveFlows() int {
+	c := 0
+	for i := range n.flows {
+		if n.flows[i].active {
+			c++
+		}
+	}
+	return c
+}
+
+// FlowProgress reports a flow's transport state (for tests and tracing).
+func (n *NIC) FlowProgress(flow packet.FlowID) (una, nxt uint32, active bool) {
+	f := &n.flows[flow]
+	return f.una, f.nxt, f.active
+}
+
+// StartFlow activates a flow of sizePkts full-MTU packets bound to a
+// switch data port. Flow IDs index BRAM directly; a completed flow's ID
+// may be reused.
+func (n *NIC) StartFlow(flow packet.FlowID, port int, sizePkts uint32) error {
+	if int(flow) >= len(n.flows) {
+		return fmt.Errorf("fpga: flow %d exceeds BRAM capacity %d", flow, len(n.flows))
+	}
+	if port < 0 || port >= n.cfg.Ports {
+		return fmt.Errorf("fpga: port %d out of range [0,%d)", port, n.cfg.Ports)
+	}
+	f := &n.flows[flow]
+	if f.active {
+		return fmt.Errorf("fpga: flow %d already active", flow)
+	}
+	*f = flowState{
+		active:  true,
+		port:    port,
+		end:     sizePkts,
+		cwnd:    n.cfg.Params.InitCwnd,
+		rate:    n.cfg.Params.LineRate,
+		started: n.eng.Now(),
+	}
+	n.cfg.Algorithm.InitFlow(&f.cust, &f.slow, &n.cfg.Params)
+	n.sched.register(flow, port)
+	n.deliver(flow, &cc.Input{Type: cc.EvStart})
+	return nil
+}
+
+// StopFlow deactivates a flow immediately (used when an experiment
+// terminates flows, §7.3).
+func (n *NIC) StopFlow(flow packet.FlowID) {
+	f := &n.flows[flow]
+	if !f.active {
+		return
+	}
+	n.cancelTimers(f)
+	f.active = false
+}
+
+// InfoIn returns the Node the switch-facing link delivers INFO packets to.
+func (n *NIC) InfoIn() netem.Node {
+	return netem.NodeFunc(n.receiveInfo)
+}
+
+// receiveInfo is the parser stage: classify the INFO packet into the RX
+// FIFO of the switch port it reports (§5.3 ingress control).
+func (n *NIC) receiveInfo(p *packet.Packet) {
+	if p.Type != packet.INFO {
+		return
+	}
+	n.stats.InfoRx++
+	if n.cfg.DisableRXTimer {
+		// Ablation: straight to the CC module at arrival rate.
+		n.processInfo(p)
+		return
+	}
+	port := p.Port
+	if n.cfg.SingleRXFIFO || port < 0 || port >= n.cfg.Ports {
+		port = 0
+	}
+	if len(n.rxFIFO[port])-n.rxHead[port] >= n.cfg.RXFIFODepth {
+		n.stats.InfoDrops++
+		return
+	}
+	n.rxFIFO[port] = append(n.rxFIFO[port], p)
+	if !n.rxActive[port] {
+		n.rxActive[port] = true
+		n.eng.Schedule(sim.Interval(n.cfg.RXTimerPPS), func() { n.rxTick(port) })
+	}
+}
+
+// rxTick is one RX timer period: submit one INFO packet to the CC module.
+func (n *NIC) rxTick(port int) {
+	q := n.rxFIFO[port]
+	h := n.rxHead[port]
+	if h >= len(q) {
+		n.rxActive[port] = false
+		n.rxFIFO[port] = q[:0]
+		n.rxHead[port] = 0
+		return
+	}
+	p := q[h]
+	q[h] = nil
+	n.rxHead[port] = h + 1
+	n.processInfo(p)
+	if n.rxHead[port] >= len(n.rxFIFO[port]) {
+		n.rxActive[port] = false
+		n.rxFIFO[port] = n.rxFIFO[port][:0]
+		n.rxHead[port] = 0
+		return
+	}
+	n.eng.Schedule(sim.Interval(n.cfg.RXTimerPPS), func() { n.rxTick(port) })
+}
+
+func (n *NIC) processInfo(p *packet.Packet) {
+	if int(p.Flow) >= len(n.flows) || !n.flows[p.Flow].active {
+		return
+	}
+	var rtt sim.Duration
+	if p.SentAt > 0 {
+		rtt = n.eng.Now().Sub(p.SentAt)
+		n.sampleRTT(rtt)
+	}
+	n.deliver(p.Flow, &cc.Input{
+		Type:      cc.EvRx,
+		PSN:       p.PSN,
+		Ack:       p.Ack,
+		Flags:     p.Flags,
+		ProbedRTT: rtt,
+		INT:       &p.INT,
+	})
+}
+
+// sampleRTT records one probe for the latency registers.
+func (n *NIC) sampleRTT(rtt sim.Duration) {
+	us := rtt.Microseconds()
+	n.rttCount++
+	if n.rttEwma == 0 {
+		n.rttEwma = us
+	} else {
+		n.rttEwma += (us - n.rttEwma) / 16
+	}
+	if len(n.rttRing) < rttRingSize {
+		n.rttRing = append(n.rttRing, us)
+		return
+	}
+	n.rttRing[n.rttNext] = us
+	n.rttNext = (n.rttNext + 1) % rttRingSize
+}
+
+// RTTSamples returns the retained RTT probes in microseconds (recent
+// window) plus the total probe count and the running EWMA.
+func (n *NIC) RTTSamples() (samples []float64, count uint64, ewmaUs float64) {
+	return append([]float64(nil), n.rttRing...), n.rttCount, n.rttEwma
+}
+
+// deliver runs one CC module execution for a flow: populate the intrinsic
+// inputs, charge the cycle cost, apply the outputs, and advance the
+// transport state.
+func (n *NIC) deliver(flow packet.FlowID, in *cc.Input) {
+	f := &n.flows[flow]
+	if !f.active {
+		return
+	}
+	now := n.eng.Now()
+	n.stats.EventsHandled++
+
+	// Challenge 3: with pacing disabled, an event arriving while the
+	// previous RMW is still in flight reads stale state; the hardware
+	// would either corrupt the word or stall. We model the documented
+	// failure ("read-write conflicts of CC parameters, leading to
+	// incorrect execution") by dropping the conflicting update.
+	if n.cfg.DisableRXTimer && now < f.busyUntil {
+		n.stats.RMWConflicts++
+		return
+	}
+	cycles := n.cfg.Algorithm.FastPathCycles()
+	f.busyUntil = now.Add(sim.Duration(cycles) * CyclePeriod)
+
+	in.Una, in.Nxt = f.una, f.nxt
+	in.Cwnd, in.Rate = f.cwnd, f.rate
+	in.MTU = n.cfg.Params.MTU
+	in.Params = &n.cfg.Params
+	in.Cust, in.Slow = &f.cust, &f.slow
+	in.Timestamp = now
+
+	n.out.Reset()
+	n.cfg.Algorithm.OnEvent(in, &n.out)
+	n.applyOutput(flow, f, in, &n.out)
+}
+
+func (n *NIC) applyOutput(flow packet.FlowID, f *flowState, in *cc.Input, out *cc.Output) {
+	if out.SetCwnd {
+		f.cwnd = out.Cwnd
+	}
+	if out.SetRate {
+		f.rate = out.Rate
+	}
+	if out.HasLog && n.logger != nil {
+		n.logger.Record(n.eng.Now(), flow, out.Log)
+	}
+	for i := 0; i < out.NumStops; i++ {
+		id := out.StopTimers[i]
+		f.timers[id].Cancel()
+	}
+	for i := 0; i < out.NumTimers; i++ {
+		n.armTimer(flow, f, out.Timers[i])
+	}
+	if out.SlowPath {
+		n.postSlowPath(flow, out.SlowPathCode, in.Type, in.TimerID)
+	}
+	if out.Rtx {
+		f.rtxWait = true
+		f.rtxPSN = out.RtxPSN
+		n.sched.pushPriority(flow)
+	}
+	// Advance una after the module ran (it compares Ack to the old una).
+	if in.Type == cc.EvRx && cc.SeqLT(f.una, in.Ack) {
+		f.una = in.Ack
+		n.checkComplete(flow, f)
+		if !f.active {
+			return
+		}
+	}
+	if out.Schedule {
+		n.sched.push(flow)
+	}
+}
+
+func (n *NIC) armTimer(flow packet.FlowID, f *flowState, req cc.TimerReq) {
+	f.timers[req.ID].Cancel()
+	id := req.ID
+	f.timers[id] = n.eng.Schedule(req.After, func() {
+		if !n.flows[flow].active {
+			return
+		}
+		if id == cc.TimerRTO {
+			n.stats.Timeouts++
+			n.deliver(flow, &cc.Input{Type: cc.EvTimeout})
+			return
+		}
+		n.deliver(flow, &cc.Input{Type: cc.EvTimer, TimerID: id})
+	})
+}
+
+func (n *NIC) cancelTimers(f *flowState) {
+	for i := range f.timers {
+		f.timers[i].Cancel()
+	}
+}
+
+// postSlowPath queues a Slow Path execution (§5.4): it runs after the
+// configured latency with write access to the slwpth-var region.
+func (n *NIC) postSlowPath(flow packet.FlowID, code uint8, evType cc.EventType, timerID uint8) {
+	n.eng.Schedule(n.cfg.SlowPathLatency, func() {
+		f := &n.flows[flow]
+		if !f.active {
+			return
+		}
+		n.stats.SlowPathRuns++
+		in := cc.Input{
+			Type: evType, TimerID: timerID,
+			Una: f.una, Nxt: f.nxt, Cwnd: f.cwnd, Rate: f.rate,
+			MTU: n.cfg.Params.MTU, Params: &n.cfg.Params,
+			Cust: &f.cust, Slow: &f.slow, Timestamp: n.eng.Now(),
+		}
+		var out cc.Output
+		n.cfg.Algorithm.OnSlowPath(code, &f.cust, &f.slow, &in, &out)
+		if out.SetCwnd {
+			f.cwnd = out.Cwnd
+		}
+		if out.SetRate {
+			f.rate = out.Rate
+		}
+	})
+}
+
+func (n *NIC) checkComplete(flow packet.FlowID, f *flowState) {
+	if f.end == 0 || cc.SeqLT(f.una, f.end) {
+		return
+	}
+	fct := n.eng.Now().Sub(f.started)
+	n.cancelTimers(f)
+	f.active = false
+	n.stats.Completions++
+	if n.onComplete != nil {
+		n.onComplete(flow, fct)
+	}
+}
+
+// emitSche sends one SCHE packet toward the switch.
+func (n *NIC) emitSche(flow packet.FlowID, psn uint32, port int, rtx bool) {
+	if n.scheOut == nil {
+		return
+	}
+	p := packet.NewSche(flow, psn, port, n.eng.Now())
+	if rtx {
+		p.Flags |= packet.FlagRetransmit
+		n.stats.RtxTx++
+	}
+	n.stats.ScheTx++
+	n.scheOut.Receive(p)
+}

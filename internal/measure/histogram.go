@@ -1,0 +1,98 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram bins positive samples into logarithmic buckets (one per
+// power-of-two span by default), the natural shape for latency and FCT
+// distributions that span decades.
+type Histogram struct {
+	// unit labels the sample dimension (e.g. "us").
+	unit    string
+	buckets map[int]int // floor(log2(v)) -> count
+	count   int
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram creates an empty histogram for samples labeled with unit.
+func NewHistogram(unit string) *Histogram {
+	return &Histogram{unit: unit, buckets: make(map[int]int), min: math.Inf(1)}
+}
+
+// Add records one sample; non-positive samples land in the lowest bucket.
+func (h *Histogram) Add(v float64) {
+	b := 0
+	if v > 0 {
+		b = int(math.Floor(math.Log2(v)))
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// AddAll records a batch.
+func (h *Histogram) AddAll(vs []float64) {
+	for _, v := range vs {
+		h.Add(v)
+	}
+}
+
+// Count returns recorded samples.
+func (h *Histogram) Count() int { return h.count }
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.count)
+}
+
+// Render draws an ASCII histogram, one row per occupied bucket, with bars
+// scaled to width characters.
+func (h *Histogram) Render(width int) string {
+	if h.count == 0 {
+		return "(no samples)\n"
+	}
+	if width <= 0 {
+		width = 40
+	}
+	keys := make([]int, 0, len(h.buckets))
+	maxN := 0
+	for k, n := range h.buckets {
+		keys = append(keys, k)
+		if n > maxN {
+			maxN = n
+		}
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		n := h.buckets[k]
+		bar := strings.Repeat("#", maxI(1, n*width/maxN))
+		fmt.Fprintf(&b, "%10.4g-%-10.4g %s%-6d %s\n",
+			math.Pow(2, float64(k)), math.Pow(2, float64(k+1)), "", n, bar)
+	}
+	fmt.Fprintf(&b, "n=%d mean=%.4g min=%.4g max=%.4g %s\n",
+		h.count, h.Mean(), h.min, h.max, h.unit)
+	return b.String()
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package measure
+
+import (
+	"sort"
+
+	"marlin/internal/sim"
+)
+
+// Arrival describes one flow offered to the ideal-sharing calculator.
+type Arrival struct {
+	At   sim.Time
+	Bits float64
+}
+
+// ProcessorSharingFCT computes the flow completion times of an ideal
+// fluid processor-sharing bottleneck of the given capacity: at every
+// instant each in-progress flow receives capacity/n(t). This is the
+// "Ideal" reference of Figure 10 (§7.5: "the ideal FCT under this
+// scheduling, where each flow evenly shares the bandwidth at all times").
+//
+// The returned durations are index-aligned with arrivals.
+func ProcessorSharingFCT(arrivals []Arrival, capacity sim.Rate) []sim.Duration {
+	n := len(arrivals)
+	out := make([]sim.Duration, n)
+	if n == 0 || capacity <= 0 {
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return arrivals[idx[a]].At < arrivals[idx[b]].At
+	})
+
+	type active struct {
+		id        int
+		remaining float64 // bits
+	}
+	var live []active
+	now := float64(arrivals[idx[0]].At) // picoseconds
+	cap := float64(capacity)            // bits/second
+	next := 0
+
+	// bitsPerPs converts link capacity to bits per picosecond.
+	bitsPerPs := cap / float64(sim.Second)
+
+	for next < n || len(live) > 0 {
+		// Next arrival time, if any.
+		arrivalAt := float64(0)
+		hasArrival := next < n
+		if hasArrival {
+			arrivalAt = float64(arrivals[idx[next]].At)
+		}
+		if len(live) == 0 {
+			// Jump to the next arrival.
+			now = arrivalAt
+			live = append(live, active{id: idx[next], remaining: arrivals[idx[next]].Bits})
+			next++
+			continue
+		}
+		// Per-flow service rate in bits/ps.
+		rate := bitsPerPs / float64(len(live))
+		// Earliest finishing flow.
+		minRem := live[0].remaining
+		for _, f := range live[1:] {
+			if f.remaining < minRem {
+				minRem = f.remaining
+			}
+		}
+		finishAt := now + minRem/rate
+		if hasArrival && arrivalAt < finishAt {
+			// Serve until the arrival, then admit it.
+			served := (arrivalAt - now) * rate
+			for i := range live {
+				live[i].remaining -= served
+			}
+			now = arrivalAt
+			live = append(live, active{id: idx[next], remaining: arrivals[idx[next]].Bits})
+			next++
+			continue
+		}
+		// Serve until the earliest completion and retire finished flows.
+		served := minRem
+		now = finishAt
+		keep := live[:0]
+		for _, f := range live {
+			f.remaining -= served
+			if f.remaining <= 1e-9 {
+				out[f.id] = sim.Duration(now - float64(arrivals[f.id].At))
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		live = keep
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+// Package measure provides the measurement side of the tester: rate
+// sampling, flow-completion-time recording, CDFs, fairness indices, and
+// trace comparison. The control plane uses it to turn raw device counters
+// into the series and tables the paper's figures report.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	At sim.Time
+	V  float64
+}
+
+// Series is a time series of samples.
+type Series []Point
+
+// Values returns just the sample values.
+func (s Series) Values() []float64 {
+	out := make([]float64, len(s))
+	for i, p := range s {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the samples (0 for empty series).
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s {
+		sum += p.V
+	}
+	return sum / float64(len(s))
+}
+
+// Max returns the largest sample value (0 for empty series).
+func (s Series) Max() float64 {
+	var m float64
+	for _, p := range s {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// After returns the subseries with At >= t.
+func (s Series) After(t sim.Time) Series {
+	for i, p := range s {
+		if p.At >= t {
+			return s[i:]
+		}
+	}
+	return nil
+}
+
+// RateSampler polls monotonically increasing byte counters at a fixed
+// interval and converts deltas into Gbps series — the model of the control
+// plane reading port-rate registers (§3.2).
+type RateSampler struct {
+	eng      *sim.Engine
+	interval sim.Duration
+	sources  []rateSource
+	ticker   *sim.Ticker
+}
+
+type rateSource struct {
+	name   string
+	read   func() uint64
+	last   uint64
+	series Series
+}
+
+// NewRateSampler creates a sampler with the given polling interval.
+func NewRateSampler(eng *sim.Engine, interval sim.Duration) *RateSampler {
+	s := &RateSampler{eng: eng, interval: interval}
+	s.ticker = sim.NewTicker(eng, interval, s.sample)
+	return s
+}
+
+// Track registers a named byte counter.
+func (s *RateSampler) Track(name string, read func() uint64) {
+	s.sources = append(s.sources, rateSource{name: name, read: read, last: read()})
+}
+
+// Start begins sampling.
+func (s *RateSampler) Start() { s.ticker.Start() }
+
+// Stop halts sampling.
+func (s *RateSampler) Stop() { s.ticker.Stop() }
+
+func (s *RateSampler) sample() {
+	now := s.eng.Now()
+	secs := s.interval.Seconds()
+	for i := range s.sources {
+		src := &s.sources[i]
+		cur := src.read()
+		gbps := float64(cur-src.last) * 8 / secs / 1e9
+		src.last = cur
+		src.series = append(src.series, Point{At: now, V: gbps})
+	}
+}
+
+// Series returns the sampled rate series for a tracked name.
+func (s *RateSampler) Series(name string) Series {
+	for i := range s.sources {
+		if s.sources[i].name == name {
+			return s.sources[i].series
+		}
+	}
+	return nil
+}
+
+// Names lists tracked counters in registration order.
+func (s *RateSampler) Names() []string {
+	out := make([]string, len(s.sources))
+	for i := range s.sources {
+		out[i] = s.sources[i].name
+	}
+	return out
+}
+
+// FCTRecord is one completed flow.
+type FCTRecord struct {
+	Flow     packet.FlowID
+	SizePkts uint32
+	Start    sim.Time
+	FCT      sim.Duration
+}
+
+// FCTRecorder accumulates flow completion times.
+type FCTRecorder struct {
+	records []FCTRecord
+}
+
+// Add appends one record.
+func (r *FCTRecorder) Add(rec FCTRecord) { r.records = append(r.records, rec) }
+
+// Len reports recorded completions.
+func (r *FCTRecorder) Len() int { return len(r.records) }
+
+// Records returns all records.
+func (r *FCTRecorder) Records() []FCTRecord { return r.records }
+
+// FCTs returns the completion times in microseconds.
+func (r *FCTRecorder) FCTs() []float64 {
+	out := make([]float64, len(r.records))
+	for i, rec := range r.records {
+		out[i] = rec.FCT.Microseconds()
+	}
+	return out
+}
+
+// CDF is an empirical distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// Len reports sample count.
+func (c CDF) Len() int { return len(c.sorted) }
+
+// Percentile returns the p-quantile (p in [0,1]) by nearest-rank.
+func (c CDF) Percentile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// At returns the empirical CDF value at x.
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Table renders the CDF at the given percentiles as printable rows.
+func (c CDF) Table(percentiles []float64) []string {
+	rows := make([]string, len(percentiles))
+	for i, p := range percentiles {
+		rows[i] = fmt.Sprintf("p%-5.3g %12.2f", p*100, c.Percentile(p))
+	}
+	return rows
+}
+
+// JainIndex computes Jain's fairness index over allocations: 1.0 is
+// perfectly fair, 1/n is maximally unfair.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return math.NaN()
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// StepTrace is a piecewise-constant signal (e.g. a cwnd trace): the value
+// holds from each point's time until the next point.
+type StepTrace []Point
+
+// ValueAt returns the trace value at time t (the last point at or before
+// t; 0 before the first point).
+func (tr StepTrace) ValueAt(t sim.Time) float64 {
+	lo, hi := 0, len(tr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tr[mid].At <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return tr[lo-1].V
+}
+
+// CompareResult summarizes the deviation between two step traces sampled
+// on a regular grid — the quantitative form of Figure 5's visual match.
+type CompareResult struct {
+	Samples int
+	RMSE    float64
+	MaxAbs  float64
+	// MeanRef is the mean of the reference trace over the window, for
+	// normalizing the errors.
+	MeanRef float64
+}
+
+// NormRMSE is RMSE / MeanRef.
+func (c CompareResult) NormRMSE() float64 {
+	if c.MeanRef == 0 {
+		return math.NaN()
+	}
+	return c.RMSE / c.MeanRef
+}
+
+// CompareStepTracesAligned searches time shifts of got within ±maxShift
+// for the one minimizing RMSE against ref, and returns that shift and
+// comparison. Two implementations of the same control law produce
+// congruent trajectories that may be offset by a few RTTs of phase; the
+// aligned comparison measures shape agreement independent of that phase.
+func CompareStepTracesAligned(got, ref StepTrace, from, to sim.Time, step, maxShift sim.Duration) (sim.Duration, CompareResult) {
+	best := CompareStepTraces(got, ref, from, to, step)
+	bestShift := sim.Duration(0)
+	for shift := -maxShift; shift <= maxShift; shift += step {
+		if shift == 0 {
+			continue
+		}
+		shifted := make(StepTrace, len(got))
+		for i, p := range got {
+			shifted[i] = Point{At: p.At.Add(shift), V: p.V}
+		}
+		res := CompareStepTraces(shifted, ref, from, to, step)
+		if res.RMSE < best.RMSE {
+			best = res
+			bestShift = shift
+		}
+	}
+	return bestShift, best
+}
+
+// CompareStepTraces samples both traces every step over [from, to] and
+// reports deviation statistics of got relative to ref.
+func CompareStepTraces(got, ref StepTrace, from, to sim.Time, step sim.Duration) CompareResult {
+	var res CompareResult
+	var sumSq, sumRef float64
+	for t := from; t <= to; t = t.Add(step) {
+		g, r := got.ValueAt(t), ref.ValueAt(t)
+		d := g - r
+		sumSq += d * d
+		sumRef += r
+		if a := math.Abs(d); a > res.MaxAbs {
+			res.MaxAbs = a
+		}
+		res.Samples++
+	}
+	if res.Samples > 0 {
+		res.RMSE = math.Sqrt(sumSq / float64(res.Samples))
+		res.MeanRef = sumRef / float64(res.Samples)
+	}
+	return res
+}

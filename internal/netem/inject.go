@@ -1,0 +1,64 @@
+package netem
+
+import "marlin/internal/packet"
+
+// Script is a deterministic fault-injection plan keyed on (flow, PSN),
+// reproducing §7.1's methodology: "for the sake of determinism and
+// interpretability, we deliberately introduced packet loss events and
+// modified ECN markings at specific points".
+//
+// A Script is installed on a Link with AddHook(script.Hook). Each entry
+// fires exactly once: retransmissions of a dropped PSN pass through.
+type Script struct {
+	drop map[scriptKey]bool
+	mark map[scriptKey]bool
+}
+
+type scriptKey struct {
+	flow packet.FlowID
+	psn  uint32
+}
+
+// NewScript returns an empty script.
+func NewScript() *Script {
+	return &Script{
+		drop: make(map[scriptKey]bool),
+		mark: make(map[scriptKey]bool),
+	}
+}
+
+// DropOnce schedules a one-shot drop of the flow's DATA packet with the
+// given PSN.
+func (s *Script) DropOnce(flow packet.FlowID, psn uint32) *Script {
+	s.drop[scriptKey{flow, psn}] = true
+	return s
+}
+
+// MarkRange schedules CE marking of the flow's DATA packets with PSNs in
+// [from, to] (each marked once).
+func (s *Script) MarkRange(flow packet.FlowID, from, to uint32) *Script {
+	for psn := from; psn <= to; psn++ {
+		s.mark[scriptKey{flow, psn}] = true
+	}
+	return s
+}
+
+// Hook is the Link hook implementing the script.
+func (s *Script) Hook(p *packet.Packet) HookAction {
+	if p.Type != packet.DATA {
+		return Pass
+	}
+	k := scriptKey{p.Flow, p.PSN}
+	if s.drop[k] && !p.Flags.Has(packet.FlagRetransmit) {
+		delete(s.drop, k)
+		return Drop
+	}
+	if s.mark[k] {
+		delete(s.mark, k)
+		return MarkCE
+	}
+	return Pass
+}
+
+// Pending reports how many scripted events have not fired yet.
+func (s *Script) Pending() int { return len(s.drop) + len(s.mark) }

@@ -1,0 +1,186 @@
+package netem
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// HookAction is the verdict of a link hook on a packet.
+type HookAction int
+
+// Hook verdicts.
+const (
+	// Pass lets the packet proceed unchanged.
+	Pass HookAction = iota
+	// Drop discards the packet (counted as an injected loss, not a
+	// queue drop).
+	Drop
+	// MarkCE forces the CE bit on and passes the packet.
+	MarkCE
+)
+
+// Hook inspects each packet entering the link and may drop or mark it.
+// Hooks implement the paper's §7.1 methodology of "deliberately introduced
+// packet loss events and modified ECN markings at specific points".
+type Hook func(p *packet.Packet) HookAction
+
+// LinkStats are the per-link counters.
+type LinkStats struct {
+	TxPackets     uint64
+	TxBytes       uint64
+	InjectedDrops uint64
+	InjectedMarks uint64
+}
+
+// Link models a unidirectional cable fronted by a bounded FIFO queue: the
+// standard queue-then-serialize-then-propagate pipeline. Packets that pass
+// admission are serialized at the link rate in order and delivered to the
+// destination Node one propagation delay after their last bit leaves.
+type Link struct {
+	eng       *sim.Engine
+	rate      sim.Rate
+	delay     sim.Duration
+	queue     *Queue
+	dst       Node
+	hooks     []Hook
+	enableINT bool
+	jitter    sim.Duration
+	jrng      *sim.Rand
+
+	draining bool
+	paused   bool
+	stats    LinkStats
+}
+
+// LinkConfig configures a Link.
+type LinkConfig struct {
+	// Rate is the line rate; required.
+	Rate sim.Rate
+	// Delay is the one-way propagation delay.
+	Delay sim.Duration
+	// QueueBytes bounds the ingress queue (0 = DefaultQueueCapacity).
+	QueueBytes int
+	// ECN configures marking at the ingress queue.
+	ECN ECNConfig
+	// EnableINT stamps each departing DATA packet with this hop's
+	// telemetry (queue depth, cumulative tx bytes, rate, timestamp) for
+	// INT-based congestion control.
+	EnableINT bool
+	// Jitter adds a uniform random [0, Jitter] extra propagation delay
+	// per packet; jitter exceeding the serialization gap reorders
+	// packets, exercising receiver out-of-order handling.
+	Jitter sim.Duration
+	// RNG seeds probabilistic marking; nil uses a fixed-seed stream.
+	RNG *sim.Rand
+}
+
+// NewLink builds a link that delivers to dst.
+func NewLink(eng *sim.Engine, cfg LinkConfig, dst Node) *Link {
+	if cfg.Rate <= 0 {
+		panic("netem: link with non-positive rate")
+	}
+	jrng := cfg.RNG
+	if jrng == nil {
+		jrng = sim.NewRand(0x1a77e6)
+	}
+	return &Link{
+		eng:       eng,
+		rate:      cfg.Rate,
+		delay:     cfg.Delay,
+		queue:     NewQueue(cfg.QueueBytes, cfg.ECN, cfg.RNG),
+		dst:       dst,
+		enableINT: cfg.EnableINT,
+		jitter:    cfg.Jitter,
+		jrng:      jrng,
+	}
+}
+
+// AddHook registers a packet hook. Hooks run in registration order; the
+// first non-Pass verdict wins.
+func (l *Link) AddHook(h Hook) { l.hooks = append(l.hooks, h) }
+
+// Rate returns the configured line rate.
+func (l *Link) Rate() sim.Rate { return l.rate }
+
+// Delay returns the configured propagation delay.
+func (l *Link) Delay() sim.Duration { return l.delay }
+
+// Queue exposes the ingress queue for configuration inspection and stats.
+func (l *Link) Queue() *Queue { return l.queue }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Send submits a packet to the link. It applies hooks, then queue
+// admission, and starts the drain loop if idle.
+func (l *Link) Send(p *packet.Packet) {
+	for _, h := range l.hooks {
+		switch h(p) {
+		case Drop:
+			l.stats.InjectedDrops++
+			return
+		case MarkCE:
+			p.Flags |= packet.FlagCE
+			l.stats.InjectedMarks++
+		}
+	}
+	if !l.queue.Enqueue(p) {
+		return
+	}
+	if !l.draining {
+		l.draining = true
+		l.drain()
+	}
+}
+
+// Receive implements Node so links can be chained behind switches.
+func (l *Link) Receive(p *packet.Packet) { l.Send(p) }
+
+// Pause stops the drain loop after the in-flight frame (a received PFC
+// pause); queued packets wait rather than drop.
+func (l *Link) Pause() { l.paused = true }
+
+// Resume restarts a paused link.
+func (l *Link) Resume() {
+	if !l.paused {
+		return
+	}
+	l.paused = false
+	if !l.draining && l.queue.Len() > 0 {
+		l.draining = true
+		l.drain()
+	}
+}
+
+// Paused reports whether the link is PFC-paused.
+func (l *Link) Paused() bool { return l.paused }
+
+func (l *Link) drain() {
+	if l.paused {
+		l.draining = false
+		return
+	}
+	p := l.queue.Dequeue()
+	if p == nil {
+		l.draining = false
+		return
+	}
+	if l.enableINT && p.Type == packet.DATA {
+		p.INT.Push(packet.INTHop{
+			QueueBytes: uint32(l.queue.Bytes()),
+			TxBytes:    l.stats.TxBytes,
+			Rate:       l.rate,
+			TS:         l.eng.Now(),
+		})
+	}
+	ser := l.rate.Serialize(packet.WireSize(p.Size))
+	l.stats.TxPackets++
+	l.stats.TxBytes += uint64(p.Size)
+	prop := l.delay
+	if l.jitter > 0 {
+		prop += sim.Duration(l.jrng.Float64() * float64(l.jitter))
+	}
+	// Last bit leaves at now+ser; arrival is the propagation later.
+	l.eng.Schedule(ser+prop, func() { l.dst.Receive(p) })
+	l.eng.Schedule(ser, l.drain)
+}

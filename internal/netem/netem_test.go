@@ -1,0 +1,358 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+func data(flow packet.FlowID, psn uint32, size int) *packet.Packet {
+	return packet.NewData(flow, psn, size, 0)
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(1<<20, ECNConfig{}, nil)
+	for i := 0; i < 10; i++ {
+		if !q.Enqueue(data(1, uint32(i), 100)) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if q.Len() != 10 || q.Bytes() != 1000 {
+		t.Fatalf("Len=%d Bytes=%d", q.Len(), q.Bytes())
+	}
+	for i := 0; i < 10; i++ {
+		p := q.Dequeue()
+		if p == nil || p.PSN != uint32(i) {
+			t.Fatalf("dequeue %d: got %v", i, p)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Fatal("dequeue on empty queue returned a packet")
+	}
+}
+
+func TestQueueDropTail(t *testing.T) {
+	q := NewQueue(250, ECNConfig{}, nil)
+	if !q.Enqueue(data(1, 0, 100)) || !q.Enqueue(data(1, 1, 100)) {
+		t.Fatal("initial packets rejected")
+	}
+	if q.Enqueue(data(1, 2, 100)) {
+		t.Fatal("over-capacity packet admitted")
+	}
+	st := q.Stats()
+	if st.Drops != 1 || st.DropBytes != 100 {
+		t.Fatalf("drop stats = %+v", st)
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	q := NewQueue(1<<24, ECNConfig{}, nil)
+	// Interleave enough enqueue/dequeue cycles to trigger compaction and
+	// verify FIFO order survives it.
+	next := uint32(0)
+	want := uint32(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			q.Enqueue(data(1, next, 64))
+			next++
+		}
+		for i := 0; i < 35; i++ {
+			p := q.Dequeue()
+			if p == nil || p.PSN != want {
+				t.Fatalf("round %d: got PSN %v, want %d", round, p, want)
+			}
+			want++
+		}
+	}
+	for {
+		p := q.Dequeue()
+		if p == nil {
+			break
+		}
+		if p.PSN != want {
+			t.Fatalf("tail drain: got %d, want %d", p.PSN, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d packets, enqueued %d", want, next)
+	}
+}
+
+func TestQueueStepMarking(t *testing.T) {
+	// Step marking at K = 2 packets of 100B: the third and later arrivals
+	// see backlog >= 200 and get CE.
+	q := NewQueue(1<<20, StepMarking(2, 100), nil)
+	var marked int
+	for i := 0; i < 5; i++ {
+		p := data(1, uint32(i), 100)
+		q.Enqueue(p)
+		if p.Flags.Has(packet.FlagCE) {
+			marked++
+		}
+	}
+	if marked != 3 {
+		t.Fatalf("marked %d packets, want 3 (arrivals seeing backlog >= K)", marked)
+	}
+}
+
+func TestQueueMarkingSkipsNonECT(t *testing.T) {
+	q := NewQueue(1<<20, StepMarking(0, 1), nil)
+	p := &packet.Packet{Type: packet.DATA, Size: 100} // no FlagECNCapable
+	q.Enqueue(p)
+	if p.Flags.Has(packet.FlagCE) {
+		t.Fatal("non-ECT packet was CE-marked")
+	}
+}
+
+func TestQueueREDMarkingRamp(t *testing.T) {
+	// RED between 0 and 10 kB with PMax 1: marking frequency should grow
+	// with backlog.
+	rng := sim.NewRand(1)
+	q := NewQueue(1<<20, ECNConfig{Enable: true, KMin: 0, KMax: 10000, PMax: 1}, rng)
+	lowMarks, highMarks := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		// Low backlog: ~1 kB.
+		q2 := NewQueue(1<<20, ECNConfig{Enable: true, KMin: 0, KMax: 10000, PMax: 1}, rng)
+		q2.Enqueue(data(1, 0, 1000))
+		p := data(1, 1, 1000)
+		q2.Enqueue(p)
+		if p.Flags.Has(packet.FlagCE) {
+			lowMarks++
+		}
+	}
+	for i := 0; i < trials; i++ {
+		q3 := NewQueue(1<<20, ECNConfig{Enable: true, KMin: 0, KMax: 10000, PMax: 1}, rng)
+		for j := 0; j < 9; j++ {
+			q3.Enqueue(data(1, uint32(j), 1000))
+		}
+		p := data(1, 9, 1000)
+		q3.Enqueue(p)
+		if p.Flags.Has(packet.FlagCE) {
+			highMarks++
+		}
+	}
+	_ = q
+	if lowMarks >= highMarks {
+		t.Fatalf("RED ramp inverted: low=%d high=%d", lowMarks, highMarks)
+	}
+	if highMarks < trials*7/10 {
+		t.Fatalf("high-backlog marking too rare: %d/%d", highMarks, trials)
+	}
+}
+
+func TestLinkDeliversWithSerializationAndDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	var arrived sim.Time
+	sink := NodeFunc(func(p *packet.Packet) { arrived = eng.Now() })
+	l := NewLink(eng, LinkConfig{Rate: 100 * sim.Gbps, Delay: 1000}, sink)
+	l.Send(data(1, 0, 1024))
+	eng.RunAll()
+	want := sim.Time(83520 + 1000) // (1024+20)B wire at 100G, plus delay
+	if arrived != want {
+		t.Fatalf("arrival at %v, want %v", arrived, want)
+	}
+}
+
+func TestLinkBackToBackSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	var arrivals []sim.Time
+	sink := NodeFunc(func(p *packet.Packet) { arrivals = append(arrivals, eng.Now()) })
+	l := NewLink(eng, LinkConfig{Rate: 100 * sim.Gbps}, sink)
+	l.Send(data(1, 0, 1024))
+	l.Send(data(1, 1, 1024))
+	l.Send(data(1, 2, 1024))
+	eng.RunAll()
+	if len(arrivals) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(arrivals))
+	}
+	for i := 1; i < 3; i++ {
+		gap := arrivals[i] - arrivals[i-1]
+		if gap != 83520 {
+			t.Fatalf("gap %d->%d = %v ps, want 83520 (full wire serialization)", i-1, i, gap)
+		}
+	}
+}
+
+func TestLinkIdleRestart(t *testing.T) {
+	eng := sim.NewEngine()
+	n := 0
+	sink := NodeFunc(func(p *packet.Packet) { n++ })
+	l := NewLink(eng, LinkConfig{Rate: 100 * sim.Gbps}, sink)
+	l.Send(data(1, 0, 1024))
+	eng.RunAll()
+	l.Send(data(1, 1, 1024))
+	eng.RunAll()
+	if n != 2 {
+		t.Fatalf("delivered %d packets after idle restart, want 2", n)
+	}
+}
+
+func TestLinkThroughputAtLineRate(t *testing.T) {
+	eng := sim.NewEngine()
+	var rxBytes uint64
+	sink := NodeFunc(func(p *packet.Packet) { rxBytes += uint64(p.Size) })
+	l := NewLink(eng, LinkConfig{Rate: 10 * sim.Gbps, QueueBytes: 1 << 30}, sink)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.Send(data(1, uint32(i), 1500))
+	}
+	eng.RunAll()
+	elapsed := eng.Now().Seconds()
+	gbps := float64(rxBytes) * 8 / elapsed / 1e9
+	if gbps < 9.8 || gbps > 9.9 {
+		t.Fatalf("drained at %.3f Gbps of frame bytes, want ~9.87 (wire overhead excluded)", gbps)
+	}
+}
+
+func TestLinkHookDropAndMark(t *testing.T) {
+	eng := sim.NewEngine()
+	var got []*packet.Packet
+	sink := NodeFunc(func(p *packet.Packet) { got = append(got, p) })
+	l := NewLink(eng, LinkConfig{Rate: sim.Gbps}, sink)
+	l.AddHook(func(p *packet.Packet) HookAction {
+		switch p.PSN {
+		case 1:
+			return Drop
+		case 2:
+			return MarkCE
+		}
+		return Pass
+	})
+	for i := 0; i < 3; i++ {
+		l.Send(data(1, uint32(i), 100))
+	}
+	eng.RunAll()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(got))
+	}
+	if got[1].PSN != 2 || !got[1].Flags.Has(packet.FlagCE) {
+		t.Fatalf("hook did not mark PSN 2: %+v", got[1])
+	}
+	st := l.Stats()
+	if st.InjectedDrops != 1 || st.InjectedMarks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSwitchRouting(t *testing.T) {
+	eng := sim.NewEngine()
+	var a, b Sink
+	sw := NewSwitch("s", RouteByFlowTable(map[packet.FlowID]int{1: 0, 2: 1}))
+	sw.AddPort(eng, LinkConfig{Rate: sim.Gbps}, &a)
+	sw.AddPort(eng, LinkConfig{Rate: sim.Gbps}, &b)
+	sw.Receive(data(1, 0, 100))
+	sw.Receive(data(2, 0, 100))
+	sw.Receive(data(3, 0, 100)) // unknown: dropped
+	eng.RunAll()
+	if a.Packets != 1 || b.Packets != 1 {
+		t.Fatalf("a=%d b=%d, want 1 each", a.Packets, b.Packets)
+	}
+	if sw.Unrouted() != 1 {
+		t.Fatalf("unrouted = %d, want 1", sw.Unrouted())
+	}
+	if sw.RxPackets() != 3 {
+		t.Fatalf("rx = %d, want 3", sw.RxPackets())
+	}
+}
+
+func TestSwitchFanInCongestionMarks(t *testing.T) {
+	// Many senders into one ECN-marked bottleneck port must generate CE.
+	eng := sim.NewEngine()
+	var out Sink
+	sw := NewSwitch("bottleneck", RouteAllTo(0))
+	sw.AddPort(eng, LinkConfig{
+		Rate: sim.Gbps, ECN: StepMarking(5, 1000), QueueBytes: 1 << 20,
+	}, &out)
+	for i := 0; i < 100; i++ {
+		sw.Receive(data(packet.FlowID(i%4), uint32(i), 1000))
+	}
+	eng.RunAll()
+	if out.Packets != 100 {
+		t.Fatalf("delivered %d, want 100", out.Packets)
+	}
+	if sw.Port(0).Queue().Stats().ECNMarks == 0 {
+		t.Fatal("fan-in produced no CE marks")
+	}
+}
+
+func TestScriptDropOnceAllowsRetransmit(t *testing.T) {
+	s := NewScript().DropOnce(1, 5)
+	p := data(1, 5, 100)
+	if s.Hook(p) != Drop {
+		t.Fatal("first pass not dropped")
+	}
+	rtx := data(1, 5, 100)
+	rtx.Flags |= packet.FlagRetransmit
+	if s.Hook(rtx) != Pass {
+		t.Fatal("retransmission dropped")
+	}
+	if s.Hook(data(1, 5, 100)) != Pass {
+		t.Fatal("second original pass dropped (one-shot violated)")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestScriptMarkRange(t *testing.T) {
+	s := NewScript().MarkRange(1, 10, 12)
+	for psn := uint32(9); psn <= 13; psn++ {
+		act := s.Hook(data(1, psn, 100))
+		want := Pass
+		if psn >= 10 && psn <= 12 {
+			want = MarkCE
+		}
+		if act != want {
+			t.Fatalf("psn %d: action %v, want %v", psn, act, want)
+		}
+	}
+	if s.Hook(&packet.Packet{Type: packet.ACK, Flow: 1, PSN: 11}) != Pass {
+		t.Fatal("script acted on a non-DATA packet")
+	}
+}
+
+func TestQuickQueueConservation(t *testing.T) {
+	// Property: packets out + packets dropped == packets in, and byte
+	// accounting matches, for arbitrary enqueue/dequeue interleavings.
+	f := func(ops []byte) bool {
+		q := NewQueue(4096, ECNConfig{}, nil)
+		var in, out, drop int
+		psn := uint32(0)
+		for _, op := range ops {
+			if op%3 == 0 {
+				if q.Dequeue() != nil {
+					out++
+				}
+			} else {
+				size := int(op)%1000 + 64
+				in++
+				if !q.Enqueue(data(1, psn, size)) {
+					drop++
+				}
+				psn++
+			}
+		}
+		return in == out+drop+q.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinkForward(b *testing.B) {
+	eng := sim.NewEngine()
+	sink := NodeFunc(func(p *packet.Packet) {})
+	l := NewLink(eng, LinkConfig{Rate: 100 * sim.Gbps, QueueBytes: 1 << 30}, sink)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Send(data(1, uint32(i), 1024))
+		if i%1024 == 1023 {
+			eng.RunAll()
+		}
+	}
+	eng.RunAll()
+}

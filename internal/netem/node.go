@@ -1,0 +1,38 @@
+// Package netem emulates the tested network: links with serialization and
+// propagation delay, bounded queues with ECN marking, output-queued
+// switches, and fault-injection hooks.
+//
+// Everything Marlin sends traverses netem components, and everything netem
+// delivers comes back to Marlin's device models, mirroring the paper's
+// testbed where the tester's 12 ports face a network of real switches.
+package netem
+
+import "marlin/internal/packet"
+
+// Node consumes packets delivered by a Link. Marlin device ports, emulated
+// switches, and measurement sinks all implement Node.
+type Node interface {
+	Receive(p *packet.Packet)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(p *packet.Packet)
+
+// Receive calls f(p).
+func (f NodeFunc) Receive(p *packet.Packet) { f(p) }
+
+// Sink counts and discards everything it receives; useful as a measurement
+// endpoint and in tests.
+type Sink struct {
+	Packets uint64
+	Bytes   uint64
+	// Last holds the most recently received packet.
+	Last *packet.Packet
+}
+
+// Receive implements Node.
+func (s *Sink) Receive(p *packet.Packet) {
+	s.Packets++
+	s.Bytes += uint64(p.Size)
+	s.Last = p
+}

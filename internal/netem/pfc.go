@@ -1,0 +1,94 @@
+package netem
+
+import (
+	"fmt"
+
+	"marlin/internal/sim"
+)
+
+// PFC implements priority flow control over one congestion point: when the
+// watched queue's backlog crosses the XOFF watermark, pause frames go to
+// every upstream link; when it drains below XON, resume frames follow.
+// This is the losslessness RoCE fabrics rely on (the paper's DCQCN tests
+// run on a PFC-enabled testbed); with PFC engaged, congestion shows up as
+// paused upstream links and head-of-line blocking rather than drops.
+//
+// The model applies the pause after one propagation delay, like a real
+// pause frame traveling back to the upstream transmitter.
+type PFC struct {
+	eng      *sim.Engine
+	queue    *Queue
+	upstream []*Link
+	xoff     int
+	xon      int
+	delay    sim.Duration
+
+	paused  bool
+	pauses  uint64
+	resumes uint64
+}
+
+// PFCConfig configures one controller.
+type PFCConfig struct {
+	// XOFF is the backlog (bytes) that triggers pause; it must leave
+	// headroom below the queue capacity for in-flight data.
+	XOFF int
+	// XON is the backlog that releases the pause (must be < XOFF).
+	XON int
+	// Delay is the pause-frame propagation delay to the upstream
+	// transmitters (default 1 us).
+	Delay sim.Duration
+}
+
+// NewPFC watches queue and gates the given upstream links.
+func NewPFC(eng *sim.Engine, queue *Queue, upstream []*Link, cfg PFCConfig) (*PFC, error) {
+	if cfg.XOFF <= 0 || cfg.XON < 0 || cfg.XON >= cfg.XOFF {
+		return nil, fmt.Errorf("netem: PFC watermarks XON %d / XOFF %d invalid", cfg.XON, cfg.XOFF)
+	}
+	if cfg.XOFF >= queue.Capacity() {
+		return nil, fmt.Errorf("netem: XOFF %d leaves no headroom in a %d-byte queue",
+			cfg.XOFF, queue.Capacity())
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = sim.Microsecond
+	}
+	p := &PFC{
+		eng: eng, queue: queue, upstream: upstream,
+		xoff: cfg.XOFF, xon: cfg.XON, delay: cfg.Delay,
+	}
+	queue.OnBacklogChange(p.onBacklog)
+	return p, nil
+}
+
+func (p *PFC) onBacklog(bytes int) {
+	switch {
+	case !p.paused && bytes >= p.xoff:
+		p.paused = true
+		p.pauses++
+		p.eng.Schedule(p.delay, func() {
+			if !p.paused {
+				return // already resumed before the frame landed
+			}
+			for _, l := range p.upstream {
+				l.Pause()
+			}
+		})
+	case p.paused && bytes <= p.xon:
+		p.paused = false
+		p.resumes++
+		p.eng.Schedule(p.delay, func() {
+			if p.paused {
+				return
+			}
+			for _, l := range p.upstream {
+				l.Resume()
+			}
+		})
+	}
+}
+
+// Pauses reports how many pause episodes occurred.
+func (p *PFC) Pauses() uint64 { return p.pauses }
+
+// Paused reports whether the controller currently asserts pause.
+func (p *PFC) Paused() bool { return p.paused }

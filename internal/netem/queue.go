@@ -1,0 +1,158 @@
+package netem
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// ECNConfig controls congestion marking at a queue.
+//
+// With KMin == KMax the queue performs DCTCP-style step marking: every
+// ECN-capable packet that arrives while the backlog is at least KMin bytes
+// is marked CE. With KMin < KMax the queue performs RED-style probabilistic
+// marking, ramping the mark probability linearly from 0 at KMin to PMax at
+// KMax and marking everything above KMax.
+type ECNConfig struct {
+	// Enable turns marking on.
+	Enable bool
+	// KMin is the backlog (bytes) where marking begins.
+	KMin int
+	// KMax is the backlog (bytes) where the probability reaches PMax.
+	KMax int
+	// PMax is the marking probability at KMax (0..1].
+	PMax float64
+}
+
+// StepMarking returns a DCTCP-style step-marking config with threshold k
+// expressed in packets of the given size.
+func StepMarking(kPackets, packetSize int) ECNConfig {
+	k := kPackets * packetSize
+	return ECNConfig{Enable: true, KMin: k, KMax: k, PMax: 1}
+}
+
+// QueueStats are the counters a drop-tail queue maintains; the control
+// plane reads them as "hardware registers".
+type QueueStats struct {
+	EnqPackets  uint64
+	EnqBytes    uint64
+	DeqPackets  uint64
+	DeqBytes    uint64
+	Drops       uint64
+	DropBytes   uint64
+	ECNMarks    uint64
+	MaxBacklogB int
+}
+
+// Queue is a byte-bounded FIFO with optional ECN marking. It is the
+// buffering stage in front of every emulated link.
+type Queue struct {
+	// CapacityBytes bounds the backlog; zero means a 256 KiB default.
+	capacity int
+	ecn      ECNConfig
+	rng      *sim.Rand
+
+	head  int
+	buf   []*packet.Packet
+	bytes int
+	stats QueueStats
+
+	// onChange is invoked with the new backlog after every enqueue and
+	// dequeue; the PFC controller uses it to watch watermarks.
+	onChange func(bytes int)
+}
+
+// OnBacklogChange installs a backlog observer (at most one).
+func (q *Queue) OnBacklogChange(fn func(bytes int)) { q.onChange = fn }
+
+// DefaultQueueCapacity is the per-port buffer used when none is configured;
+// sized like a shallow data-center switch port allocation.
+const DefaultQueueCapacity = 256 << 10
+
+// NewQueue creates a queue with the given byte capacity (0 selects
+// DefaultQueueCapacity) and marking config. rng is used only for RED-style
+// probabilistic marking and may be nil for step marking.
+func NewQueue(capacityBytes int, ecn ECNConfig, rng *sim.Rand) *Queue {
+	if capacityBytes <= 0 {
+		capacityBytes = DefaultQueueCapacity
+	}
+	if rng == nil {
+		rng = sim.NewRand(0x51ed)
+	}
+	return &Queue{capacity: capacityBytes, ecn: ecn, rng: rng}
+}
+
+// Enqueue appends p, applying drop-tail admission and ECN marking against
+// the backlog at arrival. It reports whether the packet was admitted.
+func (q *Queue) Enqueue(p *packet.Packet) bool {
+	if q.bytes+p.Size > q.capacity {
+		q.stats.Drops++
+		q.stats.DropBytes += uint64(p.Size)
+		return false
+	}
+	if q.shouldMark(p) {
+		p.Flags |= packet.FlagCE
+		q.stats.ECNMarks++
+	}
+	q.buf = append(q.buf, p)
+	q.bytes += p.Size
+	q.stats.EnqPackets++
+	q.stats.EnqBytes += uint64(p.Size)
+	if q.bytes > q.stats.MaxBacklogB {
+		q.stats.MaxBacklogB = q.bytes
+	}
+	if q.onChange != nil {
+		q.onChange(q.bytes)
+	}
+	return true
+}
+
+func (q *Queue) shouldMark(p *packet.Packet) bool {
+	if !q.ecn.Enable || !p.Flags.Has(packet.FlagECNCapable) {
+		return false
+	}
+	backlog := q.bytes
+	switch {
+	case backlog < q.ecn.KMin:
+		return false
+	case backlog >= q.ecn.KMax:
+		return q.ecn.PMax >= 1 || q.rng.Float64() < q.ecn.PMax
+	default:
+		frac := float64(backlog-q.ecn.KMin) / float64(q.ecn.KMax-q.ecn.KMin)
+		return q.rng.Float64() < frac*q.ecn.PMax
+	}
+}
+
+// Dequeue removes and returns the oldest packet, or nil if empty.
+func (q *Queue) Dequeue() *packet.Packet {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.bytes -= p.Size
+	q.stats.DeqPackets++
+	q.stats.DeqBytes += uint64(p.Size)
+	if q.onChange != nil {
+		q.onChange(q.bytes)
+	}
+	return p
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.buf) - q.head }
+
+// Bytes returns the queued backlog in bytes.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Capacity returns the configured byte capacity.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Stats returns a snapshot of the queue counters.
+func (q *Queue) Stats() QueueStats { return q.stats }

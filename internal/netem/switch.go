@@ -1,0 +1,83 @@
+package netem
+
+import (
+	"fmt"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// RouteFunc maps a packet to an output port index, or a negative value to
+// drop it. Marlin tests address flows rather than IP prefixes, so routing
+// is a pluggable function of the packet (normally its FlowID and Type).
+type RouteFunc func(p *packet.Packet) int
+
+// Switch is an output-queued switch in the tested network. Each output
+// port is a Link (queue + serialization + propagation) toward a Node.
+type Switch struct {
+	name   string
+	route  RouteFunc
+	out    []*Link
+	lost   uint64
+	rxPkts uint64
+}
+
+// NewSwitch creates a switch with the given routing function and no ports;
+// attach ports with AddPort.
+func NewSwitch(name string, route RouteFunc) *Switch {
+	return &Switch{name: name, route: route}
+}
+
+// AddPort appends an output port connected by a new Link to dst and
+// returns the port index.
+func (s *Switch) AddPort(eng *sim.Engine, cfg LinkConfig, dst Node) int {
+	s.out = append(s.out, NewLink(eng, cfg, dst))
+	return len(s.out) - 1
+}
+
+// Port returns the link behind output port i.
+func (s *Switch) Port(i int) *Link { return s.out[i] }
+
+// Ports returns the number of output ports.
+func (s *Switch) Ports() int { return len(s.out) }
+
+// Receive implements Node: route and forward.
+func (s *Switch) Receive(p *packet.Packet) {
+	s.rxPkts++
+	i := s.route(p)
+	if i < 0 {
+		s.lost++
+		return
+	}
+	if i >= len(s.out) {
+		panic(fmt.Sprintf("netem: switch %q routed to missing port %d", s.name, i))
+	}
+	s.out[i].Send(p)
+}
+
+// Unrouted reports packets the routing function dropped.
+func (s *Switch) Unrouted() uint64 { return s.lost }
+
+// RxPackets reports total packets the switch received.
+func (s *Switch) RxPackets() uint64 { return s.rxPkts }
+
+// RouteByFlowPort routes every packet to out port p.Port. Useful for
+// pass-through topologies where the tester pre-binds flows to ports.
+func RouteByFlowPort(p *packet.Packet) int { return p.Port }
+
+// RouteAllTo returns a RouteFunc sending everything to one port, creating
+// the fan-in bottleneck used by the congestion and incast experiments.
+func RouteAllTo(port int) RouteFunc {
+	return func(*packet.Packet) int { return port }
+}
+
+// RouteByFlowTable returns a RouteFunc that looks flows up in a table and
+// drops unknown flows.
+func RouteByFlowTable(table map[packet.FlowID]int) RouteFunc {
+	return func(p *packet.Packet) int {
+		if port, ok := table[p.Flow]; ok {
+			return port
+		}
+		return -1
+	}
+}

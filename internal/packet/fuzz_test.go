@@ -1,0 +1,37 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal checks the wire decoder never panics and that anything it
+// accepts re-encodes to an identical frame (decode/encode idempotence).
+func FuzzUnmarshal(f *testing.F) {
+	var seed [ControlSize]byte
+	if err := MarshalControl(NewSche(7, 1234, 3, 42), seed[:]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed[:])
+	f.Add(make([]byte, ControlSize))
+	f.Add([]byte{0x4d, 0x4c, 1, byte(INFO)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		switch p.Type {
+		case SCHE, INFO, ACK, CNP:
+			var out [ControlSize]byte
+			if err := MarshalControl(p, out[:]); err != nil {
+				t.Fatalf("accepted frame failed to re-encode: %v", err)
+			}
+			// Compare the header region only; input may be longer than
+			// the 64-byte frame or carry nonzero padding.
+			if len(data) >= headerLen && !bytes.Equal(out[:headerLen], data[:headerLen]) {
+				t.Fatalf("re-encode changed header:\n in=%x\nout=%x",
+					data[:headerLen], out[:headerLen])
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Package packet defines Marlin's packet taxonomy and wire formats.
+//
+// Marlin distinguishes five packet roles (§3.1 of the paper):
+//
+//   - TEMP: template packets that circulate at line rate inside the
+//     programmable switch and are multicast to egress ports.
+//   - DATA: full-MTU test traffic, produced by rewriting a TEMP packet with
+//     metadata dequeued from a register queue.
+//   - ACK: 64-byte acknowledgements produced by truncating received DATA.
+//   - INFO: 64-byte flow-state digests the switch sends to the FPGA NIC.
+//   - SCHE: 64-byte scheduling instructions the FPGA sends to the switch.
+//
+// Congestion notification packets (CNPs, used by DCQCN) are modelled as a
+// sixth role; the switch encapsulates them into INFO packets exactly like
+// ACKs (§3.2 step 6).
+//
+// The 64-byte control roles have a concrete binary layout (see Marshal) so
+// that the model exercises real parse/deparse paths, not just struct copies.
+package packet
+
+import "marlin/internal/sim"
+
+// Type is a packet role.
+type Type uint8
+
+// Packet roles.
+const (
+	TEMP Type = iota + 1
+	DATA
+	ACK
+	INFO
+	SCHE
+	CNP
+)
+
+// String returns the conventional upper-case role name.
+func (t Type) String() string {
+	switch t {
+	case TEMP:
+		return "TEMP"
+	case DATA:
+		return "DATA"
+	case ACK:
+		return "ACK"
+	case INFO:
+		return "INFO"
+	case SCHE:
+		return "SCHE"
+	case CNP:
+		return "CNP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// FlowID identifies a flow within a test. The FPGA BRAM models address
+// flow state by FlowID, so IDs are dense small integers.
+type FlowID uint32
+
+// Flags carries per-packet signal bits.
+type Flags uint16
+
+// Flag bits.
+const (
+	// FlagECNCapable marks the packet ECT(0): eligible for CE marking.
+	FlagECNCapable Flags = 1 << iota
+	// FlagCE is the Congestion Experienced mark set by a congested queue.
+	FlagCE
+	// FlagECNEcho is the receiver's echo of CE back to the sender (ECE).
+	FlagECNEcho
+	// FlagNACK indicates an out-of-order arrival (RoCE-style NACK).
+	FlagNACK
+	// FlagCNPNotify marks a DCQCN congestion notification.
+	FlagCNPNotify
+	// FlagFIN marks the last packet of a flow.
+	FlagFIN
+	// FlagRetransmit marks a retransmitted DATA packet (diagnostics only).
+	FlagRetransmit
+)
+
+// Has reports whether all bits in mask are set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// ControlSize is the wire size of every TEMP-derived control packet
+// (ACK, INFO, SCHE, CNP): 64 bytes, the Ethernet minimum frame.
+const ControlSize = 64
+
+// WireOverhead is the per-frame Ethernet overhead that occupies the wire
+// but not the frame: 8 bytes of preamble/SFD plus a 12-byte inter-frame
+// gap. The paper's rate constants include it: 100 Gbps / ((64+20)*8 b) =
+// 148.8 Mpps for SCHE packets, 11.97 Mpps at MTU 1024, 8.127 Mpps at 1518.
+const WireOverhead = 20
+
+// WireSize is the wire occupancy of a frame of the given size.
+func WireSize(frameBytes int) int { return frameBytes + WireOverhead }
+
+// HeaderOverhead approximates Ethernet+IP+transport header bytes carried by
+// each DATA packet; goodput computations subtract it.
+const HeaderOverhead = 58
+
+// Packet is the in-simulation representation of a frame. A single struct
+// covers all roles; role-irrelevant fields are zero.
+//
+// Packets are passed by pointer and mutated in place along their path, the
+// way a switch pipeline rewrites headers.
+type Packet struct {
+	// Type is the packet role.
+	Type Type
+	// Flow is the flow the packet belongs to (all roles except TEMP).
+	Flow FlowID
+	// PSN is the packet sequence number. For DATA/SCHE it is the sequence
+	// of the described data packet; for ACK/INFO it is the next expected
+	// PSN (cumulative acknowledgement).
+	PSN uint32
+	// Ack carries the cumulative acknowledgement on ACK/INFO packets.
+	Ack uint32
+	// Flags carries ECN/NACK/CNP/FIN signal bits.
+	Flags Flags
+	// Size is the frame's wire size in bytes.
+	Size int
+	// Port is the switch egress port the flow is bound to. SCHE packets
+	// use it to select the register queue; INFO packets report it so the
+	// FPGA can demultiplex to the right RX FIFO.
+	Port int
+	// SentAt is the timestamp stamped by the sender when the described
+	// DATA packet was scheduled; receivers echo it so the FPGA can probe
+	// RTT (the prb-rtt input of the CC module interface, Table 3).
+	SentAt sim.Time
+	// RxTime is the timestamp the receiver logic observed the packet;
+	// used when deriving one-way metrics in measurements.
+	RxTime sim.Time
+	// INT carries in-band network telemetry stamped by traversed hops
+	// (for INT-based CC such as HPCC); receivers echo it onto ACKs and
+	// the switch forwards it inside INFO packets.
+	INT INTRecord
+}
+
+// MaxINTHops bounds the telemetry stack a packet can carry; data-center
+// paths the paper targets are at most five hops.
+const MaxINTHops = 5
+
+// INTHop is one hop's telemetry: the egress queue depth at departure, the
+// cumulative bytes the egress had transmitted, the link rate, and the
+// local timestamp — the fields HPCC's utilization estimator consumes.
+type INTHop struct {
+	QueueBytes uint32
+	TxBytes    uint64
+	Rate       sim.Rate
+	TS         sim.Time
+}
+
+// INTRecord is the per-packet telemetry stack.
+type INTRecord struct {
+	NHops uint8
+	Hops  [MaxINTHops]INTHop
+}
+
+// Push appends one hop's telemetry; stacks beyond MaxINTHops drop the
+// extra hops (counted by the stamping link).
+func (r *INTRecord) Push(h INTHop) bool {
+	if int(r.NHops) >= MaxINTHops {
+		return false
+	}
+	r.Hops[r.NHops] = h
+	r.NHops++
+	return true
+}
+
+// NewData returns a DATA packet of the given frame size.
+func NewData(flow FlowID, psn uint32, size int, sentAt sim.Time) *Packet {
+	return &Packet{Type: DATA, Flow: flow, PSN: psn, Size: size, SentAt: sentAt, Flags: FlagECNCapable}
+}
+
+// NewSche returns a 64-byte SCHE packet instructing the switch to emit the
+// flow's next DATA packet on the given port.
+func NewSche(flow FlowID, psn uint32, port int, now sim.Time) *Packet {
+	return &Packet{Type: SCHE, Flow: flow, PSN: psn, Port: port, Size: ControlSize, SentAt: now}
+}
+
+// Clone returns a copy of p. Multicast paths clone rather than alias.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// Payload returns the DATA packet's payload size after header overhead;
+// control packets carry no payload.
+func (p *Packet) Payload() int {
+	if p.Type != DATA || p.Size <= HeaderOverhead {
+		return 0
+	}
+	return p.Size - HeaderOverhead
+}

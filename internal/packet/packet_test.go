@@ -1,0 +1,178 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"marlin/internal/sim"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TEMP: "TEMP", DATA: "DATA", ACK: "ACK",
+		INFO: "INFO", SCHE: "SCHE", CNP: "CNP", Type(99): "UNKNOWN",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := FlagCE | FlagECNEcho
+	if !f.Has(FlagCE) || !f.Has(FlagECNEcho) || !f.Has(FlagCE|FlagECNEcho) {
+		t.Fatal("Has missed set bits")
+	}
+	if f.Has(FlagNACK) || f.Has(FlagCE|FlagNACK) {
+		t.Fatal("Has matched unset bits")
+	}
+}
+
+func TestNewDataDefaults(t *testing.T) {
+	p := NewData(7, 42, 1024, sim.Time(99))
+	if p.Type != DATA || p.Flow != 7 || p.PSN != 42 || p.Size != 1024 {
+		t.Fatalf("NewData fields wrong: %+v", p)
+	}
+	if !p.Flags.Has(FlagECNCapable) {
+		t.Fatal("DATA packets must be ECN-capable by default")
+	}
+}
+
+func TestNewScheIs64Bytes(t *testing.T) {
+	p := NewSche(3, 10, 5, 0)
+	if p.Size != ControlSize {
+		t.Fatalf("SCHE size = %d, want %d", p.Size, ControlSize)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := NewData(1, 2, 1024, 0)
+	q := p.Clone()
+	q.PSN = 99
+	q.Flags |= FlagCE
+	if p.PSN != 2 || p.Flags.Has(FlagCE) {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestPayload(t *testing.T) {
+	p := NewData(1, 0, 1024, 0)
+	if got := p.Payload(); got != 1024-HeaderOverhead {
+		t.Fatalf("Payload = %d, want %d", got, 1024-HeaderOverhead)
+	}
+	ack := &Packet{Type: ACK, Size: ControlSize}
+	if ack.Payload() != 0 {
+		t.Fatal("control packets must carry no payload")
+	}
+}
+
+func TestMarshalControlRoundTrip(t *testing.T) {
+	in := &Packet{
+		Type: INFO, Flow: 0xDEADBEEF, PSN: 123456, Ack: 123455,
+		Flags: FlagECNEcho | FlagCE, Port: 11,
+		SentAt: sim.Time(987654321), RxTime: sim.Time(987659999),
+		Size: ControlSize,
+	}
+	var buf [ControlSize]byte
+	if err := MarshalControl(in, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestMarshalControlRejectsData(t *testing.T) {
+	var buf [ControlSize]byte
+	err := MarshalControl(NewData(1, 0, 1024, 0), buf[:])
+	if !errors.Is(err, ErrBadType) {
+		t.Fatalf("err = %v, want ErrBadType", err)
+	}
+}
+
+func TestMarshalControlShortBuffer(t *testing.T) {
+	err := MarshalControl(NewSche(1, 0, 0, 0), make([]byte, 32))
+	if !errors.Is(err, ErrShortPacket) {
+		t.Fatalf("err = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 8)); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("short buffer: err = %v", err)
+	}
+	bad := make([]byte, ControlSize)
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("zero magic: err = %v", err)
+	}
+	var buf [ControlSize]byte
+	if err := MarshalControl(NewSche(1, 2, 3, 4), buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf[2] = 9 // bad version
+	if _, err := Unmarshal(buf[:]); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: err = %v", err)
+	}
+	if err := MarshalControl(NewSche(1, 2, 3, 4), buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf[3] = 200 // bad type
+	if _, err := Unmarshal(buf[:]); !errors.Is(err, ErrBadType) {
+		t.Errorf("bad type: err = %v", err)
+	}
+}
+
+func TestMarshalPadsToZero(t *testing.T) {
+	buf := bytes.Repeat([]byte{0xFF}, ControlSize)
+	if err := MarshalControl(NewSche(1, 2, 3, 4), buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := headerLen; i < ControlSize; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("padding byte %d not zeroed", i)
+		}
+	}
+}
+
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(flow, psn, ack uint32, flags uint16, port uint16, sent, rx int64, kind uint8) bool {
+		types := []Type{SCHE, INFO, ACK, CNP}
+		in := &Packet{
+			Type: types[int(kind)%len(types)],
+			Flow: FlowID(flow), PSN: psn, Ack: ack,
+			Flags: Flags(flags), Port: int(port),
+			SentAt: sim.Time(uint64(sent)), RxTime: sim.Time(uint64(rx)),
+			Size: ControlSize,
+		}
+		var buf [ControlSize]byte
+		if err := MarshalControl(in, buf[:]); err != nil {
+			return false
+		}
+		out, err := Unmarshal(buf[:])
+		return err == nil && *out == *in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalUnmarshal(b *testing.B) {
+	p := NewSche(42, 1000, 7, sim.Time(123456))
+	var buf [ControlSize]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := MarshalControl(p, buf[:]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unmarshal(buf[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"marlin/internal/sim"
+)
+
+// Wire layout of the 64-byte control packets (SCHE, INFO, ACK, CNP).
+//
+//	offset  size  field
+//	0       2     magic 0x4D4C ("ML")
+//	2       1     version (1)
+//	3       1     type
+//	4       4     flow id
+//	8       4     psn
+//	12      4     ack
+//	16      2     flags
+//	18      2     port
+//	20      8     sentAt (ps)
+//	28      8     rxTime (ps)
+//	36      4     size (original frame size for truncated ACKs)
+//	40      24    zero padding to 64 bytes
+//
+// DATA packets use the same 40-byte header followed by payload padding out
+// to their frame size; the model never materialises the payload bytes.
+const (
+	wireMagic   = 0x4D4C
+	wireVersion = 1
+	headerLen   = 40
+)
+
+// Wire errors.
+var (
+	ErrShortPacket = errors.New("packet: buffer shorter than header")
+	ErrBadMagic    = errors.New("packet: bad magic")
+	ErrBadVersion  = errors.New("packet: unsupported version")
+	ErrBadType     = errors.New("packet: unknown packet type")
+)
+
+// MarshalControl encodes a control packet (SCHE/INFO/ACK/CNP) into a
+// 64-byte frame. The destination must be at least ControlSize bytes.
+func MarshalControl(p *Packet, dst []byte) error {
+	if len(dst) < ControlSize {
+		return fmt.Errorf("%w: need %d bytes, have %d", ErrShortPacket, ControlSize, len(dst))
+	}
+	switch p.Type {
+	case SCHE, INFO, ACK, CNP:
+	default:
+		return fmt.Errorf("%w: %v is not a control packet", ErrBadType, p.Type)
+	}
+	marshalHeader(p, dst)
+	for i := headerLen; i < ControlSize; i++ {
+		dst[i] = 0
+	}
+	return nil
+}
+
+func marshalHeader(p *Packet, dst []byte) {
+	binary.BigEndian.PutUint16(dst[0:2], wireMagic)
+	dst[2] = wireVersion
+	dst[3] = byte(p.Type)
+	binary.BigEndian.PutUint32(dst[4:8], uint32(p.Flow))
+	binary.BigEndian.PutUint32(dst[8:12], p.PSN)
+	binary.BigEndian.PutUint32(dst[12:16], p.Ack)
+	binary.BigEndian.PutUint16(dst[16:18], uint16(p.Flags))
+	binary.BigEndian.PutUint16(dst[18:20], uint16(p.Port))
+	binary.BigEndian.PutUint64(dst[20:28], uint64(p.SentAt))
+	binary.BigEndian.PutUint64(dst[28:36], uint64(p.RxTime))
+	binary.BigEndian.PutUint32(dst[36:40], uint32(p.Size))
+}
+
+// Unmarshal decodes a frame produced by MarshalControl. Control packets get
+// Size = ControlSize regardless of the recorded original size, which is
+// preserved in the Size header field for DATA truncation bookkeeping.
+func Unmarshal(src []byte) (*Packet, error) {
+	if len(src) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(src))
+	}
+	if binary.BigEndian.Uint16(src[0:2]) != wireMagic {
+		return nil, ErrBadMagic
+	}
+	if src[2] != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, src[2])
+	}
+	t := Type(src[3])
+	switch t {
+	case TEMP, DATA, ACK, INFO, SCHE, CNP:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, src[3])
+	}
+	p := &Packet{
+		Type:   t,
+		Flow:   FlowID(binary.BigEndian.Uint32(src[4:8])),
+		PSN:    binary.BigEndian.Uint32(src[8:12]),
+		Ack:    binary.BigEndian.Uint32(src[12:16]),
+		Flags:  Flags(binary.BigEndian.Uint16(src[16:18])),
+		Port:   int(binary.BigEndian.Uint16(src[18:20])),
+		SentAt: sim.Time(binary.BigEndian.Uint64(src[20:28])),
+		RxTime: sim.Time(binary.BigEndian.Uint64(src[28:36])),
+		Size:   int(binary.BigEndian.Uint32(src[36:40])),
+	}
+	switch t {
+	case ACK, INFO, SCHE, CNP:
+		p.Size = ControlSize
+	}
+	return p, nil
+}

@@ -1,0 +1,135 @@
+// Package pcap writes classic libpcap capture files of simulated traffic.
+//
+// Production network testers capture traffic for offline analysis; this
+// package gives the reproduction the same capability: attach a Capturer to
+// any emulated link and the packets crossing it — with their simulated
+// timestamps — become a file Wireshark/tcpdump can open. Control packets
+// are written with their real 64-byte wire encoding (packet.MarshalControl);
+// DATA packets get the 40-byte header followed by zero payload bytes,
+// truncated by the configured snap length the way real capture points
+// truncate.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Classic pcap constants.
+const (
+	magicMicros  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeUser0 is DLT_USER0: private link type, appropriate for
+	// Marlin's custom framing.
+	LinkTypeUser0 = 147
+	// DefaultSnapLen truncates captured frames like tcpdump's default.
+	DefaultSnapLen = 256
+)
+
+// Capturer streams packets into a pcap file.
+type Capturer struct {
+	eng     *sim.Engine
+	w       io.Writer
+	snap    int
+	packets uint64
+	bytes   uint64
+	err     error
+}
+
+// NewCapturer writes a pcap global header to w and returns the capturer.
+// snapLen <= 0 selects DefaultSnapLen.
+func NewCapturer(eng *sim.Engine, w io.Writer, snapLen int) (*Capturer, error) {
+	if snapLen <= 0 {
+		snapLen = DefaultSnapLen
+	}
+	c := &Capturer{eng: eng, w: w, snap: snapLen}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone = 0, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(snapLen))
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeUser0)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: write header: %w", err)
+	}
+	return c, nil
+}
+
+// Hook returns a netem link hook that records every passing packet.
+func (c *Capturer) Hook() netem.Hook {
+	return func(p *packet.Packet) netem.HookAction {
+		c.Record(p)
+		return netem.Pass
+	}
+}
+
+// Packets reports how many packets were captured.
+func (c *Capturer) Packets() uint64 { return c.packets }
+
+// Bytes reports the captured (possibly truncated) byte volume.
+func (c *Capturer) Bytes() uint64 { return c.bytes }
+
+// Err returns the first write error, if any; once set, recording stops.
+func (c *Capturer) Err() error { return c.err }
+
+// Record writes one packet with the current simulated timestamp.
+func (c *Capturer) Record(p *packet.Packet) {
+	if c.err != nil {
+		return
+	}
+	frame := c.encode(p)
+	capLen := len(frame)
+	if capLen > c.snap {
+		capLen = c.snap
+	}
+	now := c.eng.Now()
+	us := uint64(now) / uint64(sim.Microsecond)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(us/1e6))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(us%1e6))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(frame)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.w.Write(frame[:capLen]); err != nil {
+		c.err = err
+		return
+	}
+	c.packets++
+	c.bytes += uint64(capLen)
+}
+
+// encode produces the on-wire bytes: real MarshalControl encoding for
+// control packets, header + zero payload for DATA/TEMP.
+func (c *Capturer) encode(p *packet.Packet) []byte {
+	switch p.Type {
+	case packet.SCHE, packet.INFO, packet.ACK, packet.CNP:
+		var buf [packet.ControlSize]byte
+		if err := packet.MarshalControl(p, buf[:]); err == nil {
+			return buf[:]
+		}
+	}
+	// DATA (and anything else): the 40-byte header followed by zero
+	// payload out to the frame size; capture consumers see real lengths.
+	frame := make([]byte, p.Size)
+	tmp := packet.Packet{
+		Type: packet.ACK, // any marshalable type; the type byte is fixed up below
+		Flow: p.Flow, PSN: p.PSN, Ack: p.Ack, Flags: p.Flags,
+		Port: p.Port, SentAt: p.SentAt, RxTime: p.RxTime, Size: p.Size,
+	}
+	var head [packet.ControlSize]byte
+	if err := packet.MarshalControl(&tmp, head[:]); err == nil {
+		head[3] = byte(p.Type)
+		copy(frame, head[:40])
+	}
+	return frame
+}

@@ -1,0 +1,130 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+func TestCapturerHeaderAndRecords(t *testing.T) {
+	eng := sim.NewEngine()
+	var buf bytes.Buffer
+	c, err := NewCapturer(eng, &buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global header checks.
+	hdr := buf.Bytes()
+	if len(hdr) != 24 {
+		t.Fatalf("header length = %d", len(hdr))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magicMicros {
+		t.Fatal("bad magic")
+	}
+	if binary.LittleEndian.Uint32(hdr[20:24]) != LinkTypeUser0 {
+		t.Fatal("bad link type")
+	}
+
+	eng.ScheduleAt(sim.Time(3*sim.Second+7*sim.Microsecond), func() {
+		c.Record(packet.NewSche(9, 42, 3, eng.Now()))
+	})
+	eng.RunAll()
+	if c.Packets() != 1 {
+		t.Fatalf("packets = %d", c.Packets())
+	}
+	rec := buf.Bytes()[24:]
+	if len(rec) != 16+packet.ControlSize {
+		t.Fatalf("record length = %d", len(rec))
+	}
+	sec := binary.LittleEndian.Uint32(rec[0:4])
+	usec := binary.LittleEndian.Uint32(rec[4:8])
+	if sec != 3 || usec != 7 {
+		t.Fatalf("timestamp = %d.%06d, want 3.000007", sec, usec)
+	}
+	if got := binary.LittleEndian.Uint32(rec[8:12]); got != packet.ControlSize {
+		t.Fatalf("caplen = %d", got)
+	}
+	// The payload must be a valid wire-encoded SCHE packet.
+	p, err := packet.Unmarshal(rec[16:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != packet.SCHE || p.Flow != 9 || p.PSN != 42 || p.Port != 3 {
+		t.Fatalf("decoded = %+v", p)
+	}
+}
+
+func TestCapturerSnapLenTruncatesData(t *testing.T) {
+	eng := sim.NewEngine()
+	var buf bytes.Buffer
+	c, err := NewCapturer(eng, &buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(packet.NewData(1, 0, 1024, 0))
+	rec := buf.Bytes()[24:]
+	capLen := binary.LittleEndian.Uint32(rec[8:12])
+	origLen := binary.LittleEndian.Uint32(rec[12:16])
+	if capLen != 64 || origLen != 1024 {
+		t.Fatalf("caplen=%d origlen=%d, want 64/1024", capLen, origLen)
+	}
+	if len(rec) != 16+64 {
+		t.Fatalf("record bytes = %d", len(rec))
+	}
+}
+
+func TestCapturerOnLink(t *testing.T) {
+	eng := sim.NewEngine()
+	var buf bytes.Buffer
+	c, err := NewCapturer(eng, &buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink netem.Sink
+	l := netem.NewLink(eng, netem.LinkConfig{Rate: sim.Gbps}, &sink)
+	l.AddHook(c.Hook())
+	for i := 0; i < 10; i++ {
+		l.Send(packet.NewData(1, uint32(i), 512, 0))
+	}
+	eng.RunAll()
+	if c.Packets() != 10 {
+		t.Fatalf("captured %d packets, want 10", c.Packets())
+	}
+	if sink.Packets != 10 {
+		t.Fatal("capture hook interfered with forwarding")
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 { // let the global header through
+		return 0, bytes.ErrTooLarge
+	}
+	return len(p), nil
+}
+
+func TestCapturerWriteErrorLatches(t *testing.T) {
+	eng := sim.NewEngine()
+	c, err := NewCapturer(eng, &failWriter{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(packet.NewSche(1, 0, 0, 0))
+	if c.Err() == nil {
+		t.Fatal("write error not latched")
+	}
+	before := c.Packets()
+	c.Record(packet.NewSche(1, 1, 0, 0))
+	if c.Packets() != before {
+		t.Fatal("recording continued after error")
+	}
+}

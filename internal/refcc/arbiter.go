@@ -1,0 +1,100 @@
+package refcc
+
+import (
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// PortArbiter models a NIC's QP scheduler: each queue pair's packets wait
+// in their own send queue, and the hardware serves the queues round-robin
+// at the port's line rate. Unlike a shared FIFO, a small flow's packets
+// are never stuck behind another QP's backlog — the property that lets a
+// commercial NIC keep short-flow completion times low during incast, and
+// the sender-side analogue of Marlin's per-flow scheduling FIFO (§5.2).
+type PortArbiter struct {
+	eng  *sim.Engine
+	rate sim.Rate
+	out  netem.Node
+
+	queues  map[packet.FlowID]*arbQueue
+	rr      []packet.FlowID
+	rrPos   int
+	backlog int
+	busy    bool
+
+	// MaxBacklogBytes bounds total buffered bytes (0 = 64 MiB); a NIC
+	// would stop polling WQEs rather than drop, so hitting the bound
+	// indicates a mis-sized experiment and packets are still retained.
+	MaxBacklogBytes int
+	maxSeen         int
+}
+
+type arbQueue struct {
+	pkts []*packet.Packet
+	head int
+}
+
+// NewPortArbiter builds an arbiter draining to out at the given rate.
+func NewPortArbiter(eng *sim.Engine, rate sim.Rate, out netem.Node) *PortArbiter {
+	return &PortArbiter{
+		eng: eng, rate: rate, out: out,
+		queues: make(map[packet.FlowID]*arbQueue),
+	}
+}
+
+// Receive implements netem.Node: enqueue on the owning QP's send queue.
+func (a *PortArbiter) Receive(p *packet.Packet) {
+	q := a.queues[p.Flow]
+	if q == nil {
+		q = &arbQueue{}
+		a.queues[p.Flow] = q
+		a.rr = append(a.rr, p.Flow)
+	}
+	q.pkts = append(q.pkts, p)
+	a.backlog += p.Size
+	if a.backlog > a.maxSeen {
+		a.maxSeen = a.backlog
+	}
+	if !a.busy {
+		a.busy = true
+		a.drain()
+	}
+}
+
+// MaxBacklog reports the largest buffered volume seen.
+func (a *PortArbiter) MaxBacklog() int { return a.maxSeen }
+
+func (a *PortArbiter) drain() {
+	p := a.next()
+	if p == nil {
+		a.busy = false
+		return
+	}
+	a.backlog -= p.Size
+	ser := a.rate.Serialize(packet.WireSize(p.Size))
+	a.eng.Schedule(ser, func() {
+		a.out.Receive(p)
+		a.drain()
+	})
+}
+
+// next picks the next packet round-robin across non-empty QP queues.
+func (a *PortArbiter) next() *packet.Packet {
+	for scanned := 0; scanned < len(a.rr); scanned++ {
+		fl := a.rr[a.rrPos%len(a.rr)]
+		a.rrPos++
+		q := a.queues[fl]
+		if q.head < len(q.pkts) {
+			p := q.pkts[q.head]
+			q.pkts[q.head] = nil
+			q.head++
+			if q.head == len(q.pkts) {
+				q.pkts = q.pkts[:0]
+				q.head = 0
+			}
+			return p
+		}
+	}
+	return nil
+}

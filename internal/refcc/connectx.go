@@ -1,0 +1,346 @@
+package refcc
+
+import (
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// ConnectXQP models one queue pair of a commercial RDMA NIC running DCQCN
+// for the Figure 9 fidelity comparison. The control law is DCQCN, but the
+// internals differ from Marlin's FPGA module the way a proprietary
+// implementation would (§7.4: "due to the proprietary nature of the DCQCN
+// implementation in commercial NICs, it was not possible to achieve
+// complete equivalence"):
+//
+//   - floating-point alpha and rates;
+//   - rate updates applied at a coarse hardware pacing granularity
+//     (1 us scheduler quantum) rather than per event;
+//   - a combined increase timer instead of Marlin's separate byte/timer
+//     stage machinery.
+//
+// Flows run back-to-back per QP ("a new flow is initiated immediately
+// after the completion of the previous one"), the verbs-tool behaviour of
+// the FCT experiment.
+type ConnectXQP struct {
+	eng  *sim.Engine
+	out  netem.Node
+	flow packet.FlowID
+	mtu  int
+	line sim.Rate
+
+	// DCQCN state.
+	rc, rt   float64 // bits/s
+	alpha    float64
+	g        float64
+	aiBps    float64
+	haiBps   float64
+	frSteps  int
+	stage    int
+	minRate  float64
+	alphaTmr *sim.Ticker
+	rateTmr  *sim.Ticker
+
+	// Pacing at the hardware quantum.
+	quantum   sim.Duration
+	nextSend  sim.Time
+	paceArmed bool
+
+	// Flow progress.
+	una, nxt uint32
+	end      uint32
+	flowSize uint32
+	started  sim.Time
+	active   bool
+	rto      sim.Duration
+	rtoTimer sim.Handle
+
+	onComplete func(flow packet.FlowID, sizePkts uint32, fct sim.Duration)
+	nextFlow   func() uint32 // closed-loop size source; nil = stop after one
+}
+
+// ConnectXConfig configures one QP.
+type ConnectXConfig struct {
+	Flow     packet.FlowID
+	MTU      int
+	LineRate sim.Rate
+	// G is the DCQCN gain (default 1/256).
+	G float64
+	// AlphaTimer and RateTimer default to 55us / 300us.
+	AlphaTimer sim.Duration
+	RateTimer  sim.Duration
+	// RateAI / RateHAI default to 40 / 400 Mbps.
+	RateAI  sim.Rate
+	RateHAI sim.Rate
+	// FastRecoverySteps defaults to 5.
+	FastRecoverySteps int
+	// MinRate floors the rate (default 40 Mbps).
+	MinRate sim.Rate
+	// RTO defaults to 1 ms.
+	RTO sim.Duration
+}
+
+// NewConnectXQP builds a QP sending toward out.
+func NewConnectXQP(eng *sim.Engine, cfg ConnectXConfig, out netem.Node) *ConnectXQP {
+	if cfg.G == 0 {
+		cfg.G = 1.0 / 256
+	}
+	if cfg.AlphaTimer == 0 {
+		cfg.AlphaTimer = sim.Micros(55)
+	}
+	if cfg.RateTimer == 0 {
+		cfg.RateTimer = sim.Micros(300)
+	}
+	if cfg.RateAI == 0 {
+		cfg.RateAI = 40 * sim.Mbps
+	}
+	if cfg.RateHAI == 0 {
+		cfg.RateHAI = 400 * sim.Mbps
+	}
+	if cfg.FastRecoverySteps == 0 {
+		cfg.FastRecoverySteps = 5
+	}
+	if cfg.MinRate == 0 {
+		cfg.MinRate = 40 * sim.Mbps
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = sim.Millisecond
+	}
+	q := &ConnectXQP{
+		eng: eng, out: out, flow: cfg.Flow, mtu: cfg.MTU, line: cfg.LineRate,
+		rc: float64(cfg.LineRate), rt: float64(cfg.LineRate),
+		alpha: 1, g: cfg.G,
+		aiBps: float64(cfg.RateAI), haiBps: float64(cfg.RateHAI),
+		frSteps: cfg.FastRecoverySteps, minRate: float64(cfg.MinRate),
+		quantum: sim.Microsecond, rto: cfg.RTO,
+	}
+	q.alphaTmr = sim.NewTicker(eng, cfg.AlphaTimer, q.alphaTick)
+	q.rateTmr = sim.NewTicker(eng, cfg.RateTimer, q.rateTick)
+	return q
+}
+
+// OnComplete registers the FCT callback.
+func (q *ConnectXQP) OnComplete(fn func(packet.FlowID, uint32, sim.Duration)) {
+	q.onComplete = fn
+}
+
+// RunClosedLoop starts the QP with sizes drawn from next after each
+// completion (the verbs FCT-tool behaviour).
+func (q *ConnectXQP) RunClosedLoop(next func() uint32) {
+	q.nextFlow = next
+	q.startFlow(next())
+}
+
+// StartFlow sends a single flow of sizePkts packets.
+func (q *ConnectXQP) StartFlow(sizePkts uint32) { q.startFlow(sizePkts) }
+
+// startFlow opens the next flow. PSNs continue monotonically across
+// back-to-back flows on a QP (like a long-lived RDMA connection), so the
+// receiver needs no reset between them.
+func (q *ConnectXQP) startFlow(sizePkts uint32) {
+	q.end = q.nxt + sizePkts
+	q.flowSize = sizePkts
+	q.started = q.eng.Now()
+	q.nextSend = q.started
+	q.active = true
+	q.alphaTmr.Start()
+	q.rateTmr.Start()
+	q.pace()
+}
+
+// Rate returns the QP's current sending rate.
+func (q *ConnectXQP) Rate() sim.Rate { return sim.Rate(q.rc) }
+
+// pace is the hardware scheduler quantum: emit packets owed by the
+// current rate, then rearm.
+func (q *ConnectXQP) pace() {
+	if !q.active {
+		return
+	}
+	now := q.eng.Now()
+	// Cap the pacing credit at one quantum so a stall does not turn into
+	// an unbounded burst, while normal operation keeps full line rate.
+	if q.nextSend < now.Add(-q.quantum) {
+		q.nextSend = now.Add(-q.quantum)
+	}
+	for q.nxt < q.end && now >= q.nextSend {
+		q.emit(q.nxt, false)
+		q.nxt++
+	}
+	if q.paceArmed {
+		return
+	}
+	q.paceArmed = true
+	next := q.nextSend
+	if min := now.Add(q.quantum); next < min {
+		next = min
+	}
+	q.eng.ScheduleAt(next, func() {
+		q.paceArmed = false
+		q.pace()
+	})
+}
+
+func (q *ConnectXQP) emit(psn uint32, rtx bool) {
+	now := q.eng.Now()
+	p := packet.NewData(q.flow, psn, q.mtu, now)
+	if rtx {
+		p.Flags |= packet.FlagRetransmit
+	}
+	gap := sim.Duration(float64(packet.WireSize(q.mtu)*8) / q.rc * float64(sim.Second))
+	q.nextSend = q.nextSend.Add(gap)
+	q.armRTO()
+	q.out.Receive(p)
+}
+
+func (q *ConnectXQP) armRTO() {
+	q.rtoTimer.Cancel()
+	q.rtoTimer = q.eng.Schedule(q.rto, func() {
+		if !q.active || q.una == q.nxt {
+			return
+		}
+		q.nxt = q.una // go-back-N restart
+		q.pace()
+	})
+}
+
+// Receive implements netem.Node for returning ACK/NACK/CNP traffic.
+func (q *ConnectXQP) Receive(p *packet.Packet) {
+	if !q.active || p.Flow != q.flow {
+		return
+	}
+	switch {
+	case p.Type == packet.CNP || p.Flags.Has(packet.FlagCNPNotify):
+		q.onCNP()
+	case p.Flags.Has(packet.FlagNACK):
+		if p.Ack > q.una {
+			q.una = p.Ack
+		}
+		q.nxt = q.una // go-back-N
+		q.pace()
+	case p.Type == packet.ACK:
+		if p.Ack > q.una {
+			q.una = p.Ack
+			q.checkDone()
+		}
+	}
+}
+
+func (q *ConnectXQP) onCNP() {
+	q.alpha = (1-q.g)*q.alpha + q.g
+	q.rt = q.rc
+	q.rc = maxF(q.rc*(1-q.alpha/2), q.minRate)
+	q.stage = 0
+}
+
+func (q *ConnectXQP) alphaTick() {
+	q.alpha = (1 - q.g) * q.alpha
+}
+
+func (q *ConnectXQP) rateTick() {
+	if !q.active {
+		return
+	}
+	q.stage++
+	switch {
+	case q.stage < q.frSteps:
+		// fast recovery: halve toward target
+	case q.stage < 2*q.frSteps:
+		q.rt += q.aiBps
+	default:
+		q.rt += q.haiBps
+	}
+	if q.rt > float64(q.line) {
+		q.rt = float64(q.line)
+	}
+	q.rc = (q.rc + q.rt) / 2
+	if q.rc > float64(q.line) {
+		q.rc = float64(q.line)
+	}
+}
+
+func (q *ConnectXQP) checkDone() {
+	if q.una < q.end {
+		return
+	}
+	q.active = false
+	q.rtoTimer.Cancel()
+	q.alphaTmr.Stop()
+	q.rateTmr.Stop()
+	fct := q.eng.Now().Sub(q.started)
+	size := q.flowSize
+	if q.onComplete != nil {
+		q.onComplete(q.flow, size, fct)
+	}
+	if q.nextFlow != nil {
+		q.startFlow(q.nextFlow())
+	}
+}
+
+// RoCEReceiver is the commercial-NIC peer: in-order delivery with NACK on
+// gaps and CNP generation on CE marks, paced per flow.
+type RoCEReceiver struct {
+	eng         *sim.Engine
+	out         netem.Node
+	cnpInterval sim.Duration
+	flows       map[packet.FlowID]*roceRxFlow
+}
+
+type roceRxFlow struct {
+	expected uint32
+	lastCNP  sim.Time
+	cnpSent  bool
+	nacked   bool
+}
+
+// NewRoCEReceiver builds a receiver whose ACK/NACK/CNP traffic goes to out.
+func NewRoCEReceiver(eng *sim.Engine, cnpInterval sim.Duration, out netem.Node) *RoCEReceiver {
+	if cnpInterval <= 0 {
+		cnpInterval = sim.Micros(4)
+	}
+	return &RoCEReceiver{eng: eng, out: out, cnpInterval: cnpInterval,
+		flows: make(map[packet.FlowID]*roceRxFlow)}
+}
+
+// Reset clears a flow's receive state for closed-loop reuse.
+func (r *RoCEReceiver) Reset(flow packet.FlowID) { delete(r.flows, flow) }
+
+// Receive implements netem.Node for the DATA stream.
+func (r *RoCEReceiver) Receive(p *packet.Packet) {
+	if p.Type != packet.DATA {
+		return
+	}
+	f := r.flows[p.Flow]
+	if f == nil {
+		f = &roceRxFlow{}
+		r.flows[p.Flow] = f
+	}
+	if p.Flags.Has(packet.FlagCE) {
+		now := r.eng.Now()
+		if !f.cnpSent || now.Sub(f.lastCNP) >= r.cnpInterval {
+			f.cnpSent = true
+			f.lastCNP = now
+			r.out.Receive(&packet.Packet{
+				Type: packet.CNP, Flow: p.Flow, Ack: f.expected,
+				Flags: packet.FlagCNPNotify, Size: packet.ControlSize,
+			})
+		}
+	}
+	switch {
+	case p.PSN == f.expected:
+		f.expected++
+		f.nacked = false
+		r.out.Receive(&packet.Packet{
+			Type: packet.ACK, Flow: p.Flow, PSN: p.PSN, Ack: f.expected,
+			Size: packet.ControlSize, SentAt: p.SentAt,
+		})
+	case p.PSN > f.expected:
+		if !f.nacked {
+			f.nacked = true
+			r.out.Receive(&packet.Packet{
+				Type: packet.ACK, Flow: p.Flow, PSN: p.PSN, Ack: f.expected,
+				Flags: packet.FlagNACK, Size: packet.ControlSize, SentAt: p.SentAt,
+			})
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package refcc
+
+import (
+	"testing"
+
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// loop wires a sender and receiver through two links (forward carrying
+// DATA, reverse carrying ACK/CNP) with the given forward queue config.
+func dctcpLoop(t *testing.T, fwdCfg netem.LinkConfig) (*sim.Engine, *DCTCPSender, *netem.Link) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var sender *DCTCPSender
+	reverse := netem.NewLink(eng, netem.LinkConfig{Rate: 100 * sim.Gbps, Delay: sim.Duration(2 * sim.Microsecond)},
+		netem.NodeFunc(func(p *packet.Packet) { sender.Receive(p) }))
+	recv := NewReceiver(eng, reverse)
+	forward := netem.NewLink(eng, fwdCfg, recv)
+	sender = NewDCTCPSender(eng, DCTCPConfig{
+		Flow: 1, MTU: 1024, LineRate: 100 * sim.Gbps,
+		InitCwnd: 1, Ssthresh: 64,
+	}, forward)
+	return eng, sender, forward
+}
+
+func TestDCTCPSenderSlowStartThenCA(t *testing.T) {
+	eng, s, _ := dctcpLoop(t, netem.LinkConfig{
+		Rate: 100 * sim.Gbps, Delay: sim.Duration(2 * sim.Microsecond), QueueBytes: 1 << 20,
+	})
+	s.Start()
+	eng.Run(sim.Time(sim.Millisecond))
+	// No loss, no ECN: cwnd should have passed ssthresh (64) and kept
+	// growing linearly.
+	final := s.CwndTrace[len(s.CwndTrace)-1].V
+	if final < 64 {
+		t.Fatalf("cwnd = %v after 1ms clean run, want > 64", final)
+	}
+	// The trace must be monotone nondecreasing without loss events.
+	for i := 1; i < len(s.CwndTrace); i++ {
+		if s.CwndTrace[i].V < s.CwndTrace[i-1].V-1e-9 {
+			t.Fatalf("cwnd decreased without loss at %v", s.CwndTrace[i].At)
+		}
+	}
+}
+
+func TestDCTCPSenderLossTriggersRecovery(t *testing.T) {
+	eng, s, fwd := dctcpLoop(t, netem.LinkConfig{
+		Rate: 100 * sim.Gbps, Delay: sim.Duration(2 * sim.Microsecond), QueueBytes: 1 << 20,
+	})
+	script := netem.NewScript().DropOnce(1, 200)
+	fwd.AddHook(script.Hook)
+	s.Start()
+	eng.Run(sim.Time(sim.Millisecond))
+	// The drop must produce a visible cwnd reduction.
+	var sawDrop bool
+	for i := 1; i < len(s.CwndTrace); i++ {
+		if s.CwndTrace[i].V < s.CwndTrace[i-1].V-1 {
+			sawDrop = true
+			break
+		}
+	}
+	if !sawDrop {
+		t.Fatal("scripted loss produced no cwnd reduction")
+	}
+	if script.Pending() != 0 {
+		t.Fatal("scripted drop never fired")
+	}
+	// And the flow must keep making progress afterwards.
+	if s.una < 300 {
+		t.Fatalf("una = %d, flow stalled after loss", s.una)
+	}
+}
+
+func TestDCTCPSenderECNRaisesAlpha(t *testing.T) {
+	eng, s, fwd := dctcpLoop(t, netem.LinkConfig{
+		Rate: 100 * sim.Gbps, Delay: sim.Duration(2 * sim.Microsecond), QueueBytes: 1 << 20,
+	})
+	fwd.AddHook(netem.NewScript().MarkRange(1, 100, 400).Hook)
+	s.Start()
+	eng.Run(sim.Time(sim.Millisecond))
+	peak := 0.0
+	for _, p := range s.AlphaTrace {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	if peak < 0.05 {
+		t.Fatalf("alpha peak = %v after 300 marked packets, want > 0.05", peak)
+	}
+	final := s.AlphaTrace[len(s.AlphaTrace)-1].V
+	if final >= peak {
+		t.Fatalf("alpha did not decay after marking stopped: peak=%v final=%v", peak, final)
+	}
+}
+
+func TestDCTCPReceiverBuffersOutOfOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	var acks []*packet.Packet
+	r := NewReceiver(eng, netem.NodeFunc(func(p *packet.Packet) { acks = append(acks, p) }))
+	r.Receive(packet.NewData(1, 0, 1024, 0))
+	r.Receive(packet.NewData(1, 2, 1024, 0))
+	r.Receive(packet.NewData(1, 1, 1024, 0))
+	if len(acks) != 3 || acks[2].Ack != 3 {
+		t.Fatalf("acks = %+v", acks)
+	}
+}
+
+// roceLoop wires one ConnectX QP through a bottleneck to a RoCE receiver.
+func roceLoop(t *testing.T, ecn netem.ECNConfig) (*sim.Engine, *ConnectXQP) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var qp *ConnectXQP
+	reverse := netem.NewLink(eng, netem.LinkConfig{Rate: 100 * sim.Gbps, Delay: sim.Duration(2 * sim.Microsecond)},
+		netem.NodeFunc(func(p *packet.Packet) { qp.Receive(p) }))
+	recv := NewRoCEReceiver(eng, sim.Micros(4), reverse)
+	forward := netem.NewLink(eng, netem.LinkConfig{
+		Rate: 100 * sim.Gbps, Delay: sim.Duration(2 * sim.Microsecond),
+		QueueBytes: 1 << 20, ECN: ecn,
+	}, recv)
+	qp = NewConnectXQP(eng, ConnectXConfig{Flow: 1, MTU: 1024, LineRate: 100 * sim.Gbps}, forward)
+	return eng, qp
+}
+
+func TestConnectXFlowCompletes(t *testing.T) {
+	eng, qp := roceLoop(t, netem.ECNConfig{})
+	var fct sim.Duration
+	qp.OnComplete(func(_ packet.FlowID, size uint32, d sim.Duration) {
+		if size != 1000 {
+			t.Errorf("size = %d", size)
+		}
+		fct = d
+	})
+	qp.StartFlow(1000)
+	eng.Run(sim.Time(10 * sim.Millisecond))
+	if fct == 0 {
+		t.Fatal("flow never completed")
+	}
+	// 1000 pkts * 1044B at ~100G ~ 84us plus RTT.
+	if us := fct.Microseconds(); us < 80 || us > 300 {
+		t.Fatalf("fct = %vus, want ~90", us)
+	}
+}
+
+func TestConnectXCNPReducesRate(t *testing.T) {
+	// Mark everything (threshold 0) to force CNPs and a rate cut.
+	eng, qp := roceLoop(t, netem.StepMarking(0, 1024))
+	qp.StartFlow(1 << 20)
+	eng.Run(sim.Time(sim.Micros(200)))
+	if got := qp.Rate(); got >= 100*sim.Gbps {
+		t.Fatalf("rate = %v after persistent marking, want < line", got)
+	}
+}
+
+func TestConnectXRateRecovers(t *testing.T) {
+	eng, qp := roceLoop(t, netem.ECNConfig{})
+	qp.StartFlow(1 << 20)
+	// Inject one CNP directly.
+	eng.Schedule(sim.Micros(10), func() {
+		qp.Receive(&packet.Packet{Type: packet.CNP, Flow: 1, Flags: packet.FlagCNPNotify, Size: 64})
+	})
+	eng.Run(sim.Time(sim.Micros(20)))
+	cut := qp.Rate()
+	if cut >= 100*sim.Gbps {
+		t.Fatal("CNP did not cut rate")
+	}
+	eng.Run(sim.Time(10 * sim.Millisecond))
+	if rec := qp.Rate(); rec <= cut || rec < 90*sim.Gbps {
+		t.Fatalf("rate did not recover: cut=%v now=%v", cut, rec)
+	}
+}
+
+func TestConnectXClosedLoopRunsManyFlows(t *testing.T) {
+	eng, qp := roceLoop(t, netem.ECNConfig{})
+	count := 0
+	qp.OnComplete(func(packet.FlowID, uint32, sim.Duration) { count++ })
+	qp.RunClosedLoop(func() uint32 { return 50 })
+	eng.Run(sim.Time(2 * sim.Millisecond))
+	if count < 20 {
+		t.Fatalf("completed %d closed-loop flows in 2ms, want many", count)
+	}
+}
+
+func TestRoCEReceiverNACKsGaps(t *testing.T) {
+	eng := sim.NewEngine()
+	var out []*packet.Packet
+	r := NewRoCEReceiver(eng, sim.Micros(4), netem.NodeFunc(func(p *packet.Packet) { out = append(out, p) }))
+	r.Receive(packet.NewData(1, 0, 1024, 0))
+	r.Receive(packet.NewData(1, 2, 1024, 0))
+	var nacks int
+	for _, p := range out {
+		if p.Flags.Has(packet.FlagNACK) {
+			nacks++
+		}
+	}
+	if nacks != 1 {
+		t.Fatalf("nacks = %d, want 1", nacks)
+	}
+}
+
+func TestRoCEReceiverCNPOnCE(t *testing.T) {
+	eng := sim.NewEngine()
+	var cnps int
+	r := NewRoCEReceiver(eng, sim.Micros(4), netem.NodeFunc(func(p *packet.Packet) {
+		if p.Type == packet.CNP {
+			cnps++
+		}
+	}))
+	d := packet.NewData(1, 0, 1024, 0)
+	d.Flags |= packet.FlagCE
+	r.Receive(d)
+	d2 := packet.NewData(1, 1, 1024, 0)
+	d2.Flags |= packet.FlagCE
+	r.Receive(d2) // same instant: paced away
+	if cnps != 1 {
+		t.Fatalf("cnps = %d, want 1 (paced)", cnps)
+	}
+}

@@ -1,0 +1,26 @@
+package scenario
+
+import "testing"
+
+// FuzzParse checks the scenario parser never panics and that every
+// accepted script re-parses identically (parse determinism).
+func FuzzParse(f *testing.F) {
+	f.Add("set algo dctcp\nat 0ms start 0 tx 0 rx 1\nrun 1ms\nexpect jain >= 0.9")
+	f.Add("run 1ms")
+	f.Add("# comment only\nrun 5us")
+	f.Add("at 0ms flap rx 1 for 10us\nrun 1ms")
+	f.Add("at 1ms mark flow 2 rx 0 psn 1..9\nrun 1ms")
+	f.Fuzz(func(t *testing.T, src string) {
+		s1, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s2, err := Parse(src)
+		if err != nil {
+			t.Fatalf("accepted script failed to re-parse: %v", err)
+		}
+		if len(s1.actions) != len(s2.actions) || len(s1.steps) != len(s2.steps) {
+			t.Fatal("parse is not deterministic")
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Parse compiles a scenario script. Errors carry 1-based line numbers.
+func Parse(src string) (*Scenario, error) {
+	s := &Scenario{}
+	s.spec.Seed = 1
+	sawRun := false
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := strings.TrimSpace(raw)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		var err error
+		switch fields[0] {
+		case "set":
+			if sawRun {
+				err = fmt.Errorf("set after run is not allowed")
+			} else {
+				err = s.parseSet(fields[1:])
+			}
+		case "at":
+			err = s.parseAt(line, fields[1:])
+		case "run":
+			var d sim.Duration
+			d, err = parseDur(fields[1:])
+			if err == nil {
+				sawRun = true
+				s.steps = append(s.steps, step{line: line, run: d})
+			}
+		case "expect":
+			var e *expectation
+			e, err = parseExpect(strings.Join(fields[1:], " "))
+			if err == nil {
+				s.steps = append(s.steps, step{line: line, expect: e})
+			}
+		default:
+			err = fmt.Errorf("unknown directive %q", fields[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario line %d: %w", line, err)
+		}
+	}
+	if !sawRun {
+		return nil, fmt.Errorf("scenario: no run directive")
+	}
+	return s, nil
+}
+
+func (s *Scenario) parseSet(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("set needs KEY VALUE")
+	}
+	key, val := args[0], args[1]
+	switch key {
+	case "algo":
+		s.spec.Algorithm = val
+	case "ports":
+		return setInt(&s.spec.Ports, val)
+	case "mtu":
+		return setInt(&s.spec.MTU, val)
+	case "ecn":
+		return setInt(&s.spec.ECNThresholdPkts, val)
+	case "queue":
+		return setInt(&s.spec.NetQueueBytes, val)
+	case "seed":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", val)
+		}
+		s.spec.Seed = n
+	case "dcqcnscale":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad dcqcnscale %q", val)
+		}
+		s.spec.DCQCNTimeScale = f
+	case "receiver":
+		s.spec.Receiver = val
+	case "pfc":
+		return setBool(&s.spec.EnablePFC, val)
+	case "int":
+		return setBool(&s.spec.EnableINT, val)
+	case "fpgarecv":
+		return setBool(&s.spec.ReceiverOnFPGA, val)
+	default:
+		return fmt.Errorf("unknown setting %q", key)
+	}
+	return nil
+}
+
+// parseAt handles:
+//
+//	at D start FLOW tx P rx P [size N]
+//	at D stop FLOW
+//	at D drop flow FLOW rx P psn N
+//	at D mark flow FLOW rx P psn A..B
+//	at D flap rx P for DURATION
+func (s *Scenario) parseAt(line int, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("at needs a time and an action")
+	}
+	d, err := parseDur(args[:1])
+	if err != nil {
+		return err
+	}
+	a := action{at: d, line: line, kind: args[1]}
+	rest := args[2:]
+	switch a.kind {
+	case "start":
+		// FLOW tx P rx P [size N]
+		kv, err := keyVals(rest, "start", []string{"", "tx", "rx"}, []string{"size"})
+		if err != nil {
+			return err
+		}
+		a.flow = packet.FlowID(kv[""])
+		a.tx, a.rx = int(kv["tx"]), int(kv["rx"])
+		a.size = uint32(kv["size"])
+	case "stop":
+		if len(rest) != 1 {
+			return fmt.Errorf("stop needs a flow id")
+		}
+		n, err := strconv.ParseUint(rest[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad flow id %q", rest[0])
+		}
+		a.flow = packet.FlowID(n)
+	case "drop":
+		kv, err := keyVals(rest, "drop", []string{"flow", "rx", "psn"}, nil)
+		if err != nil {
+			return err
+		}
+		a.flow = packet.FlowID(kv["flow"])
+		a.rx = int(kv["rx"])
+		a.psnA = uint32(kv["psn"])
+	case "mark":
+		// flow F rx P psn A..B
+		if len(rest) != 6 || rest[0] != "flow" || rest[2] != "rx" || rest[4] != "psn" {
+			return fmt.Errorf("mark needs: flow F rx P psn A..B")
+		}
+		fl, err1 := strconv.ParseUint(rest[1], 10, 32)
+		rx, err2 := strconv.Atoi(rest[3])
+		lo, hi, err3 := parseRange(rest[5])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("bad mark operands")
+		}
+		a.flow = packet.FlowID(fl)
+		a.rx = rx
+		a.psnA, a.psnB = lo, hi
+	case "flap":
+		// rx P for D
+		if len(rest) != 4 || rest[0] != "rx" || rest[2] != "for" {
+			return fmt.Errorf("flap needs: rx P for DURATION")
+		}
+		rx, err1 := strconv.Atoi(rest[1])
+		d, err2 := parseDur(rest[3:4])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad flap operands")
+		}
+		a.rx = rx
+		a.flap = d
+	default:
+		return fmt.Errorf("unknown action %q", a.kind)
+	}
+	s.actions = append(s.actions, a)
+	return nil
+}
+
+// keyVals parses "V k1 V1 k2 V2 ..." where keys[0] == "" means the first
+// token is a bare value; optional keys may be omitted.
+func keyVals(tokens []string, verb string, keys, optional []string) (map[string]uint64, error) {
+	out := make(map[string]uint64)
+	i := 0
+	for _, k := range keys {
+		if k == "" {
+			if i >= len(tokens) {
+				return nil, fmt.Errorf("%s: missing value", verb)
+			}
+			v, err := strconv.ParseUint(tokens[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", verb, tokens[i])
+			}
+			out[k] = v
+			i++
+			continue
+		}
+		if i+1 >= len(tokens) || tokens[i] != k {
+			return nil, fmt.Errorf("%s: expected %q", verb, k)
+		}
+		v, err := strconv.ParseUint(tokens[i+1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad %s %q", verb, k, tokens[i+1])
+		}
+		out[k] = v
+		i += 2
+	}
+	for _, k := range optional {
+		if i+1 < len(tokens) && tokens[i] == k {
+			v, err := strconv.ParseUint(tokens[i+1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad %s %q", verb, k, tokens[i+1])
+			}
+			out[k] = v
+			i += 2
+		}
+	}
+	if i != len(tokens) {
+		return nil, fmt.Errorf("%s: trailing tokens %v", verb, tokens[i:])
+	}
+	return out, nil
+}
+
+func parseRange(s string) (lo, hi uint32, err error) {
+	parts := strings.SplitN(s, "..", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	a, err1 := strconv.ParseUint(parts[0], 10, 32)
+	b, err2 := strconv.ParseUint(parts[1], 10, 32)
+	if err1 != nil || err2 != nil || b < a {
+		return 0, 0, fmt.Errorf("bad range %q", s)
+	}
+	return uint32(a), uint32(b), nil
+}
+
+func parseDur(args []string) (sim.Duration, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("expected one duration")
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad duration %q", args[0])
+	}
+	return sim.FromStd(d), nil
+}
+
+// parseExpect handles "METRIC OP VALUE" and "flow_gbps FLOW OP VALUE".
+func parseExpect(text string) (*expectation, error) {
+	fields := strings.Fields(text)
+	e := &expectation{raw: text}
+	switch {
+	case len(fields) == 4 && fields[0] == "flow_gbps":
+		n, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad flow id %q", fields[1])
+		}
+		e.metric = "flow_gbps"
+		e.flow = packet.FlowID(n)
+		e.hasFlo = true
+		fields = fields[2:]
+	case len(fields) == 3:
+		e.metric = fields[0]
+		fields = fields[1:]
+	default:
+		return nil, fmt.Errorf("expect needs METRIC OP VALUE")
+	}
+	switch fields[0] {
+	case "==", "!=", "<", "<=", ">", ">=":
+		e.op = fields[0]
+	default:
+		return nil, fmt.Errorf("bad operator %q", fields[0])
+	}
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad value %q", fields[1])
+	}
+	e.value = v
+	return e, nil
+}
+
+func setInt(dst *int, val string) error {
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad integer %q", val)
+	}
+	*dst = n
+	return nil
+}
+
+func setBool(dst *bool, val string) error {
+	switch val {
+	case "on", "true", "1":
+		*dst = true
+	case "off", "false", "0":
+		*dst = false
+	default:
+		return fmt.Errorf("bad boolean %q (want on/off)", val)
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package scenario implements a packetdrill-style scripting language for
+// the tester (the paper's related work, §2.2, places Marlin in the lineage
+// of scriptable testers like packetdrill). A scenario is a small text
+// program: configuration, a timeline of flow starts/stops and injected
+// faults, run directives, and expectations evaluated against the
+// control-plane registers.
+//
+//	# two DCTCP flows into one port, with a scripted loss
+//	set algo dctcp
+//	set ports 3
+//	set ecn 65
+//	at 0ms   start 0 tx 0 rx 2
+//	at 0ms   start 1 tx 1 rx 2
+//	at 1ms   drop flow 0 rx 2 psn 5000
+//	run 4ms
+//	expect false_losses == 0
+//	expect jain >= 0.95
+//	expect total_gbps >= 85
+//
+// Durations use Go syntax (1ms, 250us). Lines starting with '#' are
+// comments. Expectations compare a metric against a constant with one of
+// ==, !=, <, <=, >, >=.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"marlin/internal/controlplane"
+	"marlin/internal/core"
+	"marlin/internal/measure"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Scenario is a parsed script.
+type Scenario struct {
+	spec    controlplane.Spec
+	actions []action
+	steps   []step
+}
+
+// action is a timeline entry.
+type action struct {
+	at   sim.Duration
+	line int
+	kind string // start, stop, drop, mark
+	flow packet.FlowID
+	tx   int
+	rx   int
+	size uint32
+	psnA uint32
+	psnB uint32
+	flap sim.Duration
+}
+
+// step is a run or expect directive, executed in order.
+type step struct {
+	line   int
+	run    sim.Duration // nonzero = advance the clock
+	expect *expectation
+}
+
+// expectation is one metric assertion.
+type expectation struct {
+	metric string
+	flow   packet.FlowID
+	hasFlo bool
+	op     string
+	value  float64
+	raw    string
+}
+
+// CheckResult is one evaluated expectation.
+type CheckResult struct {
+	Line     int
+	Text     string
+	Measured float64
+	Pass     bool
+}
+
+// Report is the outcome of a scenario run.
+type Report struct {
+	Checks []CheckResult
+	// Elapsed is the simulated time consumed by run directives.
+	Elapsed sim.Duration
+	// Snapshot is the final register readout.
+	Snapshot controlplane.Snapshot
+}
+
+// Passed reports whether every expectation held.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures lists the failed checks.
+func (r *Report) Failures() []CheckResult {
+	var out []CheckResult
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary renders a human-readable result.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "%s  line %-3d %-40s (measured %.4g)\n", mark, c.Line, c.Text, c.Measured)
+	}
+	fmt.Fprintf(&b, "%d/%d checks passed over %v simulated\n",
+		len(r.Checks)-len(r.Failures()), len(r.Checks), r.Elapsed)
+	return b.String()
+}
+
+// Run executes the scenario and evaluates its expectations.
+func (s *Scenario) Run() (*Report, error) {
+	eng := sim.NewEngine()
+	tr, err := s.spec.Deploy(eng)
+	if err != nil {
+		return nil, err
+	}
+	// Schedule timeline actions.
+	for _, a := range s.actions {
+		a := a
+		eng.ScheduleAt(sim.Time(a.at), func() {
+			switch a.kind {
+			case "start":
+				if err := tr.StartFlow(a.flow, a.tx, a.rx, a.size); err != nil {
+					panic(fmt.Sprintf("scenario line %d: %v", a.line, err))
+				}
+			case "stop":
+				tr.StopFlow(a.flow)
+			case "drop":
+				tr.ForwardLink(a.rx).AddHook(netem.NewScript().DropOnce(a.flow, a.psnA).Hook)
+			case "mark":
+				tr.ForwardLink(a.rx).AddHook(netem.NewScript().MarkRange(a.flow, a.psnA, a.psnB).Hook)
+			case "flap":
+				// Blackout: pause the link toward rx, resume after the
+				// flap duration. Queued packets wait; RTOs fire if the
+				// outage exceeds them.
+				link := tr.ForwardLink(a.rx)
+				link.Pause()
+				eng.Schedule(a.flap, link.Resume)
+			}
+		})
+	}
+
+	rep := &Report{}
+	var elapsed sim.Duration
+	for _, st := range s.steps {
+		if st.run > 0 {
+			elapsed += st.run
+			tr.Run(sim.Time(elapsed))
+			continue
+		}
+		val, err := s.measure(tr, st.expect, elapsed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", st.line, err)
+		}
+		rep.Checks = append(rep.Checks, CheckResult{
+			Line:     st.line,
+			Text:     st.expect.raw,
+			Measured: val,
+			Pass:     compare(val, st.expect.op, st.expect.value),
+		})
+	}
+	rep.Elapsed = elapsed
+	rep.Snapshot = controlplane.ReadRegisters(tr)
+	return rep, nil
+}
+
+// measure evaluates one metric against the tester's registers.
+func (s *Scenario) measure(tr *core.Tester, e *expectation, elapsed sim.Duration) (float64, error) {
+	snap := controlplane.ReadRegisters(tr)
+	losses := controlplane.ReadLosses(tr)
+	secs := elapsed.Seconds()
+	switch e.metric {
+	case "completions":
+		return float64(snap.FCTCount), nil
+	case "false_losses":
+		return float64(losses.FalseLosses), nil
+	case "network_drops":
+		return float64(losses.NetworkDrops), nil
+	case "cnp_tx":
+		return float64(snap.Switch.CnpTx), nil
+	case "ooo_rx":
+		return float64(snap.Switch.OutOfOrderRx), nil
+	case "rtx":
+		return float64(snap.NIC.RtxTx), nil
+	case "total_gbps":
+		if secs == 0 {
+			return 0, nil
+		}
+		return float64(snap.Switch.DataTxBytes) * 8 / secs / 1e9, nil
+	case "flow_gbps":
+		if secs == 0 {
+			return 0, nil
+		}
+		return float64(tr.GoodputBits(e.flow)) / secs / 1e9, nil
+	case "jain":
+		var rates []float64
+		for f := range s.startedFlows() {
+			rates = append(rates, float64(tr.GoodputBits(f)))
+		}
+		return measure.JainIndex(rates), nil
+	case "fct_p50_us", "fct_p99_us":
+		cdf := measure.NewCDF(tr.FCTs.FCTs())
+		if cdf.Len() == 0 {
+			return 0, fmt.Errorf("no completed flows for %s", e.metric)
+		}
+		p := 0.5
+		if e.metric == "fct_p99_us" {
+			p = 0.99
+		}
+		return cdf.Percentile(p), nil
+	case "rtt_p50_us", "rtt_ewma_us":
+		samples, count, ewma := tr.NIC.RTTSamples()
+		if count == 0 {
+			return 0, fmt.Errorf("no RTT probes for %s", e.metric)
+		}
+		if e.metric == "rtt_ewma_us" {
+			return ewma, nil
+		}
+		return measure.NewCDF(samples).Percentile(0.5), nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", e.metric)
+	}
+}
+
+// startedFlows lists the distinct flows the timeline starts (for jain).
+func (s *Scenario) startedFlows() map[packet.FlowID]struct{} {
+	out := make(map[packet.FlowID]struct{})
+	for _, a := range s.actions {
+		if a.kind == "start" {
+			out[a.flow] = struct{}{}
+		}
+	}
+	return out
+}
+
+func compare(v float64, op string, want float64) bool {
+	switch op {
+	case "==":
+		return v == want
+	case "!=":
+		return v != want
+	case "<":
+		return v < want
+	case "<=":
+		return v <= want
+	case ">":
+		return v > want
+	case ">=":
+		return v >= want
+	}
+	return false
+}

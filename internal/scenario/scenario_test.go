@@ -1,0 +1,215 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Scenario {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustRun(t *testing.T, src string) *Report {
+	t.Helper()
+	rep, err := mustParse(t, src).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", "", "no run"},
+		{"unknown directive", "frobnicate\nrun 1ms", "unknown directive"},
+		{"bad set", "set bogus 1\nrun 1ms", "unknown setting"},
+		{"set after run", "run 1ms\nset algo reno", "set after run"},
+		{"bad duration", "run 1parsec", "bad duration"},
+		{"bad action", "at 0ms explode 1\nrun 1ms", "unknown action"},
+		{"start missing rx", "at 0ms start 0 tx 0\nrun 1ms", "expected"},
+		{"bad expect op", "run 1ms\nexpect jain ~ 1", "bad operator"},
+		{"bad expect value", "run 1ms\nexpect jain >= fast", "bad value"},
+		{"bad mark range", "at 0ms mark flow 0 rx 1 psn 9..2\nrun 1ms", "bad"},
+		{"trailing tokens", "at 0ms start 0 tx 0 rx 1 size 5 extra 9\nrun 1ms", "trailing"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestScenarioLineNumbersInErrors(t *testing.T) {
+	_, err := Parse("set algo dctcp\n\n# comment\nat 0ms explode\nrun 1ms")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("err = %v, want line 4", err)
+	}
+}
+
+func TestScenarioSingleFlow(t *testing.T) {
+	rep := mustRun(t, `
+set algo dctcp
+set ports 2
+at 0ms start 0 tx 0 rx 1
+run 2ms
+expect false_losses == 0
+expect total_gbps >= 80
+expect flow_gbps 0 >= 80
+expect rtt_ewma_us <= 50
+expect rtt_p50_us <= 50
+`)
+	if !rep.Passed() {
+		t.Fatalf("scenario failed:\n%s", rep.Summary())
+	}
+	if len(rep.Checks) != 5 {
+		t.Fatalf("checks = %d", len(rep.Checks))
+	}
+}
+
+func TestScenarioFanInWithFaults(t *testing.T) {
+	rep := mustRun(t, `
+# 2:1 fan-in with a scripted loss and an ECN burst
+set algo dctcp
+set ports 3
+set ecn 65
+set seed 9
+at 0ms start 0 tx 0 rx 2
+at 0ms start 1 tx 1 rx 2
+at 0ms drop flow 0 rx 2 psn 500
+at 0ms mark flow 1 rx 2 psn 100..150
+run 4ms
+expect false_losses == 0
+expect rtx >= 1
+expect jain >= 0.9
+expect total_gbps >= 80
+expect total_gbps <= 102
+`)
+	if !rep.Passed() {
+		t.Fatalf("scenario failed:\n%s", rep.Summary())
+	}
+}
+
+func TestScenarioStagedRunsAndStop(t *testing.T) {
+	rep := mustRun(t, `
+set algo dctcp
+set ports 3
+set ecn 65
+at 0ms start 0 tx 0 rx 2
+at 0ms start 1 tx 1 rx 2
+run 3ms
+at 3ms stop 1
+run 3ms
+expect flow_gbps 0 >= 60
+`)
+	if !rep.Passed() {
+		t.Fatalf("scenario failed:\n%s", rep.Summary())
+	}
+	if rep.Elapsed.Seconds() != 0.006 {
+		t.Fatalf("elapsed = %v", rep.Elapsed)
+	}
+}
+
+func TestScenarioFiniteFlowsComplete(t *testing.T) {
+	rep := mustRun(t, `
+set algo reno
+set ports 2
+at 0ms start 0 tx 0 rx 1 size 100
+run 10ms
+expect completions == 1
+expect fct_p50_us <= 1000
+`)
+	if !rep.Passed() {
+		t.Fatalf("scenario failed:\n%s", rep.Summary())
+	}
+}
+
+func TestScenarioFailureReported(t *testing.T) {
+	rep := mustRun(t, `
+set algo dctcp
+set ports 2
+at 0ms start 0 tx 0 rx 1
+run 1ms
+expect total_gbps >= 5000
+`)
+	if rep.Passed() {
+		t.Fatal("impossible expectation passed")
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 || !strings.Contains(fails[0].Text, "5000") {
+		t.Fatalf("failures = %+v", fails)
+	}
+	if !strings.Contains(rep.Summary(), "FAIL") {
+		t.Fatal("summary missing FAIL")
+	}
+}
+
+func TestScenarioSettingsApply(t *testing.T) {
+	s := mustParse(t, `
+set algo dcqcn
+set ports 4
+set mtu 1500
+set ecn 20
+set queue 1048576
+set seed 42
+set dcqcnscale 30
+set receiver roce
+set pfc on
+set int on
+set fpgarecv off
+run 1ms
+`)
+	if s.spec.Algorithm != "dcqcn" || s.spec.Ports != 4 || s.spec.MTU != 1500 ||
+		s.spec.ECNThresholdPkts != 20 || s.spec.NetQueueBytes != 1048576 ||
+		s.spec.Seed != 42 || s.spec.DCQCNTimeScale != 30 ||
+		s.spec.Receiver != "roce" || !s.spec.EnablePFC || !s.spec.EnableINT ||
+		s.spec.ReceiverOnFPGA {
+		t.Fatalf("spec = %+v", s.spec)
+	}
+}
+
+func TestScenarioUnknownMetric(t *testing.T) {
+	s := mustParse(t, "set algo reno\nset ports 2\nrun 1ms\nexpect warp_factor >= 9")
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "unknown metric") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScenarioLinkFlapRecovery(t *testing.T) {
+	// A 2ms blackout mid-flow — longer than the 500us RTO floor: the
+	// link holds packets, RTOs fire, and the flow must still finish once
+	// the link returns.
+	rep := mustRun(t, `
+set algo dctcp
+set ports 2
+at 0ms start 0 tx 0 rx 1 size 30000
+at 500us flap rx 1 for 2ms
+run 40ms
+expect completions == 1
+expect false_losses == 0
+`)
+	if !rep.Passed() {
+		t.Fatalf("scenario failed:\n%s", rep.Summary())
+	}
+	if rep.Snapshot.NIC.Timeouts == 0 {
+		t.Fatal("2ms blackout fired no RTOs")
+	}
+}
+
+func TestScenarioFlapParseErrors(t *testing.T) {
+	if _, err := Parse("at 0ms flap rx 1\nrun 1ms"); err == nil {
+		t.Fatal("truncated flap parsed")
+	}
+	if _, err := Parse("at 0ms flap rx x for 1ms\nrun 1ms"); err == nil {
+		t.Fatal("bad flap port parsed")
+	}
+}

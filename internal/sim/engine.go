@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Func is the body of a scheduled event. It runs exactly once at its
+// scheduled timestamp with the engine clock already advanced to that time.
+type Func func()
+
+// event is a queue entry. seq breaks ties so that events scheduled earlier
+// at the same timestamp fire first, keeping runs deterministic.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     Func
+	cancel bool
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// Engines are not safe for concurrent use; all Marlin components run within
+// one engine goroutine by construction.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// executed counts events that have fired, for diagnostics and as a
+	// cheap progress measure in benchmarks.
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at time zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are queued (including cancelled ones that
+// have not yet been reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Handle identifies a scheduled event so that it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from running. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancel || h.ev.fn == nil {
+		return false
+	}
+	h.ev.cancel = true
+	return true
+}
+
+// ScheduleAt enqueues fn to run at the absolute timestamp at. Scheduling in
+// the past panics: it always indicates a component bug, and silently
+// reordering time would corrupt every downstream measurement.
+func (e *Engine) ScheduleAt(at Time, fn Func) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev}
+}
+
+// Schedule enqueues fn to run after delay d (d may be zero; negative d
+// panics via ScheduleAt).
+func (e *Engine) Schedule(d Duration, fn Func) Handle {
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// Stop makes the current Run call return after the in-flight event finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, the
+// horizon is passed, or Stop is called. The clock is left at the timestamp
+// of the last executed event, or at the horizon if it was reached with
+// events still pending. It returns the number of events executed by this
+// call.
+func (e *Engine) Run(until Time) uint64 {
+	e.stopped = false
+	start := e.executed
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > until {
+			e.now = until
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.executed++
+	}
+	return e.executed - start
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() uint64 { return e.Run(Forever) }
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.executed++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,395 @@
+package tofino
+
+import (
+	"fmt"
+
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Config configures one pipeline model.
+type Config struct {
+	// Plan is the port allocation (NewPlan).
+	Plan Plan
+	// QueueDepth is the per-port register-queue depth (0 = default).
+	QueueDepth int
+	// SharedQueue replaces the per-egress-port queues with one shared
+	// queue — the broken design §4.2 rules out, kept for the ablation:
+	// "a TEMP packet might accidentally dequeue metadata meant for a
+	// different port, leading to incorrect packet transmission".
+	SharedQueue bool
+	// Receiver selects the Module A behaviour.
+	Receiver ReceiverMode
+	// ReceiverOnFPGA moves the receiver logic to the FPGA (Figure 2's
+	// dashed path, §4.1): arriving DATA is truncated to 64 bytes and
+	// forwarded over the reserved port instead of being processed by
+	// Module A; the FPGA's responses come back through FPGAAckIn.
+	ReceiverOnFPGA bool
+	// CNPInterval rate-limits per-flow CNP generation (RoCE receiver).
+	CNPInterval sim.Duration
+}
+
+// Counters are the pipeline's control-plane-visible registers (§3.2: "the
+// control plane can retrieve data such as port rate, flow rate, and packet
+// loss by reading hardware registers").
+type Counters struct {
+	ScheRx       uint64
+	ScheDrops    uint64 // register-queue overflows: false losses
+	DataTx       uint64
+	DataTxBytes  uint64
+	DataRx       uint64
+	AckTx        uint64
+	CnpTx        uint64
+	NackTx       uint64
+	AckRx        uint64
+	InfoTx       uint64
+	Misdelivered uint64 // shared-queue ablation: DATA on the wrong port
+	OutOfOrderRx uint64
+	DuplicateRx  uint64
+}
+
+// PortCounters are per-data-port registers.
+type PortCounters struct {
+	DataTx      uint64
+	DataTxBytes uint64
+	ScheRx      uint64
+	ScheDrops   uint64
+	QueueLen    int
+}
+
+// Pipeline is one Tofino pipeline running Marlin's P4 program.
+type Pipeline struct {
+	eng *sim.Engine
+	cfg Config
+
+	queues []*regQueue
+	shared *regQueue
+
+	dataOut  []netem.Node
+	infoOut  netem.Node
+	slot     sim.Duration // TEMP slot: wire time of one MTU frame
+	portFree []sim.Time
+	pending  []bool
+
+	flowPort []int32
+	perFlow  []flowCounters
+	recv     *receiver
+	rxFwd    netem.Node // reserved-port link toward the FPGA receiver
+
+	c     Counters
+	ports []PortCounters
+}
+
+type flowCounters struct {
+	dataTx      uint64
+	dataTxBytes uint64
+}
+
+// NewPipeline builds a pipeline from a validated config.
+func NewPipeline(eng *sim.Engine, cfg Config) (*Pipeline, error) {
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CNPInterval <= 0 {
+		cfg.CNPInterval = sim.Micros(4)
+	}
+	n := cfg.Plan.DataPorts
+	pl := &Pipeline{
+		eng:      eng,
+		cfg:      cfg,
+		dataOut:  make([]netem.Node, n),
+		slot:     cfg.Plan.PortRate.Serialize(packet.WireSize(cfg.Plan.MTU)),
+		portFree: make([]sim.Time, n),
+		pending:  make([]bool, n),
+		ports:    make([]PortCounters, n),
+	}
+	if cfg.SharedQueue {
+		pl.shared = newRegQueue(cfg.QueueDepth * maxInt(n, 1))
+	} else {
+		pl.queues = make([]*regQueue, n)
+		for i := range pl.queues {
+			pl.queues[i] = newRegQueue(cfg.QueueDepth)
+		}
+	}
+	pl.recv = newReceiver(eng, cfg.Receiver, cfg.CNPInterval)
+	return pl, nil
+}
+
+// Plan returns the pipeline's port plan.
+func (pl *Pipeline) Plan() Plan { return pl.cfg.Plan }
+
+// ConnectDataPort attaches data port i's egress to the tested network.
+func (pl *Pipeline) ConnectDataPort(i int, out netem.Node) {
+	pl.dataOut[i] = out
+}
+
+// ConnectInfo attaches the FPGA-facing INFO egress.
+func (pl *Pipeline) ConnectInfo(out netem.Node) { pl.infoOut = out }
+
+// ConnectAckPort attaches receiver port i's ACK return path.
+func (pl *Pipeline) ConnectAckPort(i int, out netem.Node) {
+	pl.recv.connectAck(i, out)
+}
+
+// BindFlow assigns a flow to a data port; the FPGA must pace the flow's
+// SCHE packets within that port's DATA rate (§4.2).
+func (pl *Pipeline) BindFlow(flow packet.FlowID, port int) error {
+	if port < 0 || port >= len(pl.dataOut) {
+		return fmt.Errorf("tofino: port %d out of range [0,%d)", port, len(pl.dataOut))
+	}
+	for int(flow) >= len(pl.flowPort) {
+		pl.flowPort = append(pl.flowPort, -1)
+		pl.perFlow = append(pl.perFlow, flowCounters{})
+	}
+	pl.flowPort[flow] = int32(port)
+	return nil
+}
+
+// ResetFlow clears receiver-side state so a flow slot can be reused for a
+// new flow (closed-loop workloads).
+func (pl *Pipeline) ResetFlow(flow packet.FlowID) {
+	pl.recv.reset(flow)
+	if int(flow) < len(pl.perFlow) {
+		pl.perFlow[flow] = flowCounters{}
+	}
+}
+
+// Counters returns a snapshot of the pipeline registers.
+func (pl *Pipeline) Counters() Counters {
+	c := pl.c
+	c.CnpTx = pl.recv.cnpTx
+	c.NackTx = pl.recv.nackTx
+	c.AckTx = pl.recv.ackTx
+	c.DataRx = pl.recv.dataRx
+	c.OutOfOrderRx = pl.recv.oooRx
+	c.DuplicateRx = pl.recv.dupRx
+	return c
+}
+
+// PortCounters returns the registers of data port i.
+func (pl *Pipeline) PortCounters(i int) PortCounters {
+	pc := pl.ports[i]
+	if pl.queues != nil {
+		pc.QueueLen = pl.queues[i].len()
+	}
+	return pc
+}
+
+// FlowTxBytes returns the DATA bytes emitted for a flow (flow-rate
+// register).
+func (pl *Pipeline) FlowTxBytes(flow packet.FlowID) uint64 {
+	if int(flow) >= len(pl.perFlow) {
+		return 0
+	}
+	return pl.perFlow[flow].dataTxBytes
+}
+
+// ScheIn returns the Node the FPGA-facing link delivers SCHE packets to.
+func (pl *Pipeline) ScheIn() netem.Node {
+	return netem.NodeFunc(pl.receiveSche)
+}
+
+// receiveSche implements §4.2's enqueue: "when a SCHE packet arrives at
+// the egress, its metadata is enqueued into the queue corresponding to the
+// designated output port", then the SCHE packet is discarded.
+func (pl *Pipeline) receiveSche(p *packet.Packet) {
+	if p.Type != packet.SCHE {
+		return
+	}
+	pl.c.ScheRx++
+	port := p.Port
+	if port < 0 || port >= len(pl.dataOut) {
+		pl.c.ScheDrops++
+		return
+	}
+	pl.ports[port].ScheRx++
+	m := scheMeta{flow: p.Flow, psn: p.PSN, flags: p.Flags, sentAt: int64(p.SentAt), port: port}
+	q := pl.shared
+	if q == nil {
+		q = pl.queues[port]
+	}
+	if !q.enqueue(m) {
+		pl.c.ScheDrops++
+		pl.ports[port].ScheDrops++
+		return
+	}
+	if pl.cfg.SharedQueue {
+		pl.kickShared()
+	} else {
+		pl.kick(port)
+	}
+}
+
+// kick arms port i's next TEMP slot if the drain loop is idle. TEMP
+// packets circulate at line rate and are multicast to every port; a slot
+// that finds the queue empty discards its TEMP packet, so only occupied
+// slots are simulated.
+func (pl *Pipeline) kick(port int) {
+	if pl.pending[port] {
+		return
+	}
+	pl.pending[port] = true
+	at := pl.portFree[port]
+	if now := pl.eng.Now(); at < now {
+		at = now
+	}
+	pl.eng.ScheduleAt(at, func() { pl.emit(port) })
+}
+
+// emit is one TEMP slot on a port: dequeue metadata, restore the DATA
+// packet, and send it into the tested network.
+func (pl *Pipeline) emit(port int) {
+	pl.pending[port] = false
+	q := pl.shared
+	if q == nil {
+		q = pl.queues[port]
+	}
+	m, ok := q.dequeue()
+	if !ok {
+		return
+	}
+	pl.portFree[port] = pl.eng.Now().Add(pl.slot)
+	if m.port != port {
+		pl.c.Misdelivered++
+	}
+	pl.sendData(port, m)
+	if q.len() > 0 {
+		pl.kick(port)
+	}
+}
+
+// kickShared schedules the shared-queue ablation's next emission on
+// whichever port's TEMP slot comes first.
+func (pl *Pipeline) kickShared() {
+	best := -1
+	for i := range pl.portFree {
+		if pl.pending[i] {
+			continue
+		}
+		if best == -1 || pl.portFree[i] < pl.portFree[best] {
+			best = i
+		}
+	}
+	if best == -1 {
+		return
+	}
+	pl.pending[best] = true
+	at := pl.portFree[best]
+	if now := pl.eng.Now(); at < now {
+		at = now
+	}
+	pl.eng.ScheduleAt(at, func() {
+		pl.emit(best)
+		if pl.shared.len() > 0 {
+			pl.kickShared()
+		}
+	})
+}
+
+func (pl *Pipeline) sendData(port int, m scheMeta) {
+	out := pl.dataOut[port]
+	if out == nil {
+		return
+	}
+	d := packet.NewData(m.flow, m.psn, pl.cfg.Plan.MTU, sim.Time(m.sentAt))
+	d.Flags |= m.flags & packet.FlagRetransmit
+	d.Port = port
+	pl.c.DataTx++
+	pl.c.DataTxBytes += uint64(d.Size)
+	pl.ports[port].DataTx++
+	pl.ports[port].DataTxBytes += uint64(d.Size)
+	if int(m.flow) < len(pl.perFlow) {
+		pl.perFlow[m.flow].dataTx++
+		pl.perFlow[m.flow].dataTxBytes += uint64(d.Size)
+	}
+	out.Receive(d)
+}
+
+// ConnectRxForward attaches the reserved-port link carrying truncated DATA
+// toward the FPGA receiver (only used with ReceiverOnFPGA).
+func (pl *Pipeline) ConnectRxForward(out netem.Node) { pl.rxFwd = out }
+
+// DataIn returns the Node the tested network delivers DATA to at receiver
+// port i (Module A, §4.1). With ReceiverOnFPGA the packet is instead
+// truncated to 64 bytes and forwarded to the FPGA over the reserved port.
+func (pl *Pipeline) DataIn(port int) netem.Node {
+	if pl.cfg.ReceiverOnFPGA {
+		return netem.NodeFunc(func(p *packet.Packet) {
+			if p.Type != packet.DATA || pl.rxFwd == nil {
+				return
+			}
+			pl.recv.dataRx++
+			t := p.Clone()
+			t.Size = packet.ControlSize // truncation
+			t.Port = port               // arrival port for ACK routing
+			pl.rxFwd.Receive(t)
+		})
+	}
+	return netem.NodeFunc(func(p *packet.Packet) { pl.recv.onData(port, p) })
+}
+
+// FPGAAckIn returns the Node that accepts the FPGA receiver's ACK/NACK/CNP
+// responses and emits them on the arrival port's ACK path.
+func (pl *Pipeline) FPGAAckIn() netem.Node {
+	return netem.NodeFunc(func(p *packet.Packet) {
+		switch p.Type {
+		case packet.ACK:
+			pl.recv.ackTx++
+			if p.Flags.Has(packet.FlagNACK) {
+				pl.recv.nackTx++
+			}
+		case packet.CNP:
+			pl.recv.cnpTx++
+		default:
+			return
+		}
+		if out := pl.recv.out(p.Port); out != nil {
+			out.Receive(p)
+		}
+	})
+}
+
+// AckIn returns the Node returning ACK/CNP packets reach (Module B): each
+// is compressed into a 64-byte INFO packet and forwarded to the FPGA.
+func (pl *Pipeline) AckIn() netem.Node {
+	return netem.NodeFunc(pl.receiveAck)
+}
+
+func (pl *Pipeline) receiveAck(p *packet.Packet) {
+	switch p.Type {
+	case packet.ACK, packet.CNP:
+	default:
+		return
+	}
+	pl.c.AckRx++
+	if pl.infoOut == nil {
+		return
+	}
+	info := &packet.Packet{
+		Type:   packet.INFO,
+		Flow:   p.Flow,
+		PSN:    p.PSN,
+		Ack:    p.Ack,
+		Flags:  p.Flags,
+		Size:   packet.ControlSize,
+		SentAt: p.SentAt,
+		RxTime: pl.eng.Now(),
+		INT:    p.INT,
+	}
+	if p.Type == packet.CNP {
+		info.Flags |= packet.FlagCNPNotify
+	}
+	if int(p.Flow) < len(pl.flowPort) && pl.flowPort[p.Flow] >= 0 {
+		info.Port = int(pl.flowPort[p.Flow])
+	}
+	pl.c.InfoTx++
+	pl.infoOut.Receive(info)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package tofino
+
+import (
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// ReceiverMode selects Module A's behaviour (§4.1: "the method of handling
+// DATA packets varies depending on the specific CC algorithm employed").
+type ReceiverMode int
+
+// Receiver modes.
+const (
+	// TCPReceiver acknowledges cumulatively, buffers out-of-order
+	// arrivals, and echoes CE marks per packet (DCTCP-exact echo).
+	TCPReceiver ReceiverMode = iota
+	// RoCEReceiver drops out-of-order arrivals and NACKs them
+	// (go-back-N), and converts CE marks into rate-limited CNPs (DCQCN).
+	RoCEReceiver
+)
+
+func (m ReceiverMode) String() string {
+	if m == RoCEReceiver {
+		return "roce"
+	}
+	return "tcp"
+}
+
+// rxFlow is the per-flow receive state kept in switch registers: "the
+// programmable switch updates the receive window by reading the PSN of the
+// DATA packet" (§3.2).
+type rxFlow struct {
+	expected uint32
+	ooo      map[uint32]struct{}
+	lastCNP  sim.Time
+	cnpSent  bool
+	nacked   bool
+}
+
+// receiver is Module A.
+type receiver struct {
+	eng         *sim.Engine
+	mode        ReceiverMode
+	cnpInterval sim.Duration
+	flows       []rxFlow
+	ackOut      []netem.Node
+
+	ackTx  uint64
+	cnpTx  uint64
+	nackTx uint64
+	dataRx uint64
+	oooRx  uint64
+	dupRx  uint64
+}
+
+func newReceiver(eng *sim.Engine, mode ReceiverMode, cnpInterval sim.Duration) *receiver {
+	return &receiver{eng: eng, mode: mode, cnpInterval: cnpInterval}
+}
+
+func (r *receiver) connectAck(port int, out netem.Node) {
+	for port >= len(r.ackOut) {
+		r.ackOut = append(r.ackOut, nil)
+	}
+	r.ackOut[port] = out
+}
+
+func (r *receiver) flow(id packet.FlowID) *rxFlow {
+	for int(id) >= len(r.flows) {
+		r.flows = append(r.flows, rxFlow{})
+	}
+	return &r.flows[id]
+}
+
+func (r *receiver) reset(id packet.FlowID) {
+	if int(id) < len(r.flows) {
+		r.flows[id] = rxFlow{}
+	}
+}
+
+// onData handles one arriving DATA packet at a receiver port (§3.2 steps
+// 3-4): update receive state, then "generate ACK packets by truncating
+// DATA packets to 64 bytes and rewriting their header fields".
+func (r *receiver) onData(port int, p *packet.Packet) {
+	if p.Type != packet.DATA {
+		return
+	}
+	r.dataRx++
+	f := r.flow(p.Flow)
+	ce := p.Flags.Has(packet.FlagCE)
+	switch {
+	case p.PSN == f.expected:
+		f.expected++
+		if r.mode == TCPReceiver {
+			// Drain buffered out-of-order segments.
+			for len(f.ooo) > 0 {
+				if _, ok := f.ooo[f.expected]; !ok {
+					break
+				}
+				delete(f.ooo, f.expected)
+				f.expected++
+			}
+		}
+		f.nacked = false
+	case seqAfter(p.PSN, f.expected):
+		r.oooRx++
+		if r.mode == TCPReceiver {
+			if f.ooo == nil {
+				f.ooo = make(map[uint32]struct{})
+			}
+			f.ooo[p.PSN] = struct{}{}
+		} else {
+			// Go-back-N: discard and NACK once per gap episode.
+			if !f.nacked {
+				f.nacked = true
+				r.sendNack(port, p, f.expected)
+			}
+			if ce {
+				r.maybeCNP(port, p, f)
+			}
+			return
+		}
+	default:
+		r.dupRx++
+	}
+
+	if r.mode == RoCEReceiver && ce {
+		r.maybeCNP(port, p, f)
+	}
+	r.sendAck(port, p, f.expected, ce)
+}
+
+// sendAck emits the truncated-DATA acknowledgement.
+func (r *receiver) sendAck(port int, d *packet.Packet, cumAck uint32, ce bool) {
+	out := r.out(port)
+	if out == nil {
+		return
+	}
+	ack := &packet.Packet{
+		Type:   packet.ACK,
+		Flow:   d.Flow,
+		PSN:    d.PSN,
+		Ack:    cumAck,
+		Size:   packet.ControlSize,
+		SentAt: d.SentAt, // echoed for RTT probing
+		RxTime: r.eng.Now(),
+		INT:    d.INT, // telemetry echo for INT-based CC
+	}
+	if ce && r.mode == TCPReceiver {
+		ack.Flags |= packet.FlagECNEcho
+	}
+	r.ackTx++
+	out.Receive(ack)
+}
+
+func (r *receiver) sendNack(port int, d *packet.Packet, expected uint32) {
+	out := r.out(port)
+	if out == nil {
+		return
+	}
+	n := &packet.Packet{
+		Type:   packet.ACK,
+		Flow:   d.Flow,
+		PSN:    d.PSN,
+		Ack:    expected,
+		Flags:  packet.FlagNACK,
+		Size:   packet.ControlSize,
+		SentAt: d.SentAt,
+		RxTime: r.eng.Now(),
+	}
+	r.nackTx++
+	out.Receive(n)
+}
+
+// maybeCNP emits a DCQCN congestion-notification packet, at most one per
+// CNPInterval per flow (the NP-side pacing of the DCQCN spec).
+func (r *receiver) maybeCNP(port int, d *packet.Packet, f *rxFlow) {
+	now := r.eng.Now()
+	if f.cnpSent && now.Sub(f.lastCNP) < r.cnpInterval {
+		return
+	}
+	out := r.out(port)
+	if out == nil {
+		return
+	}
+	f.lastCNP = now
+	f.cnpSent = true
+	cnp := &packet.Packet{
+		Type:   packet.CNP,
+		Flow:   d.Flow,
+		PSN:    d.PSN,
+		Ack:    f.expected,
+		Flags:  packet.FlagCNPNotify,
+		Size:   packet.ControlSize,
+		SentAt: d.SentAt,
+		RxTime: now,
+	}
+	r.cnpTx++
+	out.Receive(cnp)
+}
+
+func (r *receiver) out(port int) netem.Node {
+	if port < 0 || port >= len(r.ackOut) {
+		return nil
+	}
+	return r.ackOut[port]
+}
+
+// seqAfter reports whether a follows b in 32-bit circular sequence space.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }

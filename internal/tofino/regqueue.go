@@ -1,0 +1,67 @@
+package tofino
+
+import "marlin/internal/packet"
+
+// scheMeta is the metadata a SCHE packet deposits for the DATA generator:
+// "each egress port in the switch has a dedicated queue that stores
+// metadata for the DATA packets to be generated, such as flow id and
+// packet sequence numbers" (§4.2).
+type scheMeta struct {
+	flow   packet.FlowID
+	psn    uint32
+	flags  packet.Flags
+	sentAt int64 // sender timestamp, carried into the DATA packet
+	port   int   // intended egress port (for misdelivery accounting)
+}
+
+// regQueue models the register-array queue of §4.2: a fixed array with
+// head, tail, and length registers. Hardware allows one simple register
+// operation per packet, so there is no re-enqueue after dequeue and no
+// resizing; overflow drops the SCHE instruction (a "false loss").
+type regQueue struct {
+	slots  []scheMeta
+	head   int
+	tail   int
+	length int
+
+	drops    uint64
+	enqueues uint64
+}
+
+// DefaultQueueDepth is the register-array size per port. Tofino register
+// arrays are SRAM-bounded; 2048 entries per port is comfortably within the
+// paper's reported 58/960 SRAM budget.
+const DefaultQueueDepth = 2048
+
+func newRegQueue(depth int) *regQueue {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &regQueue{slots: make([]scheMeta, depth)}
+}
+
+// enqueue admits m, or counts a drop when the array is full.
+func (q *regQueue) enqueue(m scheMeta) bool {
+	if q.length == len(q.slots) {
+		q.drops++
+		return false
+	}
+	q.slots[q.tail] = m
+	q.tail = (q.tail + 1) % len(q.slots)
+	q.length++
+	q.enqueues++
+	return true
+}
+
+// dequeue pops the oldest metadata; ok is false when empty.
+func (q *regQueue) dequeue() (m scheMeta, ok bool) {
+	if q.length == 0 {
+		return scheMeta{}, false
+	}
+	m = q.slots[q.head]
+	q.head = (q.head + 1) % len(q.slots)
+	q.length--
+	return m, true
+}
+
+func (q *regQueue) len() int { return q.length }

@@ -1,0 +1,79 @@
+package tofino
+
+import "fmt"
+
+// Tofino per-pipeline resource budgets. The paper reports its P4 program
+// uses 58/960 SRAM blocks, 3/288 TCAM blocks, across 4 of 12 stages (§6);
+// this model accounts for the structures the reproduction actually
+// instantiates so configurations that could not fit real hardware are
+// rejected up front.
+const (
+	// SRAMBlocks is the per-pipeline SRAM budget (960 blocks of 16 KB).
+	SRAMBlocks = 960
+	// SRAMBlockBytes is the usable size of one SRAM block.
+	SRAMBlockBytes = 16 << 10
+	// TCAMBlocks is the per-pipeline TCAM budget.
+	TCAMBlocks = 288
+	// PipelineStages is the MAU stage count of a Tofino pipeline.
+	PipelineStages = 12
+)
+
+// ResourceReport estimates the data-plane resources one pipeline
+// configuration consumes.
+type ResourceReport struct {
+	// SRAMUsed counts 16 KB SRAM blocks for the register queues, the
+	// per-flow receive state, and the counter registers.
+	SRAMUsed int
+	// TCAMUsed counts TCAM blocks for the forwarding/classification
+	// tables (flow -> port binding and packet-type dispatch).
+	TCAMUsed int
+	// Stages is the MAU stages the program occupies (the paper's
+	// program spans 4).
+	Stages int
+	// RegQueueBytes is the register-array footprint of the SCHE
+	// metadata queues.
+	RegQueueBytes int
+	// RxStateBytes is the receiver-state footprint (expected PSN + CNP
+	// pacing word per flow).
+	RxStateBytes int
+}
+
+// scheMetaBytes is the register footprint of one queue entry: flow id,
+// PSN, flags, and the 48-bit timestamp the DATA packet restores.
+const scheMetaBytes = 4 + 4 + 2 + 6
+
+// rxFlowBytes is the per-flow receiver register word: expected PSN plus
+// the CNP pacing timestamp.
+const rxFlowBytes = 4 + 6
+
+// Resources estimates the report for a queue depth and flow count under
+// the given plan.
+func Resources(plan Plan, queueDepth, flows int) ResourceReport {
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	r := ResourceReport{
+		RegQueueBytes: plan.DataPorts * queueDepth * scheMetaBytes,
+		RxStateBytes:  flows * rxFlowBytes,
+		TCAMUsed:      3, // packet-type dispatch, flow->port, multicast group
+		Stages:        4, // parse/dispatch, queue RMW, rewrite, counters
+	}
+	counterBytes := plan.DataPorts * 64 // per-port counter registers
+	total := r.RegQueueBytes + r.RxStateBytes + counterBytes
+	r.SRAMUsed = (total + SRAMBlockBytes - 1) / SRAMBlockBytes
+	return r
+}
+
+// Validate rejects configurations that exceed the pipeline budgets.
+func (r ResourceReport) Validate() error {
+	if r.SRAMUsed > SRAMBlocks {
+		return fmt.Errorf("tofino: %d SRAM blocks exceed the %d budget", r.SRAMUsed, SRAMBlocks)
+	}
+	if r.TCAMUsed > TCAMBlocks {
+		return fmt.Errorf("tofino: %d TCAM blocks exceed the %d budget", r.TCAMUsed, TCAMBlocks)
+	}
+	if r.Stages > PipelineStages {
+		return fmt.Errorf("tofino: %d stages exceed the %d budget", r.Stages, PipelineStages)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// ArrivalPolicy decides when the next flow of a slot begins. The tester
+// core consults it whenever a flow completes.
+type ArrivalPolicy int
+
+// Arrival policies.
+const (
+	// ClosedLoop starts a replacement flow immediately on completion,
+	// keeping concurrency constant (§7.5: "a new flow will be created
+	// based on the chosen traffic model after each flow completes...
+	// rather than following a Poisson distribution").
+	ClosedLoop ArrivalPolicy = iota
+	// PoissonOpenLoop draws exponential think-times between a flow's
+	// completion and its slot's next arrival, approximating an open
+	// loop at a configured load.
+	PoissonOpenLoop
+)
+
+func (p ArrivalPolicy) String() string {
+	if p == PoissonOpenLoop {
+		return "poisson"
+	}
+	return "closed-loop"
+}
+
+// Generator produces the flow sequence for one test: sizes from a
+// distribution and inter-flow gaps from an arrival policy.
+type Generator struct {
+	dist   *SizeDist
+	policy ArrivalPolicy
+	rng    *sim.Rand
+	// meanGap is the mean think-time for PoissonOpenLoop.
+	meanGap sim.Duration
+
+	issued uint64
+}
+
+// NewGenerator builds a generator. meanGap is ignored for ClosedLoop.
+func NewGenerator(dist *SizeDist, policy ArrivalPolicy, meanGap sim.Duration, rng *sim.Rand) (*Generator, error) {
+	if dist == nil {
+		return nil, fmt.Errorf("workload: nil size distribution")
+	}
+	if policy == PoissonOpenLoop && meanGap <= 0 {
+		return nil, fmt.Errorf("workload: poisson policy needs a positive mean gap")
+	}
+	if rng == nil {
+		rng = sim.NewRand(1)
+	}
+	return &Generator{dist: dist, policy: policy, rng: rng, meanGap: meanGap}, nil
+}
+
+// Next returns the next flow's size (packets) and the delay before it
+// should start, measured from the previous flow's completion.
+func (g *Generator) Next() (sizePkts uint32, after sim.Duration) {
+	g.issued++
+	size := g.dist.Sample(g.rng)
+	if g.policy == ClosedLoop {
+		return size, 0
+	}
+	return size, g.rng.Exp(g.meanGap)
+}
+
+// Issued reports how many flows the generator has produced.
+func (g *Generator) Issued() uint64 { return g.issued }
+
+// MeanGapForLoad computes the mean think-time that drives one slot at the
+// given fraction of link capacity, for PoissonOpenLoop generators:
+// load = meanFlowBits / (capacity * (meanGap + meanFCT)); the meanFCT term
+// is unknowable a priori, so this uses the transmission-time lower bound.
+func MeanGapForLoad(load float64, capacity sim.Rate, dist *SizeDist, mtu int) (sim.Duration, error) {
+	if load <= 0 || load >= 1 {
+		return 0, fmt.Errorf("workload: load %v outside (0,1)", load)
+	}
+	meanBits := dist.Mean() * float64(packet.WireSize(mtu)) * 8
+	txTime := meanBits / float64(capacity) // seconds at full rate
+	total := txTime / load
+	return sim.Seconds(total - txTime), nil
+}

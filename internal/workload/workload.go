@@ -1,0 +1,130 @@
+// Package workload generates the test traffic mixes the paper evaluates
+// with: the WebSearch flow-size distribution (Alizadeh et al., used by
+// §7.4 and §7.5) and flow-arrival processes, including the paper's
+// closed-loop policy where "a new flow is initiated immediately after the
+// completion of the previous one".
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"marlin/internal/sim"
+)
+
+// SizeDist is an empirical flow-size distribution sampled by inverse CDF
+// with log-linear interpolation between knots. Sizes are in packets (MTU
+// units), the granularity Marlin schedules at.
+type SizeDist struct {
+	name  string
+	sizes []float64 // packets, ascending
+	cdf   []float64 // matching cumulative probabilities, ending at 1
+}
+
+// NewSizeDist builds a distribution from (size, cdf) knots. The final cdf
+// value must be 1 and both slices must ascend.
+func NewSizeDist(name string, sizes, cdf []float64) (*SizeDist, error) {
+	if len(sizes) == 0 || len(sizes) != len(cdf) {
+		return nil, fmt.Errorf("workload: need matching non-empty knots")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] || cdf[i] < cdf[i-1] {
+			return nil, fmt.Errorf("workload: knots must ascend at index %d", i)
+		}
+	}
+	if cdf[len(cdf)-1] != 1 {
+		return nil, fmt.Errorf("workload: final cdf must be 1, got %v", cdf[len(cdf)-1])
+	}
+	return &SizeDist{name: name, sizes: sizes, cdf: cdf}, nil
+}
+
+// WebSearch returns the web-search flow-size distribution from the DCTCP
+// workload family (flow sizes in packets), the model behind Figures 9 and
+// 10. It is heavy-tailed: half the flows are under ~40 packets while the
+// top 3% exceed 6,667 packets.
+func WebSearch() *SizeDist {
+	d, err := NewSizeDist("websearch",
+		[]float64{1, 6, 13, 19, 33, 53, 133, 667, 1333, 3333, 6667, 20000},
+		[]float64{0, 0.15, 0.2, 0.3, 0.4, 0.53, 0.6, 0.7, 0.8, 0.9, 0.97, 1})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return d
+}
+
+// DataMining returns the data-mining flow-size distribution from the same
+// workload family (pFabric's companion to WebSearch): even heavier-tailed,
+// with half the flows a single packet and the top percent reaching
+// hundreds of thousands of packets.
+func DataMining() *SizeDist {
+	d, err := NewSizeDist("datamining",
+		[]float64{1, 2, 3, 7, 267, 2107, 66667, 666667},
+		[]float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return d
+}
+
+// Uniform returns a uniform distribution over [lo, hi] packets.
+func Uniform(lo, hi uint32) *SizeDist {
+	d, err := NewSizeDist(fmt.Sprintf("uniform[%d,%d]", lo, hi),
+		[]float64{float64(lo), float64(hi)}, []float64{0, 1})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Fixed returns a degenerate distribution of constant size.
+func Fixed(pkts uint32) *SizeDist {
+	return &SizeDist{
+		name:  fmt.Sprintf("fixed[%d]", pkts),
+		sizes: []float64{float64(pkts)},
+		cdf:   []float64{1},
+	}
+}
+
+// Name returns the distribution's label.
+func (d *SizeDist) Name() string { return d.name }
+
+// Sample draws one flow size in packets (at least 1).
+func (d *SizeDist) Sample(rng *sim.Rand) uint32 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i == 0 {
+		return atLeast1(d.sizes[0])
+	}
+	if i >= len(d.cdf) {
+		return atLeast1(d.sizes[len(d.sizes)-1])
+	}
+	// Linear interpolation between knots i-1 and i.
+	c0, c1 := d.cdf[i-1], d.cdf[i]
+	s0, s1 := d.sizes[i-1], d.sizes[i]
+	if c1 == c0 {
+		return atLeast1(s1)
+	}
+	frac := (u - c0) / (c1 - c0)
+	return atLeast1(s0 + frac*(s1-s0))
+}
+
+// Mean returns the distribution's analytic mean in packets (trapezoidal
+// over the knots).
+func (d *SizeDist) Mean() float64 {
+	if len(d.sizes) == 1 {
+		return d.sizes[0]
+	}
+	var mean float64
+	for i := 1; i < len(d.sizes); i++ {
+		w := d.cdf[i] - d.cdf[i-1]
+		mean += w * (d.sizes[i] + d.sizes[i-1]) / 2
+	}
+	return mean
+}
+
+func atLeast1(v float64) uint32 {
+	if v < 1 {
+		return 1
+	}
+	return uint32(v + 0.5)
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"marlin/internal/sim"
+)
+
+func TestWebSearchShape(t *testing.T) {
+	d := WebSearch()
+	rng := sim.NewRand(42)
+	const n = 200000
+	var small, huge int
+	var sum float64
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		if s < 1 {
+			t.Fatal("zero-size flow")
+		}
+		if s <= 53 {
+			small++
+		}
+		if s > 6667 {
+			huge++
+		}
+		sum += float64(s)
+	}
+	// ~53% of flows are <= 53 packets; ~3% exceed 6667 packets.
+	if frac := float64(small) / n; frac < 0.48 || frac > 0.58 {
+		t.Fatalf("small-flow fraction = %v, want ~0.53", frac)
+	}
+	if frac := float64(huge) / n; frac < 0.02 || frac > 0.04 {
+		t.Fatalf("huge-flow fraction = %v, want ~0.03", frac)
+	}
+	mean := sum / n
+	analytic := d.Mean()
+	if mean < analytic*0.9 || mean > analytic*1.1 {
+		t.Fatalf("empirical mean %v vs analytic %v", mean, analytic)
+	}
+}
+
+func TestSizeDistValidation(t *testing.T) {
+	bad := [][2][]float64{
+		{{}, {}},
+		{{1, 2}, {0}},
+		{{2, 1}, {0, 1}},     // sizes descend
+		{{1, 2}, {0.5, 0.4}}, // cdf descends
+		{{1, 2}, {0, 0.9}},   // cdf doesn't reach 1
+	}
+	for i, knots := range bad {
+		if _, err := NewSizeDist("x", knots[0], knots[1]); err == nil {
+			t.Errorf("bad knots %d accepted", i)
+		}
+	}
+}
+
+func TestFixedAndUniform(t *testing.T) {
+	rng := sim.NewRand(7)
+	f := Fixed(10)
+	for i := 0; i < 100; i++ {
+		if got := f.Sample(rng); got != 10 {
+			t.Fatalf("fixed sample = %d", got)
+		}
+	}
+	u := Uniform(5, 15)
+	for i := 0; i < 1000; i++ {
+		s := u.Sample(rng)
+		if s < 5 || s > 15 {
+			t.Fatalf("uniform sample %d outside [5,15]", s)
+		}
+	}
+}
+
+func TestQuickSampleWithinSupport(t *testing.T) {
+	d := WebSearch()
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		s := d.Sample(rng)
+		return s >= 1 && s <= 20000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorClosedLoop(t *testing.T) {
+	g, err := NewGenerator(Fixed(8), ClosedLoop, 0, sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, gap := g.Next()
+	if size != 8 || gap != 0 {
+		t.Fatalf("closed loop = (%d, %v), want (8, 0)", size, gap)
+	}
+	if g.Issued() != 1 {
+		t.Fatalf("issued = %d", g.Issued())
+	}
+}
+
+func TestGeneratorPoisson(t *testing.T) {
+	g, err := NewGenerator(Fixed(8), PoissonOpenLoop, sim.Micros(100), sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		_, gap := g.Next()
+		if gap < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += gap.Microseconds()
+	}
+	mean := sum / n
+	if mean < 95 || mean > 105 {
+		t.Fatalf("mean gap = %vus, want ~100", mean)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(nil, ClosedLoop, 0, nil); err == nil {
+		t.Error("nil dist accepted")
+	}
+	if _, err := NewGenerator(Fixed(1), PoissonOpenLoop, 0, nil); err == nil {
+		t.Error("poisson without mean gap accepted")
+	}
+}
+
+func TestMeanGapForLoad(t *testing.T) {
+	d := Fixed(100) // 100 pkts of (1024+20)B = 835,200 bits
+	gap, err := MeanGapForLoad(0.5, sim.Gbps, d, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tx time = 835.2us; load 0.5 -> total 1670.4us -> gap 835.2us.
+	if us := gap.Microseconds(); us < 830 || us > 840 {
+		t.Fatalf("gap = %vus, want ~835", us)
+	}
+	if _, err := MeanGapForLoad(0, sim.Gbps, d, 1024); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := MeanGapForLoad(1.5, sim.Gbps, d, 1024); err == nil {
+		t.Error("overload accepted")
+	}
+}
+
+func TestDataMiningShape(t *testing.T) {
+	d := DataMining()
+	rng := sim.NewRand(5)
+	const n = 100000
+	tiny, huge := 0, 0
+	for i := 0; i < n; i++ {
+		s := d.Sample(rng)
+		if s < 1 || s > 666667 {
+			t.Fatalf("sample %d outside support", s)
+		}
+		if s <= 2 {
+			tiny++
+		}
+		if s > 66667 {
+			huge++
+		}
+	}
+	if frac := float64(tiny) / n; frac < 0.5 || frac > 0.7 {
+		t.Fatalf("tiny-flow fraction = %v, want ~0.6", frac)
+	}
+	if frac := float64(huge) / n; frac < 0.005 || frac > 0.02 {
+		t.Fatalf("huge-flow fraction = %v, want ~0.01", frac)
+	}
+	if d.Mean() < 5000 {
+		t.Fatalf("mean = %v pkts, datamining should be very heavy-tailed", d.Mean())
+	}
+}

@@ -1,0 +1,278 @@
+package marlin_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"marlin"
+)
+
+func TestAlgorithmsListed(t *testing.T) {
+	algos := marlin.Algorithms()
+	want := map[string]bool{"reno": true, "dctcp": true, "dcqcn": true, "cubic": true, "timely": true}
+	for _, a := range algos {
+		delete(want, a)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing algorithms: %v (have %v)", want, algos)
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	if err := marlin.Validate(marlin.TestConfig{}); err == nil {
+		t.Fatal("empty config validated")
+	}
+	if err := marlin.Validate(marlin.TestConfig{Algorithm: "dctcp"}); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestTesterEndToEnd(t *testing.T) {
+	tr, err := marlin.NewTester(marlin.TestConfig{Algorithm: "dctcp", Ports: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DataPorts() != 2 {
+		t.Fatalf("DataPorts = %d", tr.DataPorts())
+	}
+	if tr.PlannedThroughput() != 200*marlin.Gbps {
+		t.Fatalf("planned throughput = %v", tr.PlannedThroughput())
+	}
+	if err := tr.StartFlow(0, 0, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	tr.RunFor(20 * marlin.Millisecond)
+	if got := len(tr.FCTs()); got != 1 {
+		t.Fatalf("FCTs = %d, want 1", got)
+	}
+	rec := tr.FCTs()[0]
+	if rec.SizePkts != 200 || rec.FCT <= 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+	snap := tr.Registers()
+	if snap.Switch.DataTx < 200 {
+		t.Fatalf("snapshot DataTx = %d", snap.Switch.DataTx)
+	}
+	if !strings.Contains(marlin.FormatSnapshot(snap), "data_tx=") {
+		t.Fatal("FormatSnapshot missing fields")
+	}
+	if losses := tr.Losses(); losses.FalseLosses != 0 {
+		t.Fatalf("false losses: %+v", losses)
+	}
+	if trace := tr.FlowTrace(0); len(trace) == 0 {
+		t.Fatal("no trace")
+	}
+}
+
+func TestInjectLossAndECN(t *testing.T) {
+	tr, err := marlin.NewTester(marlin.TestConfig{Algorithm: "dctcp", Ports: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.InjectLoss(1, 0, 50)
+	tr.InjectECN(1, 0, 120, 160)
+	if err := tr.StartFlow(0, 0, 1, 400); err != nil {
+		t.Fatal(err)
+	}
+	tr.RunFor(50 * marlin.Millisecond)
+	if len(tr.FCTs()) != 1 {
+		t.Fatal("flow did not survive the injected events")
+	}
+	snap := tr.Registers()
+	if snap.NIC.RtxTx == 0 {
+		t.Fatal("injected loss produced no retransmission")
+	}
+	// The ECN burst must appear in the trace as a cwnd reduction.
+	var sawCut bool
+	trace := tr.FlowTrace(0)
+	for i := 1; i < len(trace); i++ {
+		if trace[i].A < trace[i-1].A && trace[i].B > 0 {
+			sawCut = true
+			break
+		}
+	}
+	if !sawCut {
+		t.Fatal("ECN injection produced no alpha-driven window cut")
+	}
+}
+
+func TestScheduledScript(t *testing.T) {
+	tr, err := marlin.NewTester(marlin.TestConfig{Algorithm: "dctcp", Ports: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.StartFlow(0, 0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr.Schedule(1*marlin.Millisecond, func() {
+		if err := tr.StartFlow(1, 1, 2, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	tr.Schedule(2*marlin.Millisecond, func() { tr.StopFlow(0) })
+	tr.RunFor(3 * marlin.Millisecond)
+	if tr.FlowTxBytes(1) == 0 {
+		t.Fatal("scheduled flow never ran")
+	}
+	if tr.Now() != marlin.Time(3*marlin.Millisecond) {
+		t.Fatalf("Now = %v", tr.Now())
+	}
+}
+
+// stopAndGo is a minimal custom module used to prove external
+// registration works end to end (requirement R2).
+type stopAndGo struct{}
+
+func (stopAndGo) Name() string        { return "stopandgo" }
+func (stopAndGo) Mode() marlin.CCMode { return marlin.WindowMode }
+func (stopAndGo) FastPathCycles() int { return 1 }
+func (stopAndGo) SlowPathCycles() int { return 0 }
+func (stopAndGo) InitFlow(cust, slow *marlin.CCState, p *marlin.CCParams) {
+	marlin.RegsOf(cust).SetU32(0, 4)
+}
+func (stopAndGo) OnEvent(in *marlin.CCInput, out *marlin.CCOutput) {
+	out.SetCwnd, out.Cwnd = true, marlin.RegsOf(in.Cust).U32(0)
+	out.Schedule = true
+}
+func (stopAndGo) OnSlowPath(code uint8, cust, slow *marlin.CCState, in *marlin.CCInput, out *marlin.CCOutput) {
+}
+
+func TestCustomCCRegistration(t *testing.T) {
+	marlin.RegisterCC("stopandgo", func() marlin.CCAlgorithm { return stopAndGo{} })
+	tr, err := marlin.NewTester(marlin.TestConfig{Algorithm: "stopandgo", Ports: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.StartFlow(0, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr.RunFor(100 * marlin.Microsecond)
+	if tr.FlowTxBytes(0) == 0 {
+		t.Fatal("custom module generated no traffic")
+	}
+	// Fixed window of 4: inflight never exceeds 4 packets, so the rate
+	// is window-limited to ~4 packets per RTT.
+	snap := tr.Registers()
+	if snap.Switch.DataTx == 0 || snap.NIC.EventsHandled == 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	rng := marlin.NewRand(1)
+	ws := marlin.WebSearch()
+	for i := 0; i < 100; i++ {
+		if s := ws.Sample(rng); s < 1 || s > 20000 {
+			t.Fatalf("websearch sample %d", s)
+		}
+	}
+	if marlin.FixedSize(7).Sample(rng) != 7 {
+		t.Fatal("FixedSize broken")
+	}
+	u := marlin.UniformSize(3, 9)
+	for i := 0; i < 100; i++ {
+		if s := u.Sample(rng); s < 3 || s > 9 {
+			t.Fatalf("uniform sample %d", s)
+		}
+	}
+	cdf := marlin.NewCDF([]float64{1, 2, 3, 4})
+	if cdf.Percentile(0.5) != 2 {
+		t.Fatal("CDF percentile")
+	}
+	if j := marlin.JainIndex([]float64{5, 5}); j != 1 {
+		t.Fatalf("Jain = %v", j)
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(marlin.Experiments()) < 14 {
+		t.Fatalf("experiments = %v", marlin.Experiments())
+	}
+	if marlin.DescribeExperiment("fig7") == "" {
+		t.Fatal("fig7 undescribed")
+	}
+	res, err := marlin.RunExperiment("table-amplify", marlin.ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["tbps_1024"] != 1.2 {
+		t.Fatalf("amplification table wrong: %v", res.Metrics["tbps_1024"])
+	}
+}
+
+func TestRTTSamplingAndCapture(t *testing.T) {
+	tr, err := marlin.NewTester(marlin.TestConfig{Algorithm: "dctcp", Ports: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwd, dev bytes.Buffer
+	if _, err := tr.CaptureForward(1, &fwd, 0); err != nil {
+		t.Fatal(err)
+	}
+	devCap, err := tr.CaptureDeviceLinks(&dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.StartFlow(0, 0, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	tr.RunFor(10 * marlin.Millisecond)
+
+	samples, count, ewma := tr.RTT()
+	if count < 100 || len(samples) < 100 {
+		t.Fatalf("rtt probes: count=%d samples=%d", count, len(samples))
+	}
+	// Base path: ~8.6us of delays plus serialization; EWMA must land in
+	// a plausible band.
+	if ewma < 5 || ewma > 50 {
+		t.Fatalf("rtt ewma = %v us, implausible", ewma)
+	}
+	if devCap.Packets() < 300 { // ~200 SCHE + ~200 INFO
+		t.Fatalf("device capture saw %d packets", devCap.Packets())
+	}
+	if fwd.Len() <= 24 || dev.Len() <= 24 {
+		t.Fatal("capture files empty beyond the header")
+	}
+}
+
+func TestCBRIgnoresCongestion(t *testing.T) {
+	// Two CBR flows at line rate into one port: no backoff, so the
+	// shallow queue drops heavily — the behaviour a CC-unaware tester
+	// (R1 unmet) would inflict on the network under test.
+	tr, err := marlin.NewTester(marlin.TestConfig{
+		Algorithm:        "cbr",
+		Ports:            3,
+		ECNThresholdPkts: 65,
+		Seed:             6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.StartFlow(0, 0, 2, 0)
+	tr.StartFlow(1, 1, 2, 0)
+	tr.RunFor(2 * marlin.Millisecond)
+	if drops := tr.Losses().NetworkDrops; drops == 0 {
+		t.Fatal("CBR overload produced no drops (congestion reaction leaked in)")
+	}
+}
+
+func TestRunScenarioPublicAPI(t *testing.T) {
+	rep, err := marlin.RunScenario(`
+set algo dctcp
+set ports 2
+at 0ms start 0 tx 0 rx 1 size 50
+run 5ms
+expect completions == 1
+expect false_losses == 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("scenario failed:\n%s", rep.Summary())
+	}
+	if _, err := marlin.RunScenario("nonsense"); err == nil {
+		t.Fatal("bad scenario parsed")
+	}
+}
