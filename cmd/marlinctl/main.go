@@ -6,7 +6,9 @@
 //
 //	marlinctl list
 //	marlinctl run <experiment> [-scale N] [-seed N]
-//	marlinctl all [-scale N] [-seed N]
+//	marlinctl all [-scale N] [-seed N] [-j N]
+//	marlinctl sweep -axis ecn=8,65,200 [-axis algo=dctcp,dcqcn] [-reps N]
+//	               [-j N] [-journal FILE] [-timeout D] [-retries N]
 //	marlinctl test [-algo dctcp] [-ports N] [-flows N] [-duration 5ms]
 //	               [-ecn K] [-fanin] [-seed N]
 package main
@@ -14,7 +16,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"marlin"
@@ -33,6 +37,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "all":
 		err = cmdAll(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "test":
 		err = cmdTest(os.Args[2:])
 	case "script":
@@ -58,12 +64,17 @@ func usage() {
 commands:
   list                      list reproducible tables/figures
   run <experiment> [flags]  regenerate one table/figure
-  all [flags]               regenerate every table/figure
+  all [flags]               regenerate every table/figure (parallel with -j)
+  sweep [flags]             run a parameter-sweep campaign across all cores
   test [flags]              run an ad-hoc CC test
   script <file>...          run packetdrill-style scenario scripts
   dot [flags]               print the wired topology as Graphviz DOT
 
 run/all flags: -scale N (stretch toward paper scale), -seed N, -format text|json|csv
+               all also takes -j N (parallel jobs; -j 1 = sequential)
+sweep flags:   -axis key=v1,v2,... (repeatable) -reps N -j N -seed N
+               -algo NAME -ports N -flows N -duration D
+               -timeout D -retries N -journal FILE -format text|json|csv
 test flags:    -algo NAME -ports N -flows N -duration D -ecn K -fanin
                -int -pfc -fpgarecv -pcap FILE -seed N
 `)
@@ -81,20 +92,22 @@ func cmdList() error {
 	return nil
 }
 
-func expFlags(args []string) (marlin.ExperimentOptions, string, error) {
-	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	scale := fs.Float64("scale", 1, "scale factor toward paper scale")
-	seed := fs.Uint64("seed", 0, "random seed (0 = default)")
-	format := fs.String("format", "text", "output format: text, json, or csv")
-	if err := fs.Parse(args); err != nil {
-		return marlin.ExperimentOptions{}, "", err
-	}
-	switch *format {
+// addExpFlags registers the flags run and all share; callers parse the set
+// (possibly after adding their own flags) and then read the pointers.
+func addExpFlags(fs *flag.FlagSet) (scale *float64, seed *uint64, format *string) {
+	scale = fs.Float64("scale", 1, "scale factor toward paper scale")
+	seed = fs.Uint64("seed", 0, "random seed (0 = default)")
+	format = fs.String("format", "text", "output format: text, json, or csv")
+	return scale, seed, format
+}
+
+func checkFormat(format string) error {
+	switch format {
 	case "text", "json", "csv":
+		return nil
 	default:
-		return marlin.ExperimentOptions{}, "", fmt.Errorf("unknown -format %q", *format)
+		return fmt.Errorf("unknown -format %q", format)
 	}
-	return marlin.ExperimentOptions{Scale: *scale, Seed: *seed}, *format, nil
 }
 
 func emit(res *marlin.ExperimentResult, format string) error {
@@ -114,43 +127,78 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("run: need an experiment name (see 'marlinctl list')")
 	}
 	name := args[0]
-	opts, format, err := expFlags(args[1:])
-	if err != nil {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	scale, seed, format := addExpFlags(fs)
+	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	if err := checkFormat(*format); err != nil {
+		return err
+	}
+	opts := marlin.ExperimentOptions{Scale: *scale, Seed: *seed}
 	start := time.Now()
 	res, err := marlin.RunExperiment(name, opts)
 	if err != nil {
 		return err
 	}
-	if err := emit(res, format); err != nil {
+	if err := emit(res, *format); err != nil {
 		return err
 	}
-	if format == "text" {
+	if *format == "text" {
 		fmt.Printf("(%.1fs wall)\n", time.Since(start).Seconds())
 	}
 	return nil
 }
 
+// cmdAll regenerates every experiment through the fleet pool. Results are
+// emitted in registration order regardless of -j; each experiment still
+// sees the same ExperimentOptions it would sequentially, so the metrics of
+// a parallel run are identical to -j 1 (which is today's sequential loop:
+// one worker draining jobs in order).
 func cmdAll(args []string) error {
-	opts, format, err := expFlags(args)
-	if err != nil {
+	fs := flag.NewFlagSet("all", flag.ContinueOnError)
+	scale, seed, format := addExpFlags(fs)
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = sequential)")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	for _, name := range marlin.Experiments() {
-		start := time.Now()
-		res, err := marlin.RunExperiment(name, opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		if err := emit(res, format); err != nil {
-			return err
-		}
-		if format == "text" {
-			fmt.Printf("(%.1fs wall)\n\n", time.Since(start).Seconds())
-		}
+	if err := checkFormat(*format); err != nil {
+		return err
 	}
-	return nil
+	opts := marlin.ExperimentOptions{Scale: *scale, Seed: *seed}
+	names := marlin.Experiments()
+	jobs := make([]marlin.FleetJob, len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = marlin.FleetJob{ID: name, Run: func() (*marlin.FleetOutput, error) {
+			res, err := marlin.RunExperiment(name, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &marlin.FleetOutput{Table: res}, nil
+		}}
+	}
+	var progress io.Writer
+	if *workers != 1 {
+		progress = os.Stderr
+	}
+	_, err := marlin.RunFleet(jobs, marlin.FleetOptions{
+		Workers:  *workers,
+		Progress: progress,
+		OnResult: func(_ int, r marlin.FleetJobResult) error {
+			if !r.OK() {
+				return fmt.Errorf("%s: %s", r.ID, r.Err)
+			}
+			if err := emit(r.Output.Table, *format); err != nil {
+				return err
+			}
+			if *format == "text" {
+				fmt.Printf("(%.1fs wall)\n\n", r.ElapsedMS/1000)
+			}
+			return nil
+		},
+	})
+	return err
 }
 
 func cmdTest(args []string) error {

@@ -1,0 +1,246 @@
+// The sweep command is the paper's R2 use case ("find the optimal
+// configuration by adjusting CC parameters") run as a fleet campaign: the
+// cartesian product of -axis dimensions, optionally replicated across
+// derived seeds, executed across all cores, checkpointed to a journal, and
+// aggregated into one table through the experiment formatters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"marlin"
+	"marlin/internal/fleet"
+)
+
+// axisList collects repeated -axis flags.
+type axisList []fleet.Axis
+
+func (a *axisList) String() string {
+	parts := make([]string, len(*a))
+	for i, ax := range *a {
+		parts[i] = ax.Key + "=" + strings.Join(ax.Values, ",")
+	}
+	return strings.Join(parts, " ")
+}
+
+func (a *axisList) Set(s string) error {
+	ax, err := fleet.ParseAxis(s)
+	if err != nil {
+		return err
+	}
+	*a = append(*a, ax)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var axes axisList
+	fs.Var(&axes, "axis",
+		"swept dimension key=v1,v2,... (repeatable; keys: "+strings.Join(fleet.AxisKeys(), " ")+")")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel jobs (1 = sequential)")
+	reps := fs.Int("reps", 1, "seed replicates per sweep point")
+	seed := fs.Uint64("seed", 1, "campaign base seed (per-job seeds derive from it)")
+	algo := fs.String("algo", "dctcp", "base CC algorithm (sweep it with -axis algo=...)")
+	ports := fs.Int("ports", 5, "data ports; senders fan in to the last one")
+	flows := fs.Int("flows", 2, "closed-loop flows per sender port")
+	durStr := fs.String("duration", "15ms", "simulated horizon per point")
+	timeout := fs.Duration("timeout", 0, "wall-clock timeout per job attempt (0 = none)")
+	retries := fs.Int("retries", 0, "extra attempts for failed jobs")
+	journal := fs.String("journal", "", "JSONL checkpoint file; rerunning resumes it")
+	format := fs.String("format", "text", "output format: text, json, or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFormat(*format); err != nil {
+		return err
+	}
+	if len(axes) == 0 {
+		return fmt.Errorf("sweep: need at least one -axis key=v1,v2,... (keys: %s)",
+			strings.Join(fleet.AxisKeys(), " "))
+	}
+	if *reps < 1 {
+		return fmt.Errorf("sweep: -reps must be >= 1")
+	}
+	dur, err := time.ParseDuration(*durStr)
+	if err != nil {
+		return fmt.Errorf("sweep: bad -duration: %w", err)
+	}
+	horizon := marlin.Duration(dur.Nanoseconds()) * marlin.Nanosecond
+
+	points := fleet.Cartesian(axes)
+	var jobs []marlin.FleetJob
+	for _, pt := range points {
+		cfg := marlin.TestConfig{
+			Algorithm:        *algo,
+			Ports:            *ports,
+			FlowsPerPort:     *flows,
+			ECNThresholdPkts: 65,
+		}
+		if err := pt.Apply(&cfg); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if err := marlin.Validate(cfg); err != nil {
+			return fmt.Errorf("sweep: point %s: %w", pt.ID(), err)
+		}
+		jobs = append(jobs, fleet.Replicate(pt.ID(), *reps, *seed,
+			func(seed uint64) (*marlin.FleetOutput, error) {
+				return runSweepPoint(cfg, horizon, seed)
+			})...)
+	}
+
+	start := time.Now()
+	results, err := marlin.RunFleet(jobs, marlin.FleetOptions{
+		Workers:  *workers,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		Journal:  *journal,
+		Progress: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	res := sweepTable(axes, points, results, *reps)
+	res.Note("workload: closed-loop uniform(20,400)-pkt flows fanning in to the last port; base config %d flows/sender, %d ports (axes may override), %v horizon",
+		*flows, *ports, dur)
+	res.Note("campaign: seed %d, %d replicate(s)/point, %d worker(s)", *seed, *reps, *workers)
+	if err := emit(res, *format); err != nil {
+		return err
+	}
+	if *format == "text" {
+		fmt.Printf("(%.1fs wall)\n", time.Since(start).Seconds())
+	}
+	if nf := fleet.Failed(results); nf > 0 {
+		return fmt.Errorf("sweep: %d job(s) failed", nf)
+	}
+	return nil
+}
+
+// runSweepPoint deploys one configuration and drives the fan-in closed-loop
+// workload over it, reporting goodput, FCT percentiles, and drops. Flow
+// restarts happen inside the simulation's OnComplete hook; errors there
+// propagate out through the job result instead of aborting the process.
+func runSweepPoint(cfg marlin.TestConfig, horizon marlin.Duration, seed uint64) (*marlin.FleetOutput, error) {
+	flows := cfg.FlowsPerPort
+	if flows < 1 {
+		flows = 1
+	}
+	cfg.FlowsPerPort = 0 // flows are driven closed-loop below, not auto-started
+	cfg.Seed = seed
+	t, err := marlin.NewTester(cfg)
+	if err != nil {
+		return nil, err
+	}
+	senders := t.DataPorts() - 1
+	if senders < 1 {
+		return nil, fmt.Errorf("sweep: need at least 2 data ports for a fan-in")
+	}
+	dist := marlin.UniformSize(20, 400)
+	rng := marlin.NewRand(seed)
+	flowPort := make(map[marlin.FlowID]int)
+	var cbErr error
+	startFlow := func(flow marlin.FlowID) {
+		if err := t.StartFlow(flow, flowPort[flow], senders, dist.Sample(rng)); err != nil && cbErr == nil {
+			cbErr = err
+		}
+	}
+	t.OnComplete(func(flow marlin.FlowID, _ marlin.Duration) {
+		if cbErr == nil {
+			startFlow(flow)
+		}
+	})
+	var id marlin.FlowID
+	for p := 0; p < senders; p++ {
+		for k := 0; k < flows; k++ {
+			flowPort[id] = p
+			startFlow(id)
+			id++
+		}
+	}
+	t.RunFor(horizon)
+	if cbErr != nil {
+		return nil, fmt.Errorf("restart flow: %w", cbErr)
+	}
+	fcts := t.FCTMicros()
+	cdf := marlin.NewCDF(fcts)
+	goodput := float64(t.Registers().Switch.DataTxBytes) * 8 / horizon.Seconds() / 1e9
+	return &marlin.FleetOutput{
+		Metrics: map[string]float64{
+			"goodput_gbps": goodput,
+			"p50_fct_us":   cdf.Percentile(0.5),
+			"p99_fct_us":   cdf.Percentile(0.99),
+			"drops":        float64(t.Losses().NetworkDrops),
+			"completions":  float64(len(fcts)),
+		},
+		Samples: map[string][]float64{"fct_us": fcts},
+	}, nil
+}
+
+// sweepTable folds the per-job results back into one experiment-style table:
+// one row per sweep point, replicates aggregated as mean[min..max] for
+// goodput and as percentiles of the merged FCT distribution.
+func sweepTable(axes []fleet.Axis, points []fleet.Point, results []marlin.FleetJobResult, reps int) *marlin.ExperimentResult {
+	headers := make([]string, 0, len(axes)+5)
+	for _, ax := range axes {
+		headers = append(headers, ax.Key)
+	}
+	headers = append(headers, "goodput_gbps")
+	if reps > 1 {
+		headers = append(headers, "goodput_min", "goodput_max")
+	}
+	headers = append(headers, "p50_fct_us", "p99_fct_us", "drops")
+
+	axdesc := axisList(axes)
+	res := &marlin.ExperimentResult{
+		Name:    "sweep",
+		Title:   "configuration sweep over " + axdesc.String(),
+		Headers: headers,
+		Metrics: make(map[string]float64),
+	}
+	for i, pt := range points {
+		group := results[i*reps : (i+1)*reps]
+		outs := fleet.Outputs(group)
+		stats := fleet.Aggregate(outs)
+		cdf := fleet.MergedCDF(outs, "fct_us")
+
+		row := append([]string(nil), pt.Values...)
+		ok := 0
+		for _, r := range group {
+			if r.OK() {
+				ok++
+			} else {
+				res.Note("%s: attempt(s) %d FAILED: %s", r.ID, r.Attempts, r.Err)
+			}
+		}
+		if ok == 0 {
+			for len(row) < len(headers) {
+				row = append(row, "error")
+			}
+			res.AddRow(row...)
+			continue
+		}
+		gp := stats["goodput_gbps"]
+		p50, p99 := cdf.Percentile(0.5), cdf.Percentile(0.99)
+		row = append(row, fmt.Sprintf("%.1f", gp.Mean))
+		if reps > 1 {
+			row = append(row, fmt.Sprintf("%.1f", gp.Min), fmt.Sprintf("%.1f", gp.Max))
+		}
+		row = append(row,
+			fmt.Sprintf("%.1f", p50),
+			fmt.Sprintf("%.1f", p99),
+			fmt.Sprintf("%.1f", stats["drops"].Mean))
+		res.AddRow(row...)
+
+		id := pt.ID()
+		res.Metrics[id+"/goodput_gbps"] = gp.Mean
+		res.Metrics[id+"/p50_fct_us"] = p50
+		res.Metrics[id+"/p99_fct_us"] = p99
+		res.Metrics[id+"/drops"] = stats["drops"].Mean
+	}
+	return res
+}

@@ -216,13 +216,6 @@ func Run(name string, opts Options) (*Result, error) {
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // f formats a float compactly for table cells.
 func f(v float64) string { return fmt.Sprintf("%.3g", v) }
 

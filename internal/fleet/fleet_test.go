@@ -1,0 +1,338 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"marlin/internal/experiments"
+	"marlin/internal/sim"
+)
+
+// syntheticJobs builds n deterministic jobs whose outputs depend only on
+// the campaign seed and their ID — the fleet determinism contract in
+// miniature.
+func syntheticJobs(n int, base uint64) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("job%02d", i)
+		seed := DeriveSeed(base, id)
+		jobs[i] = Job{ID: id, Run: func() (*Output, error) {
+			rng := sim.NewRand(seed)
+			samples := make([]float64, 64)
+			var sum float64
+			for j := range samples {
+				samples[j] = rng.Float64()
+				sum += samples[j]
+			}
+			return &Output{
+				Metrics: map[string]float64{"sum": sum, "first": samples[0]},
+				Samples: map[string][]float64{"xs": samples},
+			}, nil
+		}}
+	}
+	return jobs
+}
+
+// outputsJSON projects results onto their order-and-payload content,
+// excluding wall-clock fields, for byte-comparison.
+func outputsJSON(t *testing.T, results []JobResult) []byte {
+	t.Helper()
+	type row struct {
+		ID     string  `json:"id"`
+		Err    string  `json:"err"`
+		Output *Output `json:"output"`
+	}
+	rows := make([]row, len(results))
+	for i, r := range results {
+		rows[i] = row{r.ID, r.Err, r.Output}
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	seq, err := Run(syntheticJobs(32, 7), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(syntheticJobs(32, 7), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := outputsJSON(t, seq), outputsJSON(t, par)
+	if string(a) != string(b) {
+		t.Fatalf("workers=8 campaign differs from workers=1:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestExperimentDeterminism runs real registry experiments through the pool
+// and checks the parallel results equal direct sequential runs — the
+// contract behind `marlinctl all -j N`.
+func TestExperimentDeterminism(t *testing.T) {
+	names := []string{"table-capabilities", "table-amplify", "table-ccmodules"}
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		jobs[i] = Job{ID: name, Run: func() (*Output, error) {
+			res, err := experiments.Run(name, experiments.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return &Output{Table: res}, nil
+		}}
+	}
+	results, err := Run(jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		want, err := experiments.Run(name, experiments.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !results[i].OK() {
+			t.Fatalf("%s failed: %s", name, results[i].Err)
+		}
+		if !reflect.DeepEqual(results[i].Output.Table, want) {
+			t.Errorf("%s: parallel result differs from sequential", name)
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	jobs := syntheticJobs(4, 1)
+	jobs[2].Run = func() (*Output, error) { panic("poisoned job") }
+	results, err := Run(jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if i == 2 {
+			if r.OK() || !strings.Contains(r.Err, "poisoned job") {
+				t.Errorf("job 2: want recorded panic, got %+v", r)
+			}
+			continue
+		}
+		if !r.OK() {
+			t.Errorf("job %d: poisoned neighbour leaked: %s", i, r.Err)
+		}
+	}
+	if got := Failed(results); got != 1 {
+		t.Errorf("Failed = %d, want 1", got)
+	}
+}
+
+func TestTimeoutAndRetryAccounting(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	var hungAttempts, flakyAttempts atomic.Int32
+	jobs := []Job{
+		{ID: "hung", Run: func() (*Output, error) {
+			hungAttempts.Add(1)
+			<-block // never returns on its own
+			return &Output{}, nil
+		}},
+		{ID: "flaky", Run: func() (*Output, error) {
+			if flakyAttempts.Add(1) == 1 {
+				return nil, fmt.Errorf("transient failure")
+			}
+			return &Output{Metrics: map[string]float64{"ok": 1}}, nil
+		}},
+		{ID: "good", Run: func() (*Output, error) { return &Output{}, nil }},
+	}
+	results, err := Run(jobs, Options{Workers: 2, Timeout: 30 * time.Millisecond, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hung := results[0]
+	if hung.OK() || !strings.Contains(hung.Err, "timed out") {
+		t.Errorf("hung job: want timeout failure, got %+v", hung)
+	}
+	if hung.Attempts != 3 {
+		t.Errorf("hung job attempts = %d, want 3 (1 + 2 retries)", hung.Attempts)
+	}
+	if got := hungAttempts.Load(); got != 3 {
+		t.Errorf("hung job executed %d times, want 3", got)
+	}
+	flaky := results[1]
+	if !flaky.OK() || flaky.Attempts != 2 {
+		t.Errorf("flaky job: want success on attempt 2, got %+v", flaky)
+	}
+	if !results[2].OK() || results[2].Attempts != 1 {
+		t.Errorf("good job: want first-try success, got %+v", results[2])
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	var executed atomic.Int32
+	mkJobs := func(n int) []Job {
+		jobs := syntheticJobs(n, 3)
+		for i := range jobs {
+			inner := jobs[i].Run
+			jobs[i].Run = func() (*Output, error) {
+				executed.Add(1)
+				return inner()
+			}
+		}
+		return jobs
+	}
+
+	// A campaign killed after 3 of 6 jobs: run only the first half.
+	if _, err := Run(mkJobs(6)[:3], Options{Workers: 2, Journal: journal}); err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != 3 {
+		t.Fatalf("first run executed %d jobs, want 3", got)
+	}
+	// A torn final line from the kill must not poison the resume.
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"job99","attempts`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	executed.Store(0)
+	var order []int
+	results, err := Run(mkJobs(6), Options{
+		Workers: 2,
+		Journal: journal,
+		OnResult: func(i int, r JobResult) error {
+			order = append(order, i)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != 3 {
+		t.Errorf("resume executed %d jobs, want only the 3 remaining", got)
+	}
+	for i, r := range results {
+		if !r.OK() {
+			t.Errorf("job %d failed after resume: %s", i, r.Err)
+		}
+		if wantCached := i < 3; r.Cached != wantCached {
+			t.Errorf("job %d cached = %v, want %v", i, r.Cached, wantCached)
+		}
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4, 5}) {
+		t.Errorf("OnResult order = %v, want in-order emission", order)
+	}
+	// The resumed results must match a fresh straight-through run.
+	fresh, err := Run(syntheticJobs(6, 3), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(outputsJSON(t, results)) != string(outputsJSON(t, fresh)) {
+		t.Error("resumed campaign differs from uninterrupted campaign")
+	}
+}
+
+func TestOnResultOrderAndCancel(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	_, err := Run(syntheticJobs(24, 5), Options{
+		Workers: 8,
+		OnResult: func(i int, r JobResult) error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("OnResult order = %v, want 0..23 in order", order)
+		}
+	}
+
+	boom := fmt.Errorf("emit failed")
+	_, err = Run(syntheticJobs(8, 5), Options{
+		Workers:  2,
+		OnResult: func(i int, r JobResult) error { return boom },
+	})
+	if err != boom {
+		t.Errorf("Run error = %v, want the OnResult error", err)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	if _, err := Run([]Job{{ID: "", Run: nil}}, Options{}); err == nil {
+		t.Error("empty job ID accepted")
+	}
+	dup := syntheticJobs(2, 1)
+	dup[1].ID = dup[0].ID
+	if _, err := Run(dup, Options{}); err == nil {
+		t.Error("duplicate job IDs accepted")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a, b := DeriveSeed(1, "x"), DeriveSeed(1, "x")
+	if a != b {
+		t.Error("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(1, "y") {
+		t.Error("distinct IDs map to the same seed")
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Error("distinct bases map to the same seed")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	var mu sync.Mutex
+	seeds := map[uint64]bool{}
+	jobs := Replicate("pt", 5, 9, func(seed uint64) (*Output, error) {
+		mu.Lock()
+		seeds[seed] = true
+		mu.Unlock()
+		return &Output{Metrics: map[string]float64{"seed": float64(seed)}}, nil
+	})
+	if len(jobs) != 5 || jobs[0].ID != "pt/rep0" || jobs[4].ID != "pt/rep4" {
+		t.Fatalf("bad replicate expansion: %+v", jobs)
+	}
+	if _, err := Run(jobs, Options{Workers: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 5 {
+		t.Errorf("replicates shared seeds: %d distinct of 5", len(seeds))
+	}
+}
+
+func TestAggregateAndMergedCDF(t *testing.T) {
+	outs := []*Output{
+		{Metrics: map[string]float64{"m": 1}, Samples: map[string][]float64{"xs": {1, 3}}},
+		nil, // a failed replicate
+		{Metrics: map[string]float64{"m": 3}, Samples: map[string][]float64{"xs": {2, 4}}},
+	}
+	stats := Aggregate(outs)
+	m := stats["m"]
+	if m.N != 2 || m.Mean != 2 || m.Min != 1 || m.Max != 3 {
+		t.Errorf("Aggregate = %+v, want N=2 mean=2 min=1 max=3", m)
+	}
+	cdf := MergedCDF(outs, "xs")
+	if cdf.Len() != 4 {
+		t.Fatalf("merged CDF has %d samples, want 4", cdf.Len())
+	}
+	if got := cdf.Percentile(1); got != 4 {
+		t.Errorf("merged p100 = %g, want 4", got)
+	}
+}

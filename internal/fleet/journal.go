@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The journal is a JSONL checkpoint: one JobResult per line, appended as
+// jobs finish. Resume semantics are keyed purely by job ID — rerunning a
+// campaign against the same journal skips every job whose ID is already
+// recorded as successful and reruns the rest. A line that fails to parse
+// (e.g. a half-written record from a killed run) is skipped, so a campaign
+// interrupted mid-write still resumes cleanly.
+
+// loadJournal reads the successful entries of an existing journal, keyed by
+// job ID; the latest entry for an ID wins. A missing file is an empty
+// journal, not an error.
+func loadJournal(path string) (map[string]JobResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("fleet: open journal: %w", err)
+	}
+	defer f.Close()
+	out := make(map[string]JobResult)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		var r JobResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.ID == "" {
+			continue // torn or foreign line — ignore
+		}
+		if r.OK() {
+			out[r.ID] = r
+		} else {
+			delete(out, r.ID) // a later failure supersedes an earlier success
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: read journal: %w", err)
+	}
+	return out, nil
+}
+
+// journalWriter appends results as they complete. Writes happen under the
+// campaign mutex, but the writer keeps its own lock so it is safe on its
+// own; the first IO error is retained and surfaced when the campaign ends.
+type journalWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: open journal: %w", err)
+	}
+	return &journalWriter{f: f}, nil
+}
+
+func (w *journalWriter) append(r JobResult) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	line, err := json.Marshal(r)
+	if err == nil {
+		line = append(line, '\n')
+		_, err = w.f.Write(line)
+	}
+	if err != nil {
+		w.err = fmt.Errorf("fleet: append journal: %w", err)
+	}
+}
+
+func (w *journalWriter) error() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *journalWriter) close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = fmt.Errorf("fleet: close journal: %w", err)
+	}
+}

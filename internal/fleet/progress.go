@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// progress renders a live one-line campaign status: done/total, failures,
+// completion rate, and an ETA extrapolated from the rate so far. It is
+// carriage-return animated, so point it at a terminal (os.Stderr), not a
+// log file. Callers serialize bump() under the campaign mutex.
+type progress struct {
+	w            io.Writer
+	total        int
+	done, failed int
+	start        time.Time
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	return &progress{w: w, total: total, start: time.Now()}
+}
+
+func (p *progress) bump(failed bool) {
+	p.done++
+	if failed {
+		p.failed++
+	}
+	p.render("\r")
+}
+
+func (p *progress) finish() {
+	if p.w == nil || p.total == 0 {
+		return
+	}
+	p.render("\r")
+	fmt.Fprintln(p.w)
+}
+
+func (p *progress) render(prefix string) {
+	if p.w == nil {
+		return
+	}
+	elapsed := time.Since(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(p.done) / elapsed
+	}
+	eta := "?"
+	if rate > 0 {
+		left := float64(p.total-p.done) / rate
+		eta = (time.Duration(left*float64(time.Second)) / time.Second * time.Second).String()
+	}
+	fmt.Fprintf(p.w, "%sfleet: %d/%d done  %d failed  %.1f jobs/s  eta %s ",
+		prefix, p.done, p.total, p.failed, rate, eta)
+}

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"marlin/internal/controlplane"
+	"marlin/internal/sim"
+)
+
+// A sweep explores the cartesian product of TestConfig axes — the paper's
+// R2 use case ("find the optimal configuration by adjusting CC parameters")
+// generalized to any spec dimension. Axes are declared as "key=v1,v2,..."
+// strings (the marlinctl -axis flag); every combination becomes one Point,
+// and each point becomes one (or, with replicates, several) fleet Job.
+
+// Axis is one swept configuration dimension.
+type Axis struct {
+	Key    string
+	Values []string
+}
+
+// ParseAxis parses "key=v1,v2,v3" and validates the key and every value by
+// test-applying them to a scratch spec.
+func ParseAxis(s string) (Axis, error) {
+	key, vals, ok := strings.Cut(s, "=")
+	if !ok || key == "" || vals == "" {
+		return Axis{}, fmt.Errorf("fleet: bad axis %q (want key=v1,v2,...)", s)
+	}
+	ax := Axis{Key: key, Values: strings.Split(vals, ",")}
+	var scratch controlplane.Spec
+	for _, v := range ax.Values {
+		if err := applyAxis(&scratch, key, v); err != nil {
+			return Axis{}, err
+		}
+	}
+	return ax, nil
+}
+
+// AxisKeys lists the sweepable spec dimensions.
+func AxisKeys() []string {
+	keys := make([]string, 0, len(axisSetters))
+	for k := range axisSetters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var axisSetters = map[string]func(*controlplane.Spec, string) error{
+	"algo":     func(s *controlplane.Spec, v string) error { s.Algorithm = v; return nil },
+	"receiver": func(s *controlplane.Spec, v string) error { s.Receiver = v; return nil },
+	"ports":    intAxis(func(s *controlplane.Spec, n int) { s.Ports = n }),
+	"flows":    intAxis(func(s *controlplane.Spec, n int) { s.FlowsPerPort = n }),
+	"mtu":      intAxis(func(s *controlplane.Spec, n int) { s.MTU = n }),
+	"ecn":      intAxis(func(s *controlplane.Spec, n int) { s.ECNThresholdPkts = n }),
+	"queue":    intAxis(func(s *controlplane.Spec, n int) { s.NetQueueBytes = n }),
+	"hops":     intAxis(func(s *controlplane.Spec, n int) { s.ExtraHops = n }),
+	"pfc":      boolAxis(func(s *controlplane.Spec, b bool) { s.EnablePFC = b }),
+	"int":      boolAxis(func(s *controlplane.Spec, b bool) { s.EnableINT = b }),
+	"fpgarecv": boolAxis(func(s *controlplane.Spec, b bool) { s.ReceiverOnFPGA = b }),
+	"linkdelay": func(s *controlplane.Spec, v string) error {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("fleet: axis linkdelay: %w", err)
+		}
+		s.LinkDelay = sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+		return nil
+	},
+}
+
+func intAxis(set func(*controlplane.Spec, int)) func(*controlplane.Spec, string) error {
+	return func(s *controlplane.Spec, v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("fleet: axis value %q: %w", v, err)
+		}
+		set(s, n)
+		return nil
+	}
+}
+
+func boolAxis(set func(*controlplane.Spec, bool)) func(*controlplane.Spec, string) error {
+	return func(s *controlplane.Spec, v string) error {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("fleet: axis value %q: %w", v, err)
+		}
+		set(s, b)
+		return nil
+	}
+}
+
+func applyAxis(s *controlplane.Spec, key, value string) error {
+	set, ok := axisSetters[key]
+	if !ok {
+		return fmt.Errorf("fleet: unknown axis %q (have %v)", key, AxisKeys())
+	}
+	return set(s, value)
+}
+
+// Point is one cartesian combination of axis values, in axis order.
+type Point struct {
+	Keys   []string
+	Values []string
+}
+
+// ID is the point's stable identity ("ecn=8,algo=dctcp") — it keys the
+// journal and seed derivation.
+func (p Point) ID() string {
+	parts := make([]string, len(p.Keys))
+	for i, k := range p.Keys {
+		parts[i] = k + "=" + p.Values[i]
+	}
+	return strings.Join(parts, ",")
+}
+
+// Apply sets the point's values on a spec.
+func (p Point) Apply(s *controlplane.Spec) error {
+	for i, k := range p.Keys {
+		if err := applyAxis(s, k, p.Values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cartesian expands the axes into every combination, first axis slowest —
+// the order a human writing the nested loops by hand would produce.
+func Cartesian(axes []Axis) []Point {
+	points := []Point{{}}
+	for _, ax := range axes {
+		next := make([]Point, 0, len(points)*len(ax.Values))
+		for _, p := range points {
+			for _, v := range ax.Values {
+				next = append(next, Point{
+					Keys:   append(append([]string(nil), p.Keys...), ax.Key),
+					Values: append(append([]string(nil), p.Values...), v),
+				})
+			}
+		}
+		points = next
+	}
+	if len(axes) == 0 {
+		return nil
+	}
+	return points
+}

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"marlin/internal/controlplane"
+	"marlin/internal/sim"
+)
+
+func TestParseAxis(t *testing.T) {
+	ax, err := ParseAxis("ecn=8,65,200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Key != "ecn" || !reflect.DeepEqual(ax.Values, []string{"8", "65", "200"}) {
+		t.Errorf("ParseAxis = %+v", ax)
+	}
+	for _, bad := range []string{"", "ecn", "ecn=", "=8", "nope=1", "ecn=8,abc", "pfc=maybe", "linkdelay=fast"} {
+		if _, err := ParseAxis(bad); err == nil {
+			t.Errorf("ParseAxis(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPointApply(t *testing.T) {
+	pt := Point{Keys: []string{"algo", "ecn", "pfc", "linkdelay"}, Values: []string{"dcqcn", "20", "true", "2us"}}
+	var spec controlplane.Spec
+	if err := pt.Apply(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algorithm != "dcqcn" || spec.ECNThresholdPkts != 20 || !spec.EnablePFC {
+		t.Errorf("Apply left spec %+v", spec)
+	}
+	if spec.LinkDelay != 2*sim.Microsecond {
+		t.Errorf("linkdelay = %v, want 2us", spec.LinkDelay)
+	}
+	if pt.ID() != "algo=dcqcn,ecn=20,pfc=true,linkdelay=2us" {
+		t.Errorf("ID = %q", pt.ID())
+	}
+}
+
+func TestCartesian(t *testing.T) {
+	axes := []Axis{
+		{Key: "algo", Values: []string{"dctcp", "dcqcn"}},
+		{Key: "ecn", Values: []string{"8", "65", "200"}},
+	}
+	pts := Cartesian(axes)
+	if len(pts) != 6 {
+		t.Fatalf("cartesian size = %d, want 6", len(pts))
+	}
+	// First axis slowest: the order nested loops would produce.
+	if pts[0].ID() != "algo=dctcp,ecn=8" || pts[3].ID() != "algo=dcqcn,ecn=8" {
+		t.Errorf("order: %q ... %q", pts[0].ID(), pts[3].ID())
+	}
+	ids := map[string]bool{}
+	for _, p := range pts {
+		ids[p.ID()] = true
+	}
+	if len(ids) != 6 {
+		t.Error("duplicate point IDs")
+	}
+	if got := Cartesian(nil); got != nil {
+		t.Errorf("Cartesian(nil) = %v, want nil", got)
+	}
+}

@@ -176,6 +176,45 @@ func NewCDF(samples []float64) CDF {
 // Len reports sample count.
 func (c CDF) Len() int { return len(c.sorted) }
 
+// Samples returns the CDF's sorted backing samples. The slice is shared;
+// callers must not mutate it.
+func (c CDF) Samples() []float64 { return c.sorted }
+
+// MergeCDFs combines empirical distributions into one over the union of
+// their samples — how replicate runs of the same test pool their FCTs
+// before a percentile is read. Inputs are already sorted, so the union is
+// built by pairwise linear merges rather than a re-sort.
+func MergeCDFs(cs ...CDF) CDF {
+	var merged []float64
+	for _, c := range cs {
+		merged = mergeSorted(merged, c.sorted)
+	}
+	return CDF{sorted: merged}
+}
+
+// mergeSorted merges two ascending slices into a new ascending slice.
+func mergeSorted(a, b []float64) []float64 {
+	if len(a) == 0 {
+		return append([]float64(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]float64(nil), a...)
+	}
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
 // Percentile returns the p-quantile (p in [0,1]) by nearest-rank.
 func (c CDF) Percentile(p float64) float64 {
 	if len(c.sorted) == 0 {

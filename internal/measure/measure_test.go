@@ -2,6 +2,7 @@ package measure
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -283,5 +284,33 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 	if !strings.Contains(h.Render(10), "no samples") {
 		t.Fatal("empty render")
+	}
+}
+
+func TestMergeCDFs(t *testing.T) {
+	merged := MergeCDFs(NewCDF([]float64{1, 3, 5}), NewCDF(nil), NewCDF([]float64{2, 4}))
+	want := []float64{1, 2, 3, 4, 5}
+	if !sort.Float64sAreSorted(merged.Samples()) {
+		t.Fatalf("merged samples not sorted: %v", merged.Samples())
+	}
+	if got := merged.Samples(); len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("merged %v, want %v", got, want)
+			}
+		}
+	}
+	if got := merged.Percentile(1); got != 5 {
+		t.Errorf("p100 = %g, want 5", got)
+	}
+	if MergeCDFs().Len() != 0 {
+		t.Error("empty merge should yield empty CDF")
+	}
+	// Merging a CDF with itself doubles every sample.
+	c := NewCDF([]float64{7, 7, 9})
+	if got := MergeCDFs(c, c).Len(); got != 6 {
+		t.Errorf("self-merge length = %d, want 6", got)
 	}
 }

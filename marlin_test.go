@@ -276,3 +276,62 @@ expect false_losses == 0
 		t.Fatal("bad scenario parsed")
 	}
 }
+
+// TestFleetPublicAPI drives a small campaign of real testers through the
+// public fleet surface: parallel execution, derived seeds, in-order
+// results, and CDF merging across replicates.
+func TestFleetPublicAPI(t *testing.T) {
+	campaign := func(workers int) []marlin.FleetJobResult {
+		t.Helper()
+		jobs := make([]marlin.FleetJob, 3)
+		for i := range jobs {
+			id := []string{"rep0", "rep1", "rep2"}[i]
+			seed := marlin.DeriveSeed(42, id)
+			jobs[i] = marlin.FleetJob{ID: id, Run: func() (*marlin.FleetOutput, error) {
+				tester, err := marlin.NewTester(marlin.TestConfig{
+					Algorithm: "dctcp", Ports: 2, ECNThresholdPkts: 65, Seed: seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := tester.StartFlow(0, 0, 1, 50); err != nil {
+					return nil, err
+				}
+				tester.RunFor(2 * marlin.Millisecond)
+				return &marlin.FleetOutput{
+					Metrics: map[string]float64{"tx_bytes": float64(tester.FlowTxBytes(0))},
+					Samples: map[string][]float64{"fct_us": tester.FCTMicros()},
+				}, nil
+			}}
+		}
+		results, err := marlin.RunFleet(jobs, marlin.FleetOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+
+	seq, par := campaign(1), campaign(4)
+	var cdfs []marlin.CDF
+	for i := range seq {
+		if !seq[i].OK() || !par[i].OK() {
+			t.Fatalf("job %d failed: %q / %q", i, seq[i].Err, par[i].Err)
+		}
+		if seq[i].ID != par[i].ID {
+			t.Fatalf("result order differs: %s vs %s", seq[i].ID, par[i].ID)
+		}
+		a, b := seq[i].Output.Metrics["tx_bytes"], par[i].Output.Metrics["tx_bytes"]
+		if a != b || a == 0 {
+			t.Errorf("job %d: workers=4 metrics differ from workers=1: %g vs %g", i, b, a)
+		}
+		cdfs = append(cdfs, marlin.NewCDF(par[i].Output.Samples["fct_us"]))
+	}
+	merged := marlin.MergeCDFs(cdfs...)
+	total := 0
+	for _, c := range cdfs {
+		total += c.Len()
+	}
+	if merged.Len() != total || total == 0 {
+		t.Errorf("merged CDF has %d samples, want %d (> 0)", merged.Len(), total)
+	}
+}
