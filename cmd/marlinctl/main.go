@@ -136,7 +136,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	opts := marlin.ExperimentOptions{Scale: *scale, Seed: *seed}
-	start := time.Now()
+	start := time.Now() //marlin:allow wallclock -- "(Ns wall)" banner; host-side UX, not model state
 	res, err := marlin.RunExperiment(name, opts)
 	if err != nil {
 		return err
@@ -145,7 +145,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *format == "text" {
-		fmt.Printf("(%.1fs wall)\n", time.Since(start).Seconds())
+		fmt.Printf("(%.1fs wall)\n", time.Since(start).Seconds()) //marlin:allow wallclock -- wall-time banner; host-side UX
 	}
 	return nil
 }

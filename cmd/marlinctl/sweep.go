@@ -93,7 +93,7 @@ func cmdSweep(args []string) error {
 			})...)
 	}
 
-	start := time.Now()
+	start := time.Now() //marlin:allow wallclock -- "(Ns wall)" banner; host-side UX, not model state
 	results, err := marlin.RunFleet(jobs, marlin.FleetOptions{
 		Workers:  *workers,
 		Timeout:  *timeout,
@@ -113,7 +113,7 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	if *format == "text" {
-		fmt.Printf("(%.1fs wall)\n", time.Since(start).Seconds())
+		fmt.Printf("(%.1fs wall)\n", time.Since(start).Seconds()) //marlin:allow wallclock -- wall-time banner; host-side UX
 	}
 	if nf := fleet.Failed(results); nf > 0 {
 		return fmt.Errorf("sweep: %d job(s) failed", nf)

@@ -17,6 +17,7 @@ package cc
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"marlin/internal/packet"
 	"marlin/internal/sim"
@@ -271,11 +272,6 @@ func Names() []string {
 	for name := range registry {
 		out = append(out, name)
 	}
-	// Insertion sort: tiny n, avoids importing sort for one call site.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }

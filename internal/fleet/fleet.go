@@ -218,12 +218,13 @@ func Failed(results []JobResult) int {
 // runJob executes one job with panic recovery, per-attempt timeout, and
 // bounded retry.
 func runJob(job Job, opts Options) JobResult {
-	start := time.Now()
+	start := time.Now() //marlin:allow wallclock -- ElapsedMS reports host wall time per job; never feeds model state
 	attempts := 0
 	for {
 		attempts++
 		out, err := runOnce(job, opts.Timeout)
-		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		elapsed := float64(time.Since(start)) / float64(time.Millisecond) //marlin:allow wallclock -- same host-side job timing
+
 		if err == nil {
 			return JobResult{ID: job.ID, Attempts: attempts, ElapsedMS: elapsed, Output: out}
 		}
@@ -254,6 +255,7 @@ func runOnce(job Job, timeout time.Duration) (*Output, error) {
 		o := <-ch
 		return o.out, o.err
 	}
+	//marlin:allow wallclock -- watchdog for hung host jobs; a fired timer only abandons the attempt
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {

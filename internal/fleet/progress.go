@@ -18,7 +18,7 @@ type progress struct {
 }
 
 func newProgress(w io.Writer, total int) *progress {
-	return &progress{w: w, total: total, start: time.Now()}
+	return &progress{w: w, total: total, start: time.Now()} //marlin:allow wallclock -- ETA baseline for terminal progress; display only
 }
 
 func (p *progress) bump(failed bool) {
@@ -41,7 +41,7 @@ func (p *progress) render(prefix string) {
 	if p.w == nil {
 		return
 	}
-	elapsed := time.Since(p.start).Seconds()
+	elapsed := time.Since(p.start).Seconds() //marlin:allow wallclock -- ETA extrapolation for terminal progress; display only
 	rate := 0.0
 	if elapsed > 0 {
 		rate = float64(p.done) / elapsed

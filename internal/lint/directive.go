@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full form is
+//
+//	//marlin:allow check1,check2 -- justification
+//
+// written either as a trailing comment on the offending line or as a
+// standalone comment directly above it.
+const directivePrefix = "//marlin:allow"
+
+// directive is one parsed //marlin:allow comment.
+type directive struct {
+	pos       token.Position
+	checks    []string
+	justified bool
+}
+
+// directives indexes a package's suppression comments by file and line.
+type directives struct {
+	list []*directive
+	// byLine maps filename -> line -> directives effective at that line.
+	byLine map[string]map[int][]*directive
+}
+
+// collectDirectives parses every //marlin:allow comment in the package. A
+// directive is effective on its own line (trailing-comment form) and on the
+// following line (comment-above form).
+func collectDirectives(pkg *Package) *directives {
+	ds := &directives{byLine: make(map[string]map[int][]*directive)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				d := parseDirective(pkg.Fset.Position(c.Pos()), rest)
+				ds.list = append(ds.list, d)
+				lines := ds.byLine[d.pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*directive)
+					ds.byLine[d.pos.Filename] = lines
+				}
+				lines[d.pos.Line] = append(lines[d.pos.Line], d)
+				lines[d.pos.Line+1] = append(lines[d.pos.Line+1], d)
+			}
+		}
+	}
+	return ds
+}
+
+// parseDirective splits "check1,check2 -- justification".
+func parseDirective(pos token.Position, rest string) *directive {
+	names, just, found := strings.Cut(rest, " -- ")
+	d := &directive{pos: pos, justified: found && strings.TrimSpace(just) != ""}
+	for _, n := range strings.Split(strings.TrimSpace(names), ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			d.checks = append(d.checks, n)
+		}
+	}
+	return d
+}
+
+// allows reports whether a justified directive suppresses d. Unjustified
+// directives never suppress: the violation and the bad directive are both
+// reported, forcing the author to write the why.
+func (ds *directives) allows(d Diagnostic) bool {
+	for _, dir := range ds.byLine[d.Pos.Filename][d.Pos.Line] {
+		if !dir.justified {
+			continue
+		}
+		for _, name := range dir.checks {
+			if name == d.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// problems reports malformed directives: a missing justification, an empty
+// check list, or a check name that doesn't exist.
+func (ds *directives) problems() []Diagnostic {
+	known := make(map[string]bool)
+	for _, c := range AllChecks() {
+		known[c.Name] = true
+	}
+	var out []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		out = append(out, Diagnostic{Check: "directive", Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+	for _, dir := range ds.list {
+		if len(dir.checks) == 0 {
+			report(dir.pos, "%s names no check; want %s <check> -- <why>", directivePrefix, directivePrefix)
+			continue
+		}
+		for _, name := range dir.checks {
+			if !known[name] {
+				report(dir.pos, "%s names unknown check %q (have %s)",
+					directivePrefix, name, strings.Join(CheckNames(), ", "))
+			}
+		}
+		if !dir.justified {
+			report(dir.pos, "%s needs a justification: %s %s -- <why>",
+				directivePrefix, directivePrefix, strings.Join(dir.checks, ","))
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// sharedLoader memoizes type-checked packages (including the standard
+// library, loaded from source) across all tests in this package.
+var sharedLoader = struct {
+	once sync.Once
+	l    *Loader
+	err  error
+}{}
+
+func loader(t *testing.T) *Loader {
+	t.Helper()
+	sharedLoader.once.Do(func() {
+		sharedLoader.l, sharedLoader.err = NewLoader(".")
+	})
+	if sharedLoader.err != nil {
+		t.Fatalf("NewLoader: %v", sharedLoader.err)
+	}
+	return sharedLoader.l
+}
+
+// runFixture analyzes one testdata package with the named checks and
+// renders each diagnostic as "file.go:line check" for golden comparison.
+func runFixture(t *testing.T, fixture, checkNames string) []string {
+	t.Helper()
+	pkg, err := loader(t).LoadDir(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	checks, err := SelectChecks(checkNames)
+	if err != nil {
+		t.Fatalf("SelectChecks(%q): %v", checkNames, err)
+	}
+	var got []string
+	for _, d := range Run([]*Package{pkg}, checks) {
+		got = append(got, fmt.Sprintf("%s:%d %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Check))
+	}
+	return got
+}
+
+func TestFixtureDiagnostics(t *testing.T) {
+	cases := []struct {
+		fixture string
+		checks  string
+		want    []string
+	}{
+		{"wallclock_bad", "wallclock", []string{
+			"wallclock_bad.go:12 wallclock", // time.Now
+			"wallclock_bad.go:13 wallclock", // time.Sleep
+			"wallclock_bad.go:14 wallclock", // rand.Int63
+			"wallclock_bad.go:19 wallclock", // time.Since
+		}},
+		{"wallclock_clean", "wallclock", nil},
+		{"maporder_bad", "maporder", []string{
+			"maporder_bad.go:14 maporder", // unsorted append
+			"maporder_bad.go:23 maporder", // float accumulation
+			"maporder_bad.go:31 maporder", // fmt.Println
+			"maporder_bad.go:38 maporder", // event scheduling
+		}},
+		{"maporder_clean", "maporder", nil},
+		{"rngsource_bad", "rngsource", []string{
+			"rngsource_bad.go:5 rngsource",  // math/rand import
+			"rngsource_bad.go:10 rngsource", // rand.New
+			"rngsource_bad.go:10 rngsource", // rand.NewSource
+		}},
+		{"rngsource_clean", "rngsource", nil},
+		{"simtime_bad", "simtime", []string{
+			"simtime_bad.go:10 simtime", // Deadline time.Time
+			"simtime_bad.go:11 simtime", // RTO time.Duration
+			"simtime_bad.go:15 simtime", // Wait param
+			"simtime_bad.go:15 simtime", // Wait result
+		}},
+		{"simtime_clean", "simtime", nil},
+		{"directive_bad", "wallclock", []string{
+			"directive_bad.go:11 wallclock", // unjustified allow must not suppress
+			"directive_bad.go:11 directive", // allow without justification
+			"directive_bad.go:14 directive", // unknown check name
+			"directive_bad.go:17 directive", // allow naming no check
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			got := runFixture(t, tc.fixture, tc.checks)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("diagnostics mismatch\n got: %v\nwant: %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the determinism gate on the tree itself: every package
+// of the module, all checks, zero diagnostics. It exercises the host-side
+// exemptions and every //marlin:allow directive in the repo for real.
+func TestRepoIsClean(t *testing.T) {
+	l := loader(t)
+	dirs, err := ExpandPatterns(l.ModuleDir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("expected to load the whole module, got only %d packages", len(pkgs))
+	}
+	for _, d := range Run(pkgs, AllChecks()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func TestHostSide(t *testing.T) {
+	for path, want := range map[string]bool{
+		"marlin/internal/fleet":    true,
+		"marlin/cmd/marlinctl":     true,
+		"marlin/examples/incast":   true,
+		"marlin/internal/lint":     true,
+		"marlin":                   false,
+		"marlin/internal/sim":      false,
+		"marlin/internal/scenario": false,
+		"marlin/internal/fpga":     false,
+	} {
+		if got := HostSide(path); got != want {
+			t.Errorf("HostSide(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	l := loader(t)
+	dirs, err := ExpandPatterns(l.ModuleDir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	for _, d := range dirs {
+		if filepath.Base(filepath.Dir(d)) == "src" && filepath.Base(filepath.Dir(filepath.Dir(d))) == "testdata" {
+			t.Errorf("pattern expansion descended into testdata: %s", d)
+		}
+	}
+}
+
+func TestSelectChecks(t *testing.T) {
+	all, err := SelectChecks("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("SelectChecks(\"\") = %d checks, err %v; want 4, nil", len(all), err)
+	}
+	two, err := SelectChecks("wallclock,simtime")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("SelectChecks subset: got %d checks, err %v", len(two), err)
+	}
+	if _, err := SelectChecks("bogus"); err == nil {
+		t.Fatal("SelectChecks(\"bogus\") did not error")
+	}
+}

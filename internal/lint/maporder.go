@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporderCheck flags range statements over maps whose body does
+// order-sensitive work. Go randomizes map iteration order per iteration, so
+// appending to a slice, accumulating a float (float addition is not
+// associative), writing output, or scheduling events from inside such a loop
+// makes the result vary run to run even with a fixed seed.
+//
+// The canonical fix — collect the keys, sort them, iterate the sorted
+// slice — is recognized: a loop that only builds a key slice which is later
+// passed to sort.* or slices.Sort* in the same function is clean. Writes
+// indexed by the loop's own key variable (sums[k] += v) touch a distinct
+// accumulator per key and are also clean.
+var maporderCheck = &Check{
+	Name: "maporder",
+	Doc:  "no order-sensitive work (appends, float sums, writes, event scheduling) inside map iteration",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncMapRanges finds the map ranges belonging directly to this
+// function body (nested function literals are visited on their own) and
+// analyzes each.
+func checkFuncMapRanges(pass *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if t := pass.Pkg.Info.TypeOf(rs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, rs)
+				}
+			}
+		}
+		return true
+	})
+	for _, rs := range ranges {
+		analyzeMapRange(pass, rs, body)
+	}
+}
+
+// analyzeMapRange reports the first order-sensitive operation in the body of
+// a map range. The diagnostic is anchored at the range statement so one
+// directive covers the loop.
+func analyzeMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok {
+		keyObj = info.Defs[id]
+		if keyObj == nil {
+			keyObj = info.Uses[id]
+		}
+	}
+	report := func(format string, args ...any) {
+		pass.Reportf(rs.For, "range over map: "+format, args...)
+	}
+	done := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				tgt := rootObj(info, call.Args[0])
+				if tgt == nil || !sortedAfter(info, funcBody, rs.End(), tgt) {
+					done = true
+					report("appends to %s in map iteration order; collect the keys, sort them, then iterate", nameOf(tgt))
+					return false
+				}
+			}
+			if isOrderSensitiveFloatAssign(info, s, keyObj) {
+				done = true
+				report("accumulates a float in map iteration order; float addition is not associative — iterate sorted keys")
+				return false
+			}
+		case *ast.CallExpr:
+			if what := orderedSideEffect(info, s); what != "" {
+				done = true
+				report("%s in map iteration order; iterate sorted keys", what)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isOrderSensitiveFloatAssign reports whether s compound-assigns into a
+// float accumulator that is shared across iterations (i.e. not indexed by
+// the loop's key variable).
+func isOrderSensitiveFloatAssign(info *types.Info, s *ast.AssignStmt, keyObj types.Object) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	lhs := s.Lhs[0]
+	t := info.TypeOf(lhs)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return false
+	}
+	return !indexedBy(info, lhs, keyObj)
+}
+
+// indexedBy reports whether expr is an index expression whose index mentions
+// obj (the loop key), making the write per-key rather than shared.
+func indexedBy(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	ix, ok := expr.(*ast.IndexExpr)
+	if !ok || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// orderedSideEffect classifies calls whose observable effect depends on call
+// order: formatted or raw writes to a stream, and event scheduling.
+func orderedSideEffect(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "fmt":
+				switch name {
+				case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+					return "writes output via fmt." + name
+				}
+			case "io":
+				if name == "WriteString" {
+					return "writes output via io.WriteString"
+				}
+			}
+			return ""
+		}
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return "writes output via ." + name
+	case "Schedule", "ScheduleAt":
+		return "schedules events via ." + name
+	}
+	return ""
+}
+
+// sortedAfter reports whether obj is passed to a sort call (sort.* or
+// slices.Sort*) positioned after pos in the function body — the
+// collect-then-sort idiom.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		arg := call.Args[0]
+		// Unwrap a sort.Sort(byX(s)) style conversion or wrapper.
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = conv.Args[0]
+		}
+		if rootObj(info, arg) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootObj resolves the base object an expression reads or writes: the
+// innermost identifier of selector/index/paren/star chains.
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[e]; ok {
+				return sel.Obj()
+			}
+			return info.Uses[e.Sel]
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// nameOf renders an object name for diagnostics.
+func nameOf(obj types.Object) string {
+	if obj == nil {
+		return "a slice"
+	}
+	return obj.Name()
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// rngsourceCheck keeps stochastic draws in model packages on seeded
+// sim.Rand streams. A math/rand import in model code either touches the
+// process-global source (nondeterministic across runs) or builds a
+// generator whose seed doesn't flow from the experiment configuration;
+// either way the run stops being reproducible from its seed. Host-side
+// packages are exempt — shuffling job order in the fleet is fine.
+var rngsourceCheck = &Check{
+	Name:      "rngsource",
+	Doc:       "model packages draw randomness from a seeded sim.Rand, never math/rand",
+	ModelOnly: true,
+	Run:       runRngSource,
+}
+
+func runRngSource(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(spec.Pos(),
+					"model package imports %s; stochastic draws must come from a seeded sim.Rand (internal/sim)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"construct model RNGs with sim.NewRand(seed) so the stream derives from the run seed, not rand.%s",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// simtimeCheck enforces the unit discipline at model-package API
+// boundaries: exported signatures and exported type declarations carry
+// sim.Time/sim.Duration (integer picoseconds on the simulated clock), not
+// time.Time/time.Duration (host wall time). Mixing the two compiles fine —
+// both are int64 underneath — which is exactly why a machine check is
+// needed: a time.Duration smuggled into a model API is a silent
+// nanosecond/picosecond unit error and a wall-clock dependency waiting to
+// happen. The designated conversion boundary (sim.Time.Std, sim.FromStd)
+// carries a justified //marlin:allow simtime directive.
+var simtimeCheck = &Check{
+	Name:      "simtime",
+	Doc:       "exported model APIs use sim.Time/sim.Duration, not time.Time/time.Duration",
+	ModelOnly: true,
+	Run:       runSimTime,
+}
+
+// simEquivalent maps the offending time package name to its sim counterpart.
+var simEquivalent = map[string]string{
+	"Time":     "sim.Time",
+	"Duration": "sim.Duration",
+}
+
+func runSimTime(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				reportTimeTypes(pass, d.Type, "exported signature of "+d.Name.Name)
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					reportTimeTypes(pass, ts.Type, "exported type "+ts.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// reportTimeTypes flags every time.Time / time.Duration reference in the
+// given type expression (a signature or a type declaration body). Function
+// bodies are never inspected: converting at the boundary is the point.
+func reportTimeTypes(pass *Pass, root ast.Node, where string) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "time" {
+			return true
+		}
+		if want, isUnit := simEquivalent[sel.Sel.Name]; isUnit {
+			pass.Reportf(sel.Pos(),
+				"%s uses time.%s; model APIs must use %s (picoseconds on the simulated clock)",
+				where, sel.Sel.Name, want)
+		}
+		return true
+	})
+}

@@ -1,0 +1,18 @@
+// Package directive_bad exercises directive validation: an unjustified
+// allow (which must also fail to suppress), an unknown check name, and an
+// allow naming no check are each diagnostics.
+package directive_bad
+
+import "time"
+
+// Stamp carries an allow with no justification: both the directive and the
+// underlying wallclock finding must be reported.
+func Stamp() int64 {
+	return time.Now().UnixNano() //marlin:allow wallclock
+}
+
+//marlin:allow nosuchcheck -- the check name does not exist
+func Unknown() {}
+
+//marlin:allow
+func Empty() {}

@@ -1,0 +1,41 @@
+// Package maporder_bad exercises the maporder check: every map range below
+// does order-sensitive work without sorting keys first.
+package maporder_bad
+
+import "fmt"
+
+type sched struct{}
+
+func (sched) Schedule(d int64, fn func()) {}
+
+// Collect appends in map iteration order with no later sort.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum accumulates a float in map iteration order.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Dump writes output in map iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Fanout schedules events in map iteration order.
+func Fanout(s sched, m map[int]func()) {
+	for d, fn := range m {
+		s.Schedule(int64(d), fn)
+	}
+}

@@ -1,0 +1,12 @@
+// Package rngsource_bad exercises the rngsource check: the math/rand
+// import and the explicit constructors must be flagged in a model package.
+package rngsource_bad
+
+import "math/rand"
+
+// Draw builds an explicitly seeded generator, but its seed does not derive
+// from the experiment configuration.
+func Draw() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}

@@ -1,0 +1,20 @@
+// Package simtime_bad exercises the simtime check: exported signatures and
+// exported types carrying host-time units must be flagged; unexported
+// helpers are not the API boundary.
+package simtime_bad
+
+import "time"
+
+// Config is an exported model type carrying host-time units.
+type Config struct {
+	Deadline time.Time
+	RTO      time.Duration
+}
+
+// Wait is an exported signature with host-time parameter and result.
+func Wait(d time.Duration) time.Duration {
+	return d
+}
+
+// internalOnly is unexported and must not be flagged.
+func internalOnly(d time.Duration) time.Duration { return d }

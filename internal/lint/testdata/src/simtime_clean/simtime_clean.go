@@ -1,0 +1,14 @@
+// Package simtime_clean keeps its exported API on the simulated clock; the
+// simtime check reports nothing.
+package simtime_clean
+
+import "marlin/internal/sim"
+
+// Config carries simulated-clock units.
+type Config struct {
+	Deadline sim.Time
+	RTO      sim.Duration
+}
+
+// Wait keeps the exported API on the simulated clock.
+func Wait(d sim.Duration) sim.Duration { return d }

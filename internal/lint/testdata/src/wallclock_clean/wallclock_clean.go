@@ -1,0 +1,13 @@
+// Package wallclock_clean holds a justified suppression and clock-free
+// code: the wallclock check must report nothing here.
+package wallclock_clean
+
+import "time"
+
+// Uptime is host-side elapsed reporting with a documented exemption.
+func Uptime(start time.Time) float64 {
+	return time.Since(start).Seconds() //marlin:allow wallclock -- fixture: documented host-side elapsed reporting
+}
+
+// Pure never touches the clock.
+func Pure(a, b int64) int64 { return a + b }

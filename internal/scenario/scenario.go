@@ -24,6 +24,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"marlin/internal/controlplane"
@@ -212,7 +213,7 @@ func (s *Scenario) measure(tr *core.Tester, e *expectation, elapsed sim.Duration
 		return float64(tr.GoodputBits(e.flow)) / secs / 1e9, nil
 	case "jain":
 		var rates []float64
-		for f := range s.startedFlows() {
+		for _, f := range s.startedFlows() {
 			rates = append(rates, float64(tr.GoodputBits(f)))
 		}
 		return measure.JainIndex(rates), nil
@@ -240,14 +241,20 @@ func (s *Scenario) measure(tr *core.Tester, e *expectation, elapsed sim.Duration
 	}
 }
 
-// startedFlows lists the distinct flows the timeline starts (for jain).
-func (s *Scenario) startedFlows() map[packet.FlowID]struct{} {
-	out := make(map[packet.FlowID]struct{})
+// startedFlows lists the distinct flows the timeline starts (for jain),
+// sorted by flow ID. The order matters: the Jain index sums squared floats,
+// and float addition is not associative, so iterating a map here would make
+// the metric's low bits vary run to run for the same seed.
+func (s *Scenario) startedFlows() []packet.FlowID {
+	seen := make(map[packet.FlowID]bool)
+	var out []packet.FlowID
 	for _, a := range s.actions {
-		if a.kind == "start" {
-			out[a.flow] = struct{}{}
+		if a.kind == "start" && !seen[a.flow] {
+			seen[a.flow] = true
+			out = append(out, a.flow)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -213,3 +213,35 @@ func TestScenarioFlapParseErrors(t *testing.T) {
 		t.Fatal("bad flap port parsed")
 	}
 }
+
+func TestJainDeterministicAcrossRuns(t *testing.T) {
+	// Regression: the jain metric used to accumulate goodput in map
+	// iteration order, so its low float bits varied run to run for the
+	// same script and seed. With sorted flow iteration the measured value
+	// must be bit-identical on every run.
+	const src = `
+set algo dctcp
+set ports 4
+set seed 7
+at 0ms start 0 tx 0 rx 3
+at 0ms start 1 tx 1 rx 3
+at 0ms start 2 tx 2 rx 3
+run 3ms
+expect jain >= 0.8
+`
+	var first float64
+	for i := 0; i < 10; i++ {
+		rep := mustRun(t, src)
+		if len(rep.Checks) != 1 {
+			t.Fatalf("run %d: checks = %d, want 1", i, len(rep.Checks))
+		}
+		got := rep.Checks[0].Measured
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("run %d: jain = %v, differs from first run %v", i, got, first)
+		}
+	}
+}
