@@ -152,3 +152,7 @@ func BenchmarkExtAlgoComparison(b *testing.B) {
 func BenchmarkAblationRXDemux(b *testing.B) {
 	benchExperiment(b, "ablate-rxdemux", 1, "throughput_ratio")
 }
+
+func BenchmarkExtLeafSpine(b *testing.B) {
+	benchExperiment(b, "ext-leafspine", 1, "dcqcn_ecmp_imbalance", "cubic_fct_p99_us")
+}

@@ -76,7 +76,9 @@ sweep flags:   -axis key=v1,v2,... (repeatable) -reps N -j N -seed N
                -algo NAME -ports N -flows N -duration D
                -timeout D -retries N -journal FILE -format text|json|csv
 test flags:    -algo NAME -ports N -flows N -duration D -ecn K -fanin
-               -int -pfc -fpgarecv -pcap FILE -seed N
+               -int -pfc -fpgarecv -topology SPEC -pcap FILE -seed N
+dot flags:     -algo NAME -ports N -pfc -fpgarecv -topology SPEC
+topologies:    dumbbell, leafspine:LxS, fattree:K, parkinglot:N
 `)
 }
 
@@ -212,6 +214,7 @@ func cmdTest(args []string) error {
 	useINT := fs.Bool("int", false, "stamp in-band telemetry at every hop (for hpcc)")
 	usePFC := fs.Bool("pfc", false, "lossless fabric via PFC pause frames")
 	fpgaRecv := fs.Bool("fpgarecv", false, "run receiver logic on the FPGA (reserved port)")
+	topology := fs.String("topology", "", "tested-network fabric (dumbbell, leafspine:LxS, fattree:K, parkinglot:N; empty = single switch)")
 	pcapPath := fs.String("pcap", "", "capture the first forward link to this pcap file")
 	seed := fs.Uint64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
@@ -229,6 +232,7 @@ func cmdTest(args []string) error {
 		EnableINT:        *useINT,
 		EnablePFC:        *usePFC,
 		ReceiverOnFPGA:   *fpgaRecv,
+		Topology:         *topology,
 		DCQCNTimeScale:   30,
 		Seed:             *seed,
 	}
@@ -289,6 +293,17 @@ func cmdTest(args []string) error {
 	losses := t.Losses()
 	fmt.Printf("losses: network=%d false=%d rx=%d\n",
 		losses.NetworkDrops, losses.FalseLosses, losses.RXDrops)
+	if *topology != "" {
+		fmt.Printf("misroutes: %d\n", losses.Misroutes)
+		if paths := t.ECMPPaths(); len(paths) > 0 {
+			fmt.Printf("ecmp: %d equal-cost paths, imbalance %.3f\n",
+				len(paths), marlin.ECMPImbalance(paths))
+			for _, pc := range paths {
+				fmt.Printf("  %s p%d -> %-8s %10d pkts\n",
+					pc.Switch, pc.Port, pc.Next, pc.TxPackets)
+			}
+		}
+	}
 	if samples, count, ewma := t.RTT(); count > 0 {
 		cdf := marlin.NewCDF(samples)
 		fmt.Printf("rtt: probes=%d ewma=%.1fus p50=%.1fus p99=%.1fus\n",
@@ -309,6 +324,7 @@ func cmdDot(args []string) error {
 	ports := fs.Int("ports", 4, "data ports")
 	pfc := fs.Bool("pfc", false, "enable PFC")
 	fpgaRecv := fs.Bool("fpgarecv", false, "receiver logic on the FPGA")
+	topology := fs.String("topology", "", "tested-network fabric (dumbbell, leafspine:LxS, fattree:K, parkinglot:N; empty = single switch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -317,6 +333,7 @@ func cmdDot(args []string) error {
 		Ports:          *ports,
 		EnablePFC:      *pfc,
 		ReceiverOnFPGA: *fpgaRecv,
+		Topology:       *topology,
 		Seed:           1,
 	})
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"marlin/internal/cc"
 	"marlin/internal/core"
+	"marlin/internal/fabric"
 	"marlin/internal/fpga"
 	"marlin/internal/netem"
 	"marlin/internal/packet"
@@ -48,6 +49,11 @@ type Spec struct {
 	// ExtraHops deepens every forward path by this many additional
 	// store-and-forward hops.
 	ExtraHops int
+	// Topology replaces the canonical single-switch tested network with a
+	// multi-switch fabric, e.g. "dumbbell", "leafspine:4x2", "fattree:4",
+	// "parkinglot:3" (fabric.ParseSpec syntax). Empty keeps the canonical
+	// arrangement; mutually exclusive with ExtraHops.
+	Topology string
 	// LinkDelay is the tested network's per-link one-way delay.
 	LinkDelay sim.Duration
 	// DCQCNTimeScale compresses DCQCN's recovery timescale for short
@@ -74,6 +80,14 @@ func (s *Spec) Validate() error {
 	case "", "tcp", "roce":
 	default:
 		return fmt.Errorf("controlplane: unknown receiver mode %q", s.Receiver)
+	}
+	if s.Topology != "" {
+		if _, err := fabric.ParseSpec(s.Topology); err != nil {
+			return err
+		}
+		if s.ExtraHops > 0 {
+			return fmt.Errorf("controlplane: ExtraHops applies only to the canonical single-switch network, not topology %q", s.Topology)
+		}
 	}
 	if s.Params != nil {
 		if err := s.Params.Validate(); err != nil {
@@ -122,10 +136,16 @@ func (s *Spec) Lint() []string {
 				"dcqcn with paper-scale timers recovers over hundreds of ms; set DCQCNTimeScale for short horizons")
 		}
 	}
-	if s.EnableINT && s.ExtraHops+2 > packet.MaxINTHops {
+	hops := s.ExtraHops + 2
+	if s.Topology != "" {
+		if spec, err := fabric.ParseSpec(s.Topology); err == nil {
+			hops = spec.Diameter()
+		}
+	}
+	if s.EnableINT && hops > packet.MaxINTHops {
 		warns = append(warns, fmt.Sprintf(
 			"%d-hop paths exceed the %d-entry INT stack: later hops go unstamped",
-			s.ExtraHops+2, packet.MaxINTHops))
+			hops, packet.MaxINTHops))
 	}
 	return warns
 }
@@ -153,6 +173,13 @@ func (s *Spec) Deploy(eng *sim.Engine) (*core.Tester, error) {
 		ReceiverOnFPGA: s.ReceiverOnFPGA,
 		ExtraHops:      s.ExtraHops,
 		Seed:           s.Seed,
+	}
+	if s.Topology != "" {
+		spec, err := fabric.ParseSpec(s.Topology)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = spec
 	}
 	if s.Params != nil {
 		cfg.Params = *s.Params
@@ -193,6 +220,10 @@ type Snapshot struct {
 	Ports    []tofino.PortCounters
 	NIC      fpga.Stats
 	FCTCount int
+	// Network is per-switch, per-port telemetry of the tested network:
+	// one entry for the canonical single switch, one per fabric switch
+	// under a multi-switch Topology.
+	Network []netem.Stats
 }
 
 // ReadRegisters collects a Snapshot from a running tester.
@@ -202,6 +233,7 @@ func ReadRegisters(t *core.Tester) Snapshot {
 		Switch:   t.Pipeline.Counters(),
 		NIC:      t.NIC.Stats(),
 		FCTCount: t.FCTs.Len(),
+		Network:  t.NetworkStats(),
 	}
 	for i := 0; i < t.Plan().DataPorts; i++ {
 		snap.Ports = append(snap.Ports, t.Pipeline.PortCounters(i))
@@ -220,13 +252,20 @@ type LossReport struct {
 	FalseLosses uint64
 	// RXDrops are FPGA RX-FIFO overflows.
 	RXDrops uint64
+	// Misroutes are packets a switch routing function sent to a
+	// nonexistent port — a routing bug, counted instead of crashing.
+	Misroutes uint64
 }
 
 // ReadLosses collects a LossReport.
 func ReadLosses(t *core.Tester) LossReport {
 	var r LossReport
-	for i := 0; i < t.Net.Ports(); i++ {
-		r.NetworkDrops += t.Net.Port(i).Queue().Stats().Drops
+	for _, sw := range t.Switches() {
+		st := sw.Stats()
+		for _, ps := range st.Ports {
+			r.NetworkDrops += ps.Drops
+		}
+		r.Misroutes += st.Misroutes
 	}
 	for i := 0; i < t.Plan().DataPorts; i++ {
 		r.NetworkDrops += t.TxLink(i).Queue().Stats().Drops

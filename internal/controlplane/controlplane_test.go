@@ -134,3 +134,80 @@ func TestLintCleanSpec(t *testing.T) {
 		t.Fatalf("clean spec warned: %v", warns)
 	}
 }
+
+func TestSpecTopology(t *testing.T) {
+	bad := []Spec{
+		{Algorithm: "dctcp", Topology: "mesh"},
+		{Algorithm: "dctcp", Topology: "leafspine:0x2"},
+		{Algorithm: "dctcp", Topology: "dumbbell", ExtraHops: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad topology spec %d validated", i)
+		}
+	}
+	eng := sim.NewEngine()
+	tr, err := (&Spec{
+		Algorithm: "dctcp",
+		Ports:     4,
+		Topology:  "leafspine:2x2",
+	}).Deploy(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fab == nil {
+		t.Fatal("Deploy with Topology did not build a fabric")
+	}
+	if err := tr.StartFlow(0, 0, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(20 * sim.Millisecond))
+	if tr.FCTs.Len() != 1 {
+		t.Fatal("flow did not complete over leaf-spine")
+	}
+	snap := ReadRegisters(tr)
+	if len(snap.Network) != 4 {
+		t.Fatalf("snapshot lists %d fabric switches, want 4", len(snap.Network))
+	}
+	if r := ReadLosses(tr); r.Misroutes != 0 {
+		t.Fatalf("unexpected misroutes: %+v", r)
+	}
+}
+
+func TestSnapshotNetworkTelemetry(t *testing.T) {
+	// The canonical single switch shows up in Snapshot.Network too, with
+	// per-port forwarded counts.
+	eng := sim.NewEngine()
+	tr, err := (&Spec{Algorithm: "dctcp", Ports: 2}).Deploy(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.StartFlow(0, 0, 1, 40); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(10 * sim.Millisecond))
+	snap := ReadRegisters(tr)
+	if len(snap.Network) != 1 {
+		t.Fatalf("canonical snapshot lists %d switches, want 1", len(snap.Network))
+	}
+	var tx uint64
+	for _, ps := range snap.Network[0].Ports {
+		tx += ps.TxPackets
+	}
+	if tx == 0 {
+		t.Fatal("no per-port TX telemetry on the canonical switch")
+	}
+}
+
+func TestLintTopologyINTDepth(t *testing.T) {
+	s := Spec{Algorithm: "hpcc", EnableINT: true, Topology: "fattree:4"}
+	found := false
+	for _, w := range s.Lint() {
+		if strings.Contains(w, "INT stack") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fat-tree depth beyond the INT stack not flagged: %v", s.Lint())
+	}
+}

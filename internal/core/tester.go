@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"marlin/internal/cc"
+	"marlin/internal/fabric"
 	"marlin/internal/fpga"
 	"marlin/internal/measure"
 	"marlin/internal/netem"
@@ -86,6 +87,14 @@ type Config struct {
 	EnablePFC bool
 	// PFCXOFFBytes overrides the pause watermark (0 = half the queue).
 	PFCXOFFBytes int
+	// Topology replaces the canonical single switch with a multi-switch
+	// fabric (internal/fabric): the tester's data ports attach as hosts
+	// and flows route toward their receiver port's leaf, with
+	// deterministic ECMP where the shape offers equal-cost paths. The
+	// zero value keeps the §7.1 single-switch arrangement, byte for
+	// byte. Mutually exclusive with ExtraHops (the fabric has real
+	// hops).
+	Topology fabric.Spec
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -95,8 +104,11 @@ type Tester struct {
 	Eng      *sim.Engine
 	Pipeline *tofino.Pipeline
 	NIC      *fpga.NIC
-	Net      *netem.Switch
-	FCTs     *measure.FCTRecorder
+	// Net is the canonical single tested-network switch; nil when the
+	// tester runs over a multi-switch Topology (see Fabric).
+	Net  *netem.Switch
+	Fab  *fabric.Fabric
+	FCTs *measure.FCTRecorder
 
 	cfg     Config
 	plan    tofino.Plan
@@ -119,6 +131,9 @@ type Tester struct {
 func New(eng *sim.Engine, cfg Config) (*Tester, error) {
 	if cfg.Algorithm == nil {
 		return nil, fmt.Errorf("core: no CC algorithm configured")
+	}
+	if !cfg.Topology.IsZero() && cfg.ExtraHops > 0 {
+		return nil, fmt.Errorf("core: ExtraHops applies only to the canonical single-switch network; the %s fabric has real hops", cfg.Topology)
 	}
 	if cfg.MTU == 0 {
 		cfg.MTU = 1024
@@ -226,6 +241,14 @@ func New(eng *sim.Engine, cfg Config) (*Tester, error) {
 		pl.ConnectRxForward(truncLink)
 	}
 
+	if !cfg.Topology.IsZero() {
+		if err := t.wireFabric(eng); err != nil {
+			return nil, err
+		}
+		nic.OnComplete(t.flowDone)
+		return t, nil
+	}
+
 	// Tested network: tester -> intermediate switch -> tester.
 	t.Net = netem.NewSwitch("tested-network", func(p *packet.Packet) int {
 		if dst, ok := t.flowDst[p.Flow]; ok {
@@ -295,6 +318,54 @@ func New(eng *sim.Engine, cfg Config) (*Tester, error) {
 	return t, nil
 }
 
+// wireFabric replaces the canonical single switch with a multi-switch
+// tested network: each tester data port attaches as a fabric host, the
+// destination host's downlink delivers into the pipeline's receiver
+// logic, and the reverse ACK links are provisioned to the fabric's
+// forward diameter.
+func (t *Tester) wireFabric(eng *sim.Engine) error {
+	cfg := t.cfg
+	sinks := make([]netem.Node, cfg.DataPorts)
+	for i := range sinks {
+		sinks[i] = t.Pipeline.DataIn(i)
+	}
+	fab, err := fabric.Build(eng, fabric.Config{
+		Spec:         cfg.Topology,
+		Hosts:        cfg.DataPorts,
+		PortRate:     cfg.PortRate,
+		LinkDelay:    cfg.LinkDelay,
+		QueueBytes:   cfg.NetQueueBytes,
+		ECN:          cfg.ECN,
+		EnableINT:    cfg.EnableINT,
+		Jitter:       cfg.ForwardJitter,
+		EnablePFC:    cfg.EnablePFC,
+		PFCXOFFBytes: cfg.PFCXOFFBytes,
+		Seed:         cfg.Seed,
+		Dst: func(p *packet.Packet) int {
+			if dst, ok := t.flowDst[p.Flow]; ok {
+				return dst
+			}
+			return -1
+		},
+		Sinks: sinks,
+	})
+	if err != nil {
+		return err
+	}
+	t.Fab = fab
+	revDelay := sim.Duration(cfg.Topology.Diameter()) * cfg.LinkDelay
+	for i := 0; i < cfg.DataPorts; i++ {
+		t.Pipeline.ConnectDataPort(i, fab.HostUplink(i))
+		t.txLinks = append(t.txLinks, fab.HostUplink(i))
+		rev := netem.NewLink(eng, netem.LinkConfig{
+			Rate: cfg.PortRate, Delay: revDelay, QueueBytes: 1 << 20,
+		}, t.Pipeline.AckIn())
+		t.revLinks = append(t.revLinks, rev)
+		t.Pipeline.ConnectAckPort(i, rev)
+	}
+	return nil
+}
+
 // PFCPauses reports pause episodes across all PFC controllers (0 when PFC
 // is disabled).
 func (t *Tester) PFCPauses() uint64 {
@@ -302,7 +373,39 @@ func (t *Tester) PFCPauses() uint64 {
 	for _, p := range t.pfcs {
 		n += p.Pauses()
 	}
+	if t.Fab != nil {
+		n += t.Fab.PFCPauses()
+	}
 	return n
+}
+
+// Switches lists the tested network's switches: the canonical single
+// switch, or every switch of the deployed fabric.
+func (t *Tester) Switches() []*netem.Switch {
+	if t.Fab != nil {
+		return t.Fab.Switches()
+	}
+	return []*netem.Switch{t.Net}
+}
+
+// NetworkStats snapshots per-switch, per-port telemetry of the tested
+// network (queue depth, pause state, drops, forwarded counts per hop).
+func (t *Tester) NetworkStats() []netem.Stats {
+	sws := t.Switches()
+	out := make([]netem.Stats, len(sws))
+	for i, s := range sws {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// ECMPPaths lists the fabric's per-path traffic counters (nil for the
+// canonical single switch, which has no equal-cost choices).
+func (t *Tester) ECMPPaths() []fabric.PathCounter {
+	if t.Fab == nil {
+		return nil
+	}
+	return t.Fab.ECMPPaths()
 }
 
 // Plan returns the port plan in force.
@@ -314,9 +417,14 @@ func (t *Tester) Config() Config { return t.cfg }
 // RNG returns the tester's seeded random stream.
 func (t *Tester) RNG() *sim.Rand { return t.rng }
 
-// ForwardLink returns the tested network's egress link toward receiver
+// ForwardLink returns the tested network's last-hop link toward receiver
 // port rx; experiments attach loss/ECN scripts to it (§7.1).
-func (t *Tester) ForwardLink(rx int) *netem.Link { return t.Net.Port(rx) }
+func (t *Tester) ForwardLink(rx int) *netem.Link {
+	if t.Fab != nil {
+		return t.Fab.HostDownlink(rx)
+	}
+	return t.Net.Port(rx)
+}
 
 // TxLink returns the link from tester data port i into the network.
 func (t *Tester) TxLink(i int) *netem.Link { return t.txLinks[i] }
@@ -386,15 +494,21 @@ func (t *Tester) TopologyDOT() string {
 	fmt.Fprintf(&b, "%s, %d ports\"];\n", t.cfg.Algorithm.Name(), t.cfg.DataPorts)
 	b.WriteString("  switch [shape=box,label=\"switch pipeline\\n")
 	fmt.Fprintf(&b, "MTU %d, %v/port\"];\n", t.plan.MTU, t.plan.PortRate)
-	fmt.Fprintf(&b, "  net [shape=ellipse,label=\"tested network\\n%d+%d hops, delay %v\"];\n",
-		1, t.cfg.ExtraHops, t.cfg.LinkDelay)
 	b.WriteString("  fpga -> switch [label=\"SCHE 64B\"];\n")
 	b.WriteString("  switch -> fpga [label=\"INFO 64B\"];\n")
-	for i := 0; i < t.cfg.DataPorts; i++ {
-		fmt.Fprintf(&b, "  switch -> net [label=\"DATA p%d\"];\n", i)
-		fmt.Fprintf(&b, "  net -> switch [label=\"ACK p%d\"];\n", i)
+	if t.Fab != nil {
+		// Multi-switch fabric: every switch is its own node with live
+		// per-hop counters; the tester's ports all hang off the pipeline.
+		t.Fab.DOTBody(&b, func(int) string { return "switch" })
+	} else {
+		fmt.Fprintf(&b, "  net [shape=ellipse,label=\"tested network\\n%d+%d hops, delay %v\"];\n",
+			1, t.cfg.ExtraHops, t.cfg.LinkDelay)
+		for i := 0; i < t.cfg.DataPorts; i++ {
+			fmt.Fprintf(&b, "  switch -> net [label=\"DATA p%d\"];\n", i)
+			fmt.Fprintf(&b, "  net -> switch [label=\"ACK p%d\"];\n", i)
+		}
 	}
-	if t.cfg.EnablePFC {
+	if t.cfg.EnablePFC && t.Fab == nil {
 		b.WriteString("  net -> switch [style=dashed,label=\"PFC pause\"];\n")
 	}
 	if t.fpgaRecv != nil {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"marlin/internal/cc"
+	"marlin/internal/fabric"
 	"marlin/internal/fpga"
 	"marlin/internal/measure"
 	"marlin/internal/netem"
@@ -497,5 +499,104 @@ func TestTopologyDOT(t *testing.T) {
 		if !strings.Contains(dot, want) {
 			t.Errorf("DOT missing %q:\n%s", want, dot)
 		}
+	}
+}
+
+func TestFabricLeafSpineEndToEnd(t *testing.T) {
+	// Replacing the single switch with a 2x2 leaf-spine must leave the
+	// tester's flow API untouched: cross-rack flows complete, every switch
+	// reports traffic, and the ECMP path counters are populated.
+	cfg := Config{
+		Algorithm: mustAlg(t, "dctcp"),
+		DataPorts: 4,
+		Topology:  fabric.Spec{Kind: fabric.KindLeafSpine, Leaves: 2, Spines: 2},
+		Seed:      7,
+	}
+	tr := newTester(t, cfg)
+	if tr.Fab == nil || tr.Net != nil {
+		t.Fatal("fabric mode should build Fab and leave the canonical Net nil")
+	}
+	// Hosts 0,2 live on leaf0 and 1,3 on leaf1: both flows cross the spine.
+	if err := tr.StartFlow(0, 0, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.StartFlow(1, 2, 3, 200); err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(sim.Time(30 * sim.Millisecond))
+	if tr.FCTs.Len() != 2 {
+		t.Fatalf("completed %d flows over leaf-spine, want 2", tr.FCTs.Len())
+	}
+	stats := tr.NetworkStats()
+	if len(stats) != 4 {
+		t.Fatalf("NetworkStats reported %d switches, want 4", len(stats))
+	}
+	for _, s := range stats {
+		if s.Misroutes != 0 {
+			t.Fatalf("switch %s misrouted %d packets", s.Name, s.Misroutes)
+		}
+	}
+	var forwarded uint64
+	for _, pc := range tr.ECMPPaths() {
+		forwarded += pc.TxPackets
+	}
+	if forwarded == 0 {
+		t.Fatal("no traffic attributed to ECMP paths")
+	}
+	dot := tr.TopologyDOT()
+	for _, want := range []string{"leaf0", "spine1", "DATA h3"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("fabric DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestFabricDeterministicAcrossRuns(t *testing.T) {
+	run := func() ([]sim.Duration, []uint64) {
+		tr := newTester(t, Config{
+			Algorithm: mustAlg(t, "cubic"),
+			DataPorts: 4,
+			Topology:  fabric.Spec{Kind: fabric.KindLeafSpine, Leaves: 2, Spines: 2},
+			Seed:      11,
+		})
+		for f := 0; f < 4; f++ {
+			if err := tr.StartFlow(packet.FlowID(f), f%2, 2+f%2, 80); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr.Run(sim.Time(30 * sim.Millisecond))
+		var fcts []sim.Duration
+		for _, rec := range tr.FCTs.Records() {
+			fcts = append(fcts, rec.FCT)
+		}
+		var paths []uint64
+		for _, pc := range tr.ECMPPaths() {
+			paths = append(paths, pc.TxPackets)
+		}
+		return fcts, paths
+	}
+	fct1, path1 := run()
+	fct2, path2 := run()
+	if !reflect.DeepEqual(fct1, fct2) {
+		t.Fatalf("FCTs differ across identical runs:\n%v\n%v", fct1, fct2)
+	}
+	if !reflect.DeepEqual(path1, path2) {
+		t.Fatalf("ECMP path counters differ across identical runs:\n%v\n%v", path1, path2)
+	}
+	if len(fct1) != 4 {
+		t.Fatalf("completed %d flows, want 4", len(fct1))
+	}
+}
+
+func TestFabricRejectsExtraHops(t *testing.T) {
+	eng := sim.NewEngine()
+	_, err := New(eng, Config{
+		Algorithm: mustAlg(t, "dctcp"),
+		DataPorts: 2,
+		Topology:  fabric.Spec{Kind: fabric.KindDumbbell},
+		ExtraHops: 2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "ExtraHops") {
+		t.Fatalf("Topology+ExtraHops accepted: err=%v", err)
 	}
 }

@@ -29,6 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-queue", "ablate-rxtimer", "ablate-overrun",
 		"ablate-scheduler", "ablate-slowpath", "ablate-rxdemux",
 		"ext-hpcc", "ext-pfc", "ext-multipipe", "ext-fpgarecv", "ext-openloop", "ext-algos",
+		"ext-leafspine",
 	}
 	have := map[string]bool{}
 	for _, n := range Names() {

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestExtHPCCKeepsQueuesEmpty(t *testing.T) {
 	res := runExp(t, "ext-hpcc")
@@ -134,5 +137,39 @@ func TestAblationRXDemux(t *testing.T) {
 	}
 	if v := res.Metrics["throughput_ratio"]; v < 3 {
 		t.Errorf("demux speedup = %vx, want large", v)
+	}
+}
+
+func TestExtLeafSpineECMPImbalance(t *testing.T) {
+	res, err := ExtLeafSpine(Options{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"dcqcn", "cubic"} {
+		// ECMP collisions deliberately degrade fairness (flows sharing a
+		// spine path finish fewer closed-loop rounds), so jain well below
+		// 1.0 is expected — just not degenerate.
+		if j := res.Metrics[algo+"_jain"]; j <= 0.2 || j > 1.0 {
+			t.Errorf("%s: degenerate fairness (jain %.3f)", algo, j)
+		}
+		if res.Metrics[algo+"_fct_p50_us"] <= 0 {
+			t.Errorf("%s: no FCT distribution", algo)
+		}
+		// The seeded hash maps 8 flows onto per-leaf 2-way choices: some
+		// collision is guaranteed, so imbalance must be measurably above
+		// perfectly balanced (1.0).
+		if imb := res.Metrics[algo+"_ecmp_imbalance"]; imb <= 1.05 {
+			t.Errorf("%s: ECMP imbalance %.3f not measurable", algo, imb)
+		}
+	}
+	// Per-path counters are part of the result contract.
+	paths := 0
+	for k := range res.Metrics {
+		if strings.HasPrefix(k, "dcqcn_path_") {
+			paths++
+		}
+	}
+	if paths != 8 {
+		t.Errorf("reported %d dcqcn path counters, want 8 (4 leaves x 2 spines)", paths)
 	}
 }

@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOTBody writes the fabric's nodes and edges into an open Graphviz
+// digraph (the caller owns "digraph {...}"). Switch nodes carry live
+// telemetry — received packets, queue drops, misroutes — and trunk edges
+// carry per-port forwarded counts, so a rendering mid-run doubles as a
+// per-hop load map. hostNode names the graph node standing in for host h
+// (the tester's switch pipeline, in core's rendering).
+func (f *Fabric) DOTBody(b *strings.Builder, hostNode func(h int) string) {
+	for _, n := range f.switches {
+		var drops uint64
+		for _, ps := range n.s.Stats().Ports {
+			drops += ps.Drops
+		}
+		fmt.Fprintf(b, "  %s [shape=box,label=\"%s\\nrx %d, drops %d",
+			dotID(n.name), n.name, n.s.RxPackets(), drops)
+		if m := n.s.Misroutes(); m > 0 {
+			fmt.Fprintf(b, ", misroutes %d", m)
+		}
+		b.WriteString("\"];\n")
+	}
+	for _, n := range f.switches {
+		for port, peer := range n.peers {
+			if strings.HasPrefix(peer, "host") {
+				continue // host edges are drawn below, against hostNode
+			}
+			c := n.s.PortCounters(port)
+			fmt.Fprintf(b, "  %s -> %s [label=\"p%d: %d pkts\"];\n",
+				dotID(n.name), dotID(peer), port, c.TxPackets)
+		}
+	}
+	for h := 0; h < f.cfg.Hosts; h++ {
+		leaf := f.switches[f.hostSw[h]]
+		up := f.uplinks[h].Stats()
+		down := leaf.s.PortCounters(f.hostPort[h])
+		fmt.Fprintf(b, "  %s -> %s [label=\"DATA h%d: %d pkts\"];\n",
+			hostNode(h), dotID(leaf.name), h, up.TxPackets)
+		fmt.Fprintf(b, "  %s -> %s [label=\"to h%d: %d pkts\"];\n",
+			dotID(leaf.name), hostNode(h), h, down.TxPackets)
+	}
+}
+
+// dotID makes a switch name safe as a Graphviz node identifier.
+func dotID(name string) string {
+	return "fab_" + strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

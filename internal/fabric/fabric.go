@@ -1,0 +1,353 @@
+// Package fabric composes netem switches and links into multi-switch
+// tested networks: the dumbbell, parking-lot, leaf-spine, and fat-tree
+// shapes congestion-control papers evaluate on. The tester's data ports
+// attach as hosts — port i's DATA enters the fabric at host i's leaf and
+// leaves toward the tester's receiver logic at the destination host's
+// downlink — so core.Tester runs unchanged against any shape.
+//
+// Routing is destination-based: a DstFunc resolves each packet to its
+// destination host, and every switch forwards toward that host's leaf.
+// Where several equal-cost next hops exist (leaf-to-spine, edge-to-agg,
+// agg-to-core), the choice is deterministic ECMP: a splitmix64-style hash
+// of (seed, flow, hop), so every packet of a flow takes one path and the
+// whole fabric replays bit-for-bit from the configuration seed. Per-path
+// counters expose the hash imbalance that makes ECMP testing interesting.
+package fabric
+
+import (
+	"fmt"
+
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// DstFunc resolves a packet to its destination host port, or a negative
+// value if the flow is unknown (the packet is then counted unrouted).
+type DstFunc func(p *packet.Packet) int
+
+// Config assembles a fabric.
+type Config struct {
+	// Spec selects the shape (required, non-zero).
+	Spec Spec
+	// Hosts is how many tester data ports attach (host h lives on leaf
+	// h mod leaves, in every shape).
+	Hosts int
+	// PortRate is the line rate of every fabric link (default 100 Gbps).
+	PortRate sim.Rate
+	// LinkDelay is the one-way propagation delay per link (default 2 us).
+	LinkDelay sim.Duration
+	// QueueBytes bounds every switch egress queue (0 = netem default).
+	QueueBytes int
+	// ECN configures marking at every switch egress queue.
+	ECN netem.ECNConfig
+	// EnableINT stamps per-hop telemetry on DATA at every fabric link.
+	EnableINT bool
+	// Jitter adds uniform [0, Jitter] propagation jitter on the host
+	// downlinks (the last hop), like core's ForwardJitter.
+	Jitter sim.Duration
+	// EnablePFC makes the fabric lossless hop by hop: every egress queue
+	// pauses all links feeding its switch at the XOFF watermark, so
+	// backpressure propagates upstream switch by switch.
+	EnablePFC bool
+	// PFCXOFFBytes overrides the pause watermark (0 = half the queue).
+	PFCXOFFBytes int
+	// Seed drives the ECMP hash and the per-link marking streams.
+	Seed uint64
+	// Dst resolves packets to destination hosts (required).
+	Dst DstFunc
+	// Sinks receive delivered packets: Sinks[h] is host h's receiver
+	// (required, len >= Hosts).
+	Sinks []netem.Node
+}
+
+// sw is one fabric switch plus the bookkeeping the builder needs: the
+// downstream peer name per output port, the ECMP uplink group, and the
+// links feeding the switch (the PFC upstream set).
+type sw struct {
+	s         *netem.Switch
+	name      string
+	route     netem.RouteFunc
+	peers     []string
+	ecmpPorts []int
+	inLinks   []*netem.Link
+}
+
+// Fabric is a built multi-switch tested network.
+type Fabric struct {
+	cfg      Config
+	switches []*sw
+	uplinks  []*netem.Link
+	hostSw   []int // switch index owning host h's downlink
+	hostPort []int // port index of host h's downlink on that switch
+	pfcs     []*netem.PFC
+	rng      *sim.Rand
+}
+
+// Build wires the fabric described by cfg.
+func Build(eng *sim.Engine, cfg Config) (*Fabric, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Spec.IsZero() {
+		return nil, fmt.Errorf("fabric: empty spec (the canonical single switch needs no fabric)")
+	}
+	if cfg.Hosts < 1 {
+		return nil, fmt.Errorf("fabric: need at least one host, got %d", cfg.Hosts)
+	}
+	if cfg.Dst == nil {
+		return nil, fmt.Errorf("fabric: nil DstFunc")
+	}
+	if len(cfg.Sinks) < cfg.Hosts {
+		return nil, fmt.Errorf("fabric: %d sinks for %d hosts", len(cfg.Sinks), cfg.Hosts)
+	}
+	if cfg.PortRate == 0 {
+		cfg.PortRate = 100 * sim.Gbps
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = sim.Micros(2)
+	}
+	f := &Fabric{
+		cfg:      cfg,
+		uplinks:  make([]*netem.Link, cfg.Hosts),
+		hostSw:   make([]int, cfg.Hosts),
+		hostPort: make([]int, cfg.Hosts),
+		// Decouple the fabric's marking/jitter streams from other users
+		// of the run seed with a fixed mix constant.
+		rng: sim.NewRand(cfg.Seed ^ 0xfab21c0de),
+	}
+	var err error
+	switch cfg.Spec.Kind {
+	case KindDumbbell:
+		err = f.buildDumbbell(eng)
+	case KindLeafSpine:
+		err = f.buildLeafSpine(eng)
+	case KindFatTree:
+		err = f.buildFatTree(eng)
+	case KindParkingLot:
+		err = f.buildParkingLot(eng)
+	default:
+		err = fmt.Errorf("fabric: unknown topology %q", cfg.Spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EnablePFC {
+		if err := f.wirePFC(eng); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ecmpPick deterministically selects among n equal-cost next hops. It is a
+// pure splitmix64-style finalizer over (seed, flow, hop): no generator
+// state, so the choice is independent of packet arrival order, and every
+// packet of a flow at a given switch takes the same path — the per-flow
+// consistency real ECMP hashing provides, reproducible from the seed.
+func ecmpPick(seed uint64, flow packet.FlowID, hop uint64, n int) int {
+	z := seed + 0x9e3779b97f4a7c15*(hop+1) + (uint64(flow)+1)*0x2545f4914f6cdd1d
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
+}
+
+// addSwitch creates a switch whose routing defers to n.route, set by the
+// topology builder after the graph is wired.
+func (f *Fabric) addSwitch(name string) *sw {
+	n := &sw{name: name}
+	n.s = netem.NewSwitch(name, func(p *packet.Packet) int { return n.route(p) })
+	f.switches = append(f.switches, n)
+	return n
+}
+
+// trunkCfg is the link config for inter-switch links.
+func (f *Fabric) trunkCfg() netem.LinkConfig {
+	return netem.LinkConfig{
+		Rate: f.cfg.PortRate, Delay: f.cfg.LinkDelay,
+		QueueBytes: f.cfg.QueueBytes, ECN: f.cfg.ECN,
+		EnableINT: f.cfg.EnableINT, RNG: f.rng.Split(),
+	}
+}
+
+// connect adds an output port on a toward b, attributing RX at b to port
+// bPort (the port pair facing a), and registers the link in b's PFC
+// upstream set. It returns a's new port index.
+func (f *Fabric) connect(eng *sim.Engine, a, b *sw, bPort int) int {
+	i := a.s.AddPort(eng, f.trunkCfg(), b.s.PortIn(bPort))
+	a.peers = append(a.peers, b.name)
+	b.inLinks = append(b.inLinks, a.s.Port(i))
+	return i
+}
+
+// attachHost gives host h its downlink (an output port on leaf toward the
+// host's sink) and its uplink (a standalone link from the tester into the
+// leaf, attributed to the same port).
+func (f *Fabric) attachHost(eng *sim.Engine, leaf *sw, leafIdx, h int) {
+	cfg := f.trunkCfg()
+	cfg.Jitter = f.cfg.Jitter
+	port := leaf.s.AddPort(eng, cfg, f.cfg.Sinks[h])
+	leaf.peers = append(leaf.peers, fmt.Sprintf("host%d", h))
+	f.hostSw[h] = leafIdx
+	f.hostPort[h] = port
+
+	upQueue := f.cfg.QueueBytes
+	if f.cfg.EnablePFC && upQueue < 4<<20 {
+		// PFC backpressure parks packets at the host uplinks; give them
+		// room so losslessness holds end to end (mirrors core's sizing).
+		upQueue = 4 << 20
+	}
+	up := netem.NewLink(eng, netem.LinkConfig{
+		Rate: f.cfg.PortRate, Delay: f.cfg.LinkDelay, QueueBytes: upQueue,
+		EnableINT: f.cfg.EnableINT,
+	}, leaf.s.PortIn(port))
+	leaf.inLinks = append(leaf.inLinks, up)
+	f.uplinks[h] = up
+}
+
+// dst resolves a packet's destination host, clamping unknown and
+// out-of-range hosts to "unrouted".
+func (f *Fabric) dst(p *packet.Packet) int {
+	d := f.cfg.Dst(p)
+	if d < 0 || d >= f.cfg.Hosts {
+		return -1
+	}
+	return d
+}
+
+// wirePFC makes every egress queue pause all links feeding its switch, so
+// congestion anywhere propagates hop by hop back to the host uplinks.
+func (f *Fabric) wirePFC(eng *sim.Engine) error {
+	for _, n := range f.switches {
+		if len(n.inLinks) == 0 {
+			continue
+		}
+		for i := 0; i < n.s.Ports(); i++ {
+			q := n.s.Port(i).Queue()
+			xoff := f.cfg.PFCXOFFBytes
+			if xoff == 0 {
+				xoff = q.Capacity() / 2
+			}
+			pfc, err := netem.NewPFC(eng, q, n.inLinks, netem.PFCConfig{
+				XOFF: xoff, XON: xoff / 2, Delay: f.cfg.LinkDelay,
+			})
+			if err != nil {
+				return fmt.Errorf("fabric: %s port %d: %w", n.name, i, err)
+			}
+			f.pfcs = append(f.pfcs, pfc)
+		}
+	}
+	return nil
+}
+
+// Spec returns the shape the fabric was built from.
+func (f *Fabric) Spec() Spec { return f.cfg.Spec }
+
+// HostUplink returns the link carrying host h's traffic into the fabric;
+// the tester connects its data port h to it.
+func (f *Fabric) HostUplink(h int) *netem.Link { return f.uplinks[h] }
+
+// HostDownlink returns the fabric's last-hop link toward host h; loss and
+// ECN scripts attach here (§7.1).
+func (f *Fabric) HostDownlink(h int) *netem.Link {
+	return f.switches[f.hostSw[h]].s.Port(f.hostPort[h])
+}
+
+// HostLeaf returns the name of the switch host h attaches to.
+func (f *Fabric) HostLeaf(h int) string { return f.switches[f.hostSw[h]].name }
+
+// Switches lists the fabric's switches in build order.
+func (f *Fabric) Switches() []*netem.Switch {
+	out := make([]*netem.Switch, len(f.switches))
+	for i, n := range f.switches {
+		out[i] = n.s
+	}
+	return out
+}
+
+// Stats snapshots per-switch, per-port telemetry across the fabric.
+func (f *Fabric) Stats() []netem.Stats {
+	out := make([]netem.Stats, len(f.switches))
+	for i, n := range f.switches {
+		out[i] = n.s.Stats()
+	}
+	return out
+}
+
+// Misroutes sums table-bug discards across all switches.
+func (f *Fabric) Misroutes() uint64 {
+	var n uint64
+	for _, s := range f.switches {
+		n += s.s.Misroutes()
+	}
+	return n
+}
+
+// PFCPauses reports pause episodes across the fabric's controllers.
+func (f *Fabric) PFCPauses() uint64 {
+	var n uint64
+	for _, p := range f.pfcs {
+		n += p.Pauses()
+	}
+	return n
+}
+
+// PathCounter is the cumulative traffic one member of an ECMP group
+// carried: the switch that made the choice, the chosen next hop, and the
+// egress counters of the port toward it.
+type PathCounter struct {
+	Switch    string
+	Port      int
+	Next      string
+	TxPackets uint64
+	TxBytes   uint64
+}
+
+// ECMPPaths lists every ECMP group member with its traffic counters, in
+// deterministic build order; comparing members of a group measures the
+// hash imbalance.
+func (f *Fabric) ECMPPaths() []PathCounter {
+	var out []PathCounter
+	for _, n := range f.switches {
+		for _, port := range n.ecmpPorts {
+			c := n.s.PortCounters(port)
+			out = append(out, PathCounter{
+				Switch: n.name, Port: port, Next: n.peers[port],
+				TxPackets: c.TxPackets, TxBytes: c.TxBytes,
+			})
+		}
+	}
+	return out
+}
+
+// Imbalance summarises ECMP hash skew over path counters: the maximum
+// next-hop load divided by the mean (1 = perfectly balanced, 0 if no
+// traffic). Loads aggregate per next-hop name, so for a leaf-spine it is
+// the skew across spines.
+func Imbalance(paths []PathCounter) float64 {
+	totals := make(map[string]uint64)
+	var order []string
+	for _, p := range paths {
+		if _, ok := totals[p.Next]; !ok {
+			order = append(order, p.Next)
+		}
+		totals[p.Next] += p.TxPackets
+	}
+	if len(order) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, next := range order {
+		t := totals[next]
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(order))
+	return float64(max) / mean
+}

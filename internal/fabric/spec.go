@@ -1,0 +1,178 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec names a tested-network topology. The zero value means "no fabric":
+// the tester keeps its canonical single output-queued switch (§7.1). A
+// non-zero Spec selects one of the named multi-switch shapes; the numeric
+// fields parameterize the shape that uses them.
+type Spec struct {
+	// Kind is one of "", "dumbbell", "leafspine", "fattree", "parkinglot".
+	Kind string
+	// Leaves and Spines size a leafspine fabric.
+	Leaves int
+	Spines int
+	// K is the fat-tree arity (even, >= 2): K pods of K/2 edge and K/2
+	// aggregation switches over (K/2)^2 cores.
+	K int
+	// N is the parking-lot chain length in switches.
+	N int
+}
+
+// Topology kind names.
+const (
+	KindDumbbell   = "dumbbell"
+	KindLeafSpine  = "leafspine"
+	KindFatTree    = "fattree"
+	KindParkingLot = "parkinglot"
+)
+
+// IsZero reports whether the spec selects no fabric.
+func (s Spec) IsZero() bool { return s.Kind == "" }
+
+// Validate rejects malformed specs.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case "":
+		return nil
+	case KindDumbbell:
+		return nil
+	case KindLeafSpine:
+		if s.Leaves < 1 || s.Spines < 1 {
+			return fmt.Errorf("fabric: leafspine needs >= 1 leaf and >= 1 spine, got %dx%d", s.Leaves, s.Spines)
+		}
+		return nil
+	case KindFatTree:
+		if s.K < 2 || s.K%2 != 0 {
+			return fmt.Errorf("fabric: fat-tree arity must be even and >= 2, got %d", s.K)
+		}
+		return nil
+	case KindParkingLot:
+		if s.N < 2 {
+			return fmt.Errorf("fabric: parking lot needs >= 2 switches, got %d", s.N)
+		}
+		return nil
+	default:
+		return fmt.Errorf("fabric: unknown topology %q (have dumbbell, leafspine:LxS, fattree:K, parkinglot:N)", s.Kind)
+	}
+}
+
+// String renders the canonical text form accepted by ParseSpec.
+func (s Spec) String() string {
+	switch s.Kind {
+	case KindLeafSpine:
+		return fmt.Sprintf("leafspine:%dx%d", s.Leaves, s.Spines)
+	case KindFatTree:
+		return fmt.Sprintf("fattree:%d", s.K)
+	case KindParkingLot:
+		return fmt.Sprintf("parkinglot:%d", s.N)
+	default:
+		return s.Kind
+	}
+}
+
+// Diameter is the maximum number of links on any host-to-host forward
+// path (host uplink + inter-switch hops + host downlink); the reverse ACK
+// path is provisioned to match it, and INT budgeting uses it.
+func (s Spec) Diameter() int {
+	switch s.Kind {
+	case KindDumbbell:
+		return 3
+	case KindLeafSpine:
+		return 4
+	case KindFatTree:
+		return 6
+	case KindParkingLot:
+		return s.N + 1
+	default:
+		return 2 // the canonical single switch: tx link + egress link
+	}
+}
+
+// Switches is the number of switches the spec builds.
+func (s Spec) Switches() int {
+	switch s.Kind {
+	case KindDumbbell:
+		return 2
+	case KindLeafSpine:
+		return s.Leaves + s.Spines
+	case KindFatTree:
+		half := s.K / 2
+		return s.K*(half+half) + half*half
+	case KindParkingLot:
+		return s.N
+	default:
+		return 0
+	}
+}
+
+// ParseSpec compiles the operator-facing topology string:
+//
+//	""                        no fabric (canonical single switch)
+//	dumbbell                  two switches over one trunk
+//	leafspine[:LxS]           L leaves, S spines (default 2x2)
+//	fattree[:K]               K-ary fat-tree (default 4)
+//	parkinglot[:N]            N-switch chain (default 3)
+//
+// "leaf-spine", "fat-tree", and "parking-lot" spellings are accepted; the
+// LxS argument also parses with a comma ("4,2").
+func ParseSpec(text string) (Spec, error) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return Spec{}, nil
+	}
+	name, arg := text, ""
+	if i := strings.IndexByte(text, ':'); i >= 0 {
+		name, arg = text[:i], text[i+1:]
+	}
+	var s Spec
+	switch strings.ToLower(name) {
+	case KindDumbbell:
+		if arg != "" {
+			return Spec{}, fmt.Errorf("fabric: dumbbell takes no parameter, got %q", arg)
+		}
+		s = Spec{Kind: KindDumbbell}
+	case KindLeafSpine, "leaf-spine":
+		s = Spec{Kind: KindLeafSpine, Leaves: 2, Spines: 2}
+		if arg != "" {
+			parts := strings.SplitN(strings.ReplaceAll(arg, ",", "x"), "x", 2)
+			if len(parts) != 2 {
+				return Spec{}, fmt.Errorf("fabric: leafspine wants LxS, got %q", arg)
+			}
+			l, err1 := strconv.Atoi(parts[0])
+			sp, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return Spec{}, fmt.Errorf("fabric: leafspine wants LxS, got %q", arg)
+			}
+			s.Leaves, s.Spines = l, sp
+		}
+	case KindFatTree, "fat-tree":
+		s = Spec{Kind: KindFatTree, K: 4}
+		if arg != "" {
+			k, err := strconv.Atoi(arg)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fabric: fattree wants an integer arity, got %q", arg)
+			}
+			s.K = k
+		}
+	case KindParkingLot, "parking-lot":
+		s = Spec{Kind: KindParkingLot, N: 3}
+		if arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fabric: parkinglot wants an integer length, got %q", arg)
+			}
+			s.N = n
+		}
+	default:
+		return Spec{}, fmt.Errorf("fabric: unknown topology %q (have dumbbell, leafspine:LxS, fattree:K, parkinglot:N)", name)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

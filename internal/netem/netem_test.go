@@ -356,3 +356,81 @@ func BenchmarkLinkForward(b *testing.B) {
 	}
 	eng.RunAll()
 }
+
+func TestSwitchMisrouteCountedNotPanic(t *testing.T) {
+	// A routing function pointing at a port the switch does not have is a
+	// table bug; in a programmatically routed fabric it must surface as a
+	// counted misroute in the loss report, not a panic.
+	eng := sim.NewEngine()
+	var out Sink
+	sw := NewSwitch("s", RouteAllTo(7))
+	sw.AddPort(eng, LinkConfig{Rate: sim.Gbps}, &out)
+	sw.Receive(data(1, 0, 100))
+	sw.Receive(data(1, 1, 100))
+	eng.RunAll()
+	if out.Packets != 0 {
+		t.Fatalf("misrouted packets delivered: %d", out.Packets)
+	}
+	if sw.Misroutes() != 2 {
+		t.Fatalf("misroutes = %d, want 2", sw.Misroutes())
+	}
+	if sw.Unrouted() != 0 {
+		t.Fatalf("misroutes counted as unrouted: %d", sw.Unrouted())
+	}
+	if st := sw.Stats(); st.Misroutes != 2 {
+		t.Fatalf("Stats().Misroutes = %d, want 2", st.Misroutes)
+	}
+}
+
+func TestSwitchPerPortCounters(t *testing.T) {
+	eng := sim.NewEngine()
+	var a, b Sink
+	sw := NewSwitch("s", RouteByFlowTable(map[packet.FlowID]int{1: 0, 2: 1}))
+	sw.AddPort(eng, LinkConfig{Rate: sim.Gbps}, &a)
+	sw.AddPort(eng, LinkConfig{Rate: sim.Gbps}, &b)
+	// Flow 1 arrives on ingress port 0, flow 2 on ingress port 1.
+	in0, in1 := sw.PortIn(0), sw.PortIn(1)
+	for i := 0; i < 3; i++ {
+		in0.Receive(data(1, uint32(i), 100))
+	}
+	in1.Receive(data(2, 0, 200))
+	eng.RunAll()
+	p0, p1 := sw.PortCounters(0), sw.PortCounters(1)
+	if p0.RxPackets != 3 || p0.RxBytes != 300 {
+		t.Fatalf("port 0 rx = %+v", p0)
+	}
+	if p0.TxPackets != 3 || p0.TxBytes != 300 {
+		t.Fatalf("port 0 tx = %+v", p0)
+	}
+	if p1.RxPackets != 1 || p1.RxBytes != 200 || p1.TxPackets != 1 || p1.TxBytes != 200 {
+		t.Fatalf("port 1 = %+v", p1)
+	}
+	st := sw.Stats()
+	if st.Name != "s" || len(st.Ports) != 2 {
+		t.Fatalf("Stats() = %+v", st)
+	}
+	if st.Ports[0].TxPackets != 3 || st.Ports[1].RxBytes != 200 {
+		t.Fatalf("Stats().Ports = %+v", st.Ports)
+	}
+}
+
+func TestSwitchStatsExposeQueueState(t *testing.T) {
+	eng := sim.NewEngine()
+	var out Sink
+	sw := NewSwitch("s", RouteAllTo(0))
+	sw.AddPort(eng, LinkConfig{Rate: sim.Gbps, QueueBytes: 1 << 20}, &out)
+	for i := 0; i < 10; i++ {
+		sw.Receive(data(1, uint32(i), 1000))
+	}
+	// Before the engine runs, all but the in-flight packet sit queued.
+	st := sw.Stats()
+	if st.Ports[0].QueuePkts == 0 || st.Ports[0].QueueBytes == 0 {
+		t.Fatalf("queue state not visible: %+v", st.Ports[0])
+	}
+	sw.Port(0).Pause()
+	if !sw.Stats().Ports[0].Paused {
+		t.Fatal("pause state not visible in Stats")
+	}
+	sw.Port(0).Resume()
+	eng.RunAll()
+}

@@ -168,3 +168,118 @@ func TestINTStackBounded(t *testing.T) {
 		t.Fatalf("NHops = %d", rec.NHops)
 	}
 }
+
+// twoSwitchChain wires host uplinks -> S1 -> trunk -> S2 with two S2
+// egress ports: port 0 slow (the congestion point) and port 1 fast. PFC
+// controllers watch the slow queue (pausing the trunk) and the trunk
+// queue (pausing the host uplinks), so backpressure must travel two hops.
+type twoSwitchChain struct {
+	eng        *sim.Engine
+	upA, upB   *Link
+	trunk      *Link
+	slow, fast *Link
+	ctlSlow    *PFC // slow egress queue -> pauses trunk
+	ctlTrunk   *PFC // trunk queue -> pauses host uplinks
+}
+
+func newTwoSwitchChain(t *testing.T, slowRate sim.Rate, dstA, dstB Node) *twoSwitchChain {
+	t.Helper()
+	c := &twoSwitchChain{eng: sim.NewEngine()}
+	s2 := NewSwitch("s2", RouteByFlowTable(map[packet.FlowID]int{1: 0, 2: 1}))
+	s2.AddPort(c.eng, LinkConfig{Rate: slowRate, Delay: 1000, QueueBytes: 256 << 10}, dstA)
+	s2.AddPort(c.eng, LinkConfig{Rate: 10 * sim.Gbps, Delay: 1000, QueueBytes: 256 << 10}, dstB)
+	s1 := NewSwitch("s1", RouteAllTo(0))
+	s1.AddPort(c.eng, LinkConfig{Rate: 10 * sim.Gbps, Delay: 1000, QueueBytes: 256 << 10}, s2)
+	c.trunk = s1.Port(0)
+	c.slow, c.fast = s2.Port(0), s2.Port(1)
+	c.upA = NewLink(c.eng, LinkConfig{Rate: 10 * sim.Gbps, Delay: 1000, QueueBytes: 4 << 20}, s1)
+	c.upB = NewLink(c.eng, LinkConfig{Rate: 10 * sim.Gbps, Delay: 1000, QueueBytes: 4 << 20}, s1)
+	var err error
+	c.ctlSlow, err = NewPFC(c.eng, c.slow.Queue(), []*Link{c.trunk}, PFCConfig{XOFF: 32 << 10, XON: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ctlTrunk, err = NewPFC(c.eng, c.trunk.Queue(), []*Link{c.upA, c.upB}, PFCConfig{XOFF: 32 << 10, XON: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func (c *twoSwitchChain) drops() uint64 {
+	var n uint64
+	for _, l := range []*Link{c.upA, c.upB, c.trunk, c.slow, c.fast} {
+		n += l.Queue().Stats().Drops
+	}
+	return n
+}
+
+// TestPFCPausePropagatesAcrossTwoSwitches: congestion at the second
+// switch's slow egress must pause the inter-switch trunk, whose backlog
+// must in turn pause the host uplinks — and nothing may drop anywhere.
+func TestPFCPausePropagatesAcrossTwoSwitches(t *testing.T) {
+	var sinkA, sinkB Sink
+	c := newTwoSwitchChain(t, sim.Gbps, &sinkA, &sinkB)
+	for i := 0; i < 400; i++ {
+		c.upA.Send(data(1, uint32(i), 1024))
+	}
+	c.eng.RunAll()
+	if sinkA.Packets != 400 {
+		t.Fatalf("delivered %d/400 through the paused chain", sinkA.Packets)
+	}
+	if got := c.drops(); got != 0 {
+		t.Fatalf("lossless chain dropped %d packets", got)
+	}
+	if c.ctlSlow.Pauses() == 0 {
+		t.Fatal("slow egress never paused the trunk")
+	}
+	if c.ctlTrunk.Pauses() == 0 {
+		t.Fatal("pause did not propagate: trunk backlog never paused the host uplinks")
+	}
+	if c.ctlSlow.Paused() || c.ctlTrunk.Paused() {
+		t.Fatal("controllers still assert pause after full drain")
+	}
+}
+
+// TestPFCHeadOfLineBlocking: flow 2's path (fast egress) is uncongested,
+// but PFC pausing the shared trunk for flow 1's congested egress parks
+// flow 2's packets behind it — the classic HOL-blocking cost of
+// losslessness, measured as delayed completion of the victim flow.
+func TestPFCHeadOfLineBlocking(t *testing.T) {
+	run := func(withAggressor bool) (victimDone sim.Time, drops uint64) {
+		var sinkA Sink
+		var done sim.Time
+		var got uint64
+		var c *twoSwitchChain
+		victim := NodeFunc(func(p *packet.Packet) {
+			got++
+			done = c.eng.Now()
+		})
+		c = newTwoSwitchChain(t, sim.Gbps, &sinkA, victim)
+		if withAggressor {
+			for i := 0; i < 400; i++ {
+				c.upA.Send(data(1, uint32(i), 1024))
+			}
+		}
+		for i := 0; i < 100; i++ {
+			c.upB.Send(data(2, uint32(i), 1024))
+		}
+		c.eng.RunAll()
+		if got != 100 {
+			t.Fatalf("victim delivered %d/100", got)
+		}
+		return done, c.drops()
+	}
+
+	alone, drops := run(false)
+	if drops != 0 {
+		t.Fatalf("uncongested run dropped %d", drops)
+	}
+	blocked, drops := run(true)
+	if drops != 0 {
+		t.Fatalf("PFC run dropped %d", drops)
+	}
+	if blocked < 2*alone {
+		t.Fatalf("no head-of-line blocking: victim finished at %v vs %v alone", blocked, alone)
+	}
+}

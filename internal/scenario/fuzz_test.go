@@ -10,6 +10,10 @@ func FuzzParse(f *testing.F) {
 	f.Add("# comment only\nrun 5us")
 	f.Add("at 0ms flap rx 1 for 10us\nrun 1ms")
 	f.Add("at 1ms mark flow 2 rx 0 psn 1..9\nrun 1ms")
+	f.Add("set topology leafspine:2x2\nset ports 4\nat 0ms start 0 tx 0 rx 1\nrun 1ms\nexpect misroutes == 0")
+	f.Add("set topology fattree:4\nrun 1ms")
+	f.Add("set topology parkinglot:3\nset pfc on\nrun 1ms\nexpect network_drops == 0")
+	f.Add("set topology dumbbell\nset topology leafspine:8,8\nrun 1us")
 	f.Fuzz(func(t *testing.T, src string) {
 		s1, err := Parse(src)
 		if err != nil {

@@ -88,6 +88,8 @@ func (s *Scenario) parseSet(args []string) error {
 		s.spec.DCQCNTimeScale = f
 	case "receiver":
 		s.spec.Receiver = val
+	case "topology":
+		s.spec.Topology = val
 	case "pfc":
 		return setBool(&s.spec.EnablePFC, val)
 	case "int":

@@ -195,6 +195,8 @@ func (s *Scenario) measure(tr *core.Tester, e *expectation, elapsed sim.Duration
 		return float64(losses.FalseLosses), nil
 	case "network_drops":
 		return float64(losses.NetworkDrops), nil
+	case "misroutes":
+		return float64(losses.Misroutes), nil
 	case "cnp_tx":
 		return float64(snap.Switch.CnpTx), nil
 	case "ooo_rx":

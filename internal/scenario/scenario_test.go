@@ -245,3 +245,30 @@ expect jain >= 0.8
 		}
 	}
 }
+
+func TestScenarioTopologyDirective(t *testing.T) {
+	rep := mustRun(t, `
+set algo dctcp
+set ports 4
+set topology leafspine:2x2
+at 0ms start 0 tx 0 rx 1 size 100
+at 0ms start 1 tx 2 rx 3 size 100
+run 20ms
+expect completions == 2
+expect misroutes == 0
+expect false_losses == 0
+`)
+	if !rep.Passed() {
+		t.Fatalf("leaf-spine scenario failed:\n%s", rep.Summary())
+	}
+	if len(rep.Snapshot.Network) != 4 {
+		t.Fatalf("snapshot lists %d switches, want 4", len(rep.Snapshot.Network))
+	}
+}
+
+func TestScenarioBadTopologyRejected(t *testing.T) {
+	s := mustParse(t, "set algo dctcp\nset topology mesh\nrun 1ms")
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("bad topology deployed: %v", err)
+	}
+}
