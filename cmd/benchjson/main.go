@@ -1,0 +1,262 @@
+// Command benchjson runs the perf-harness benchmark suite through
+// testing.Benchmark and emits one machine-readable JSON document — the
+// generator of the checked-in BENCH_baseline.json.
+//
+// The scheduler mixes run twice per shape, once on the timer-wheel Engine
+// and once on the reference heap RefEngine (the pre-overhaul scheduler,
+// kept in-tree as the differential-testing oracle), so a single run
+// captures true before/after numbers for the event core. Paths whose
+// "before" implementation no longer exists (packet construction before
+// pooling, the whole tester before the allocation audit) carry recorded
+// pre-overhaul measurements instead, taken on the same hardware at the
+// seed commit and embedded under "recorded_pre_overhaul".
+//
+// Usage:
+//
+//	go run ./cmd/benchjson > BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"marlin"
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+	"marlin/internal/tofino"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// Results holds the live measurements from this run. engine/* and
+	// refengine/* pairs are the after/before of the scheduler overhaul.
+	Results []Result `json:"results"`
+	// Speedups are ns/op ratios refengine/engine per scheduler mix.
+	Speedups map[string]float64 `json:"speedups"`
+	// RecordedPreOverhaul are measurements taken at the seed commit,
+	// before pooling and the allocation audit, for paths whose old
+	// implementation is gone. Units match Result.
+	RecordedPreOverhaul []Result `json:"recorded_pre_overhaul"`
+}
+
+func steadyGap(i int) sim.Duration { return sim.Duration(5120 + (i%16)*5120) }
+
+func benchEngineSteady(b *testing.B) {
+	e := sim.NewEngine()
+	for i := 0; i < 1024; i++ {
+		gap := steadyGap(i)
+		var self sim.Func
+		self = func() { e.Schedule(gap, self) }
+		e.Schedule(gap, self)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func benchRefEngineSteady(b *testing.B) {
+	e := sim.NewRefEngine()
+	for i := 0; i < 1024; i++ {
+		gap := steadyGap(i)
+		var self sim.Func
+		self = func() { e.Schedule(gap, self) }
+		e.Schedule(gap, self)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func benchEngineChurn(b *testing.B) {
+	e := sim.NewEngine()
+	const chains = 256
+	rto := make([]sim.Handle, chains)
+	noop := func() {}
+	for i := 0; i < chains; i++ {
+		gap := steadyGap(i)
+		id := i
+		var self sim.Func
+		self = func() {
+			rto[id].Cancel()
+			rto[id] = e.Schedule(500*sim.Microsecond, noop)
+			e.Schedule(gap, self)
+		}
+		e.Schedule(gap, self)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func benchRefEngineChurn(b *testing.B) {
+	e := sim.NewRefEngine()
+	const chains = 256
+	rto := make([]sim.RefHandle, chains)
+	noop := func() {}
+	for i := 0; i < chains; i++ {
+		gap := steadyGap(i)
+		id := i
+		var self sim.Func
+		self = func() {
+			rto[id].Cancel()
+			rto[id] = e.Schedule(500*sim.Microsecond, noop)
+			e.Schedule(gap, self)
+		}
+		e.Schedule(gap, self)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func benchPacketLifecycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := packet.NewData(1, uint32(i), 1024, 0)
+		p.Release()
+	}
+}
+
+func benchPacketClone(b *testing.B) {
+	p := packet.NewData(1, 7, 1024, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := p.Clone()
+		q.Release()
+	}
+	b.StopTimer()
+	p.Release()
+}
+
+func benchPipelineFig6(b *testing.B) {
+	eng := sim.NewEngine()
+	plan, err := tofino.NewPlan(1024, 100*sim.Gbps)
+	if err != nil {
+		panic(err)
+	}
+	pl, err := tofino.NewPipeline(eng, tofino.Config{Plan: plan, QueueDepth: 1 << 12})
+	if err != nil {
+		panic(err)
+	}
+	drop := netem.NodeFunc(func(p *packet.Packet) { p.Release() })
+	for port := 0; port < plan.DataPorts; port++ {
+		pl.ConnectDataPort(port, drop)
+		if err := pl.BindFlow(packet.FlowID(port), port); err != nil {
+			panic(err)
+		}
+	}
+	in := pl.ScheIn()
+	psn := make([]uint32, plan.DataPorts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port := i % plan.DataPorts
+		in.Receive(packet.NewSche(packet.FlowID(port), psn[port], port, 0))
+		psn[port]++
+		if i%512 == 511 {
+			eng.RunAll()
+		}
+	}
+	eng.RunAll()
+}
+
+func benchTesterPacketRate(b *testing.B) {
+	tr, err := marlin.NewTester(marlin.TestConfig{Algorithm: "dctcp", Ports: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	if err := tr.StartFlow(0, 0, 1, 0); err != nil {
+		panic(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RunFor(10 * marlin.Microsecond)
+	}
+}
+
+var suite = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"engine/steady_state", benchEngineSteady},
+	{"refengine/steady_state", benchRefEngineSteady},
+	{"engine/timer_churn", benchEngineChurn},
+	{"refengine/timer_churn", benchRefEngineChurn},
+	{"packet/lifecycle", benchPacketLifecycle},
+	{"packet/clone", benchPacketClone},
+	{"tofino/fig6_pipeline", benchPipelineFig6},
+	{"tester/packet_rate", benchTesterPacketRate},
+}
+
+// recordedPreOverhaul are the seed-commit measurements (Intel Xeon 2.10GHz,
+// the hardware of the checked-in baseline) for paths whose pre-overhaul
+// implementation no longer exists in the tree.
+var recordedPreOverhaul = []Result{
+	{Name: "engine/schedule_run_mixed", NsPerOp: 205.2, AllocsPerOp: 1, BytesPerOp: 32},
+	{Name: "tester/packet_rate", NsPerOp: 713055, AllocsPerOp: 3927, BytesPerOp: 234059},
+}
+
+func main() {
+	flag.Parse()
+
+	rep := Report{
+		Schema:              "marlin-bench/v1",
+		GoVersion:           runtime.Version(),
+		GOARCH:              runtime.GOARCH,
+		Speedups:            map[string]float64{},
+		RecordedPreOverhaul: recordedPreOverhaul,
+	}
+	perOp := map[string]float64{}
+	for _, bm := range suite {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		perOp[bm.name] = ns
+		rep.Results = append(rep.Results, Result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     ns,
+			AllocsPerOp: int64(r.AllocsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	for _, mix := range []string{"steady_state", "timer_churn"} {
+		if before, after := perOp["refengine/"+mix], perOp["engine/"+mix]; after > 0 {
+			rep.Speedups["engine/"+mix] = before / after
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -41,6 +41,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "test":
 		err = cmdTest(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "script":
 		err = cmdScript(os.Args[2:])
 	case "dot":
@@ -67,6 +69,7 @@ commands:
   all [flags]               regenerate every table/figure (parallel with -j)
   sweep [flags]             run a parameter-sweep campaign across all cores
   test [flags]              run an ad-hoc CC test
+  bench [flags]             run a fixed workload under the Go profilers
   script <file>...          run packetdrill-style scenario scripts
   dot [flags]               print the wired topology as Graphviz DOT
 
@@ -77,6 +80,8 @@ sweep flags:   -axis key=v1,v2,... (repeatable) -reps N -j N -seed N
                -timeout D -retries N -journal FILE -format text|json|csv
 test flags:    -algo NAME -ports N -flows N -duration D -ecn K -fanin
                -int -pfc -fpgarecv -topology SPEC -pcap FILE -seed N
+bench flags:   -algo NAME -ports N -flows N -duration D -reps N
+               -cpuprofile FILE -memprofile FILE -trace FILE
 dot flags:     -algo NAME -ports N -pfc -fpgarecv -topology SPEC
 topologies:    dumbbell, leafspine:LxS, fattree:K, parkinglot:N
 `)

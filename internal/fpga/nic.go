@@ -151,6 +151,9 @@ type NIC struct {
 	rxFIFO   [][]*packet.Packet // per-port INFO FIFOs
 	rxHead   []int
 	rxActive []bool
+	// rxTickFns holds one prebuilt RX-timer closure per port so pacing does
+	// not allocate a closure per INFO packet.
+	rxTickFns []sim.Func
 
 	sched *scheduler
 
@@ -160,6 +163,11 @@ type NIC struct {
 	logger *Logger
 	stats  Stats
 	out    cc.Output // reused fast-path output struct
+	in     cc.Input  // reused fast-path input struct (INFO arrivals)
+	// timerFns lazily caches one closure per (flow, timer) pair; the
+	// closures key off indices only, so they survive flow-slot reuse and
+	// timer re-arms stay allocation-free.
+	timerFns [][cc.NumTimers]sim.Func
 
 	// rttRing holds the most recent RTT probes (microseconds) for the
 	// control plane's latency readout; rttEwma is a 1/16-gain average.
@@ -213,6 +221,12 @@ func NewNIC(eng *sim.Engine, cfg Config) (*NIC, error) {
 		rxFIFO:   make([][]*packet.Packet, cfg.Ports),
 		rxHead:   make([]int, cfg.Ports),
 		rxActive: make([]bool, cfg.Ports),
+		timerFns: make([][cc.NumTimers]sim.Func, cfg.MaxFlows),
+	}
+	n.rxTickFns = make([]sim.Func, cfg.Ports)
+	for i := range n.rxTickFns {
+		i := i
+		n.rxTickFns[i] = func() { n.rxTick(i) }
 	}
 	n.sched = newScheduler(n)
 	if !cfg.DisableLog {
@@ -302,12 +316,14 @@ func (n *NIC) InfoIn() netem.Node {
 // FIFO of the switch port it reports (§5.3 ingress control).
 func (n *NIC) receiveInfo(p *packet.Packet) {
 	if p.Type != packet.INFO {
+		p.Release()
 		return
 	}
 	n.stats.InfoRx++
 	if n.cfg.DisableRXTimer {
 		// Ablation: straight to the CC module at arrival rate.
 		n.processInfo(p)
+		p.Release()
 		return
 	}
 	port := p.Port
@@ -316,12 +332,13 @@ func (n *NIC) receiveInfo(p *packet.Packet) {
 	}
 	if len(n.rxFIFO[port])-n.rxHead[port] >= n.cfg.RXFIFODepth {
 		n.stats.InfoDrops++
+		p.Release()
 		return
 	}
 	n.rxFIFO[port] = append(n.rxFIFO[port], p)
 	if !n.rxActive[port] {
 		n.rxActive[port] = true
-		n.eng.Schedule(sim.Interval(n.cfg.RXTimerPPS), func() { n.rxTick(port) })
+		n.eng.Schedule(sim.Interval(n.cfg.RXTimerPPS), n.rxTickFns[port])
 	}
 }
 
@@ -339,13 +356,14 @@ func (n *NIC) rxTick(port int) {
 	q[h] = nil
 	n.rxHead[port] = h + 1
 	n.processInfo(p)
+	p.Release()
 	if n.rxHead[port] >= len(n.rxFIFO[port]) {
 		n.rxActive[port] = false
 		n.rxFIFO[port] = n.rxFIFO[port][:0]
 		n.rxHead[port] = 0
 		return
 	}
-	n.eng.Schedule(sim.Interval(n.cfg.RXTimerPPS), func() { n.rxTick(port) })
+	n.eng.Schedule(sim.Interval(n.cfg.RXTimerPPS), n.rxTickFns[port])
 }
 
 func (n *NIC) processInfo(p *packet.Packet) {
@@ -357,14 +375,17 @@ func (n *NIC) processInfo(p *packet.Packet) {
 		rtt = n.eng.Now().Sub(p.SentAt)
 		n.sampleRTT(rtt)
 	}
-	n.deliver(p.Flow, &cc.Input{
+	// n.in is reused across INFO arrivals; deliver never reads it after a
+	// nested deliver could run (see applyOutput's completion guard).
+	n.in = cc.Input{
 		Type:      cc.EvRx,
 		PSN:       p.PSN,
 		Ack:       p.Ack,
 		Flags:     p.Flags,
 		ProbedRTT: rtt,
 		INT:       &p.INT,
-	})
+	}
+	n.deliver(p.Flow, &n.in)
 }
 
 // sampleRTT records one probe for the latency registers.
@@ -464,19 +485,26 @@ func (n *NIC) applyOutput(flow packet.FlowID, f *flowState, in *cc.Input, out *c
 }
 
 func (n *NIC) armTimer(flow packet.FlowID, f *flowState, req cc.TimerReq) {
-	f.timers[req.ID].Cancel()
 	id := req.ID
-	f.timers[id] = n.eng.Schedule(req.After, func() {
-		if !n.flows[flow].active {
-			return
-		}
-		if id == cc.TimerRTO {
-			n.stats.Timeouts++
-			n.deliver(flow, &cc.Input{Type: cc.EvTimeout})
-			return
-		}
-		n.deliver(flow, &cc.Input{Type: cc.EvTimer, TimerID: id})
-	})
+	f.timers[id].Cancel()
+	fn := n.timerFns[flow][id]
+	if fn == nil {
+		fn = func() { n.fireTimer(flow, id) }
+		n.timerFns[flow][id] = fn
+	}
+	f.timers[id] = n.eng.Schedule(req.After, fn)
+}
+
+func (n *NIC) fireTimer(flow packet.FlowID, id uint8) {
+	if !n.flows[flow].active {
+		return
+	}
+	if id == cc.TimerRTO {
+		n.stats.Timeouts++
+		n.deliver(flow, &cc.Input{Type: cc.EvTimeout})
+		return
+	}
+	n.deliver(flow, &cc.Input{Type: cc.EvTimer, TimerID: id})
 }
 
 func (n *NIC) cancelTimers(f *flowState) {

@@ -82,6 +82,7 @@ func (r *Receiver) flow(id packet.FlowID) *rxFlowState {
 
 func (r *Receiver) onData(p *packet.Packet) {
 	if p.Type != packet.DATA {
+		p.Release()
 		return
 	}
 	r.DataRx++
@@ -116,6 +117,7 @@ func (r *Receiver) onData(p *packet.Packet) {
 			if ce {
 				r.maybeCNP(p, f)
 			}
+			p.Release() // go-back-N discards the out-of-order frame
 			return
 		}
 	default:
@@ -130,24 +132,25 @@ func (r *Receiver) onData(p *packet.Packet) {
 	}
 	r.emit(p, f.expected, flags)
 	r.AckTx++
+	p.Release()
 }
 
 func (r *Receiver) emit(d *packet.Packet, cumAck uint32, flags packet.Flags) {
 	if r.out == nil {
 		return
 	}
-	r.out.Receive(&packet.Packet{
-		Type:   packet.ACK,
-		Flow:   d.Flow,
-		PSN:    d.PSN,
-		Ack:    cumAck,
-		Flags:  flags,
-		Size:   packet.ControlSize,
-		Port:   d.Port, // arrival port, so the switch can route the ACK
-		SentAt: d.SentAt,
-		RxTime: r.eng.Now(),
-		INT:    d.INT,
-	})
+	a := packet.Get()
+	a.Type = packet.ACK
+	a.Flow = d.Flow
+	a.PSN = d.PSN
+	a.Ack = cumAck
+	a.Flags = flags
+	a.Size = packet.ControlSize
+	a.Port = d.Port // arrival port, so the switch can route the ACK
+	a.SentAt = d.SentAt
+	a.RxTime = r.eng.Now()
+	a.INT = d.INT
+	r.out.Receive(a)
 }
 
 func (r *Receiver) maybeCNP(d *packet.Packet, f *rxFlowState) {
@@ -161,15 +164,15 @@ func (r *Receiver) maybeCNP(d *packet.Packet, f *rxFlowState) {
 	if r.out == nil {
 		return
 	}
-	r.out.Receive(&packet.Packet{
-		Type:   packet.CNP,
-		Flow:   d.Flow,
-		PSN:    d.PSN,
-		Ack:    f.expected,
-		Flags:  packet.FlagCNPNotify,
-		Size:   packet.ControlSize,
-		Port:   d.Port,
-		SentAt: d.SentAt,
-		RxTime: now,
-	})
+	cnp := packet.Get()
+	cnp.Type = packet.CNP
+	cnp.Flow = d.Flow
+	cnp.PSN = d.PSN
+	cnp.Ack = f.expected
+	cnp.Flags = packet.FlagCNPNotify
+	cnp.Size = packet.ControlSize
+	cnp.Port = d.Port
+	cnp.SentAt = d.SentAt
+	cnp.RxTime = now
+	r.out.Receive(cnp)
 }

@@ -23,6 +23,9 @@ type scheduler struct {
 	txPending []bool
 	txNext    []sim.Time
 	txSlot    sim.Duration
+	// tickFns holds one prebuilt TX-timer closure per port so kick does not
+	// allocate a closure per SCHE emission.
+	tickFns []sim.Func
 
 	// budget is how many FIFO entries one TX slot can examine: the slot's
 	// cycle count divided by the six-cycle rescheduling loop.
@@ -46,6 +49,11 @@ func newScheduler(n *NIC) *scheduler {
 		txPending: make([]bool, ports),
 		txNext:    make([]sim.Time, ports),
 		txSlot:    sim.Interval(n.cfg.TXTimerPPS),
+		tickFns:   make([]sim.Func, ports),
+	}
+	for i := range s.tickFns {
+		i := i
+		s.tickFns[i] = func() { s.tick(i) }
 	}
 	cyclesPerSlot := int(float64(ClockHz) / n.cfg.TXTimerPPS)
 	s.budget = maxI(1, cyclesPerSlot/6)
@@ -102,7 +110,7 @@ func (s *scheduler) kick(port int) {
 	if now := s.nic.eng.Now(); at < now {
 		at = now
 	}
-	s.nic.eng.ScheduleAt(at, func() { s.tick(port) })
+	s.nic.eng.ScheduleAt(at, s.tickFns[port])
 }
 
 // tick is one TX timer period on a port: emit at most one SCHE packet.

@@ -16,6 +16,8 @@
 //     never math/rand.
 //   - simtime: exported model-package APIs carry sim.Time/sim.Duration,
 //     not time.Time/time.Duration.
+//   - poolmisuse: a pooled packet must not be used after Release returned
+//     it to the pool (block-local use-after-free on the packet pool).
 //
 // Intentional violations are suppressed with a directive that must carry a
 // justification:
@@ -75,7 +77,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // AllChecks returns every registered check, in a stable order.
 func AllChecks() []*Check {
-	return []*Check{wallclockCheck, maporderCheck, rngsourceCheck, simtimeCheck}
+	return []*Check{wallclockCheck, maporderCheck, rngsourceCheck, simtimeCheck, poolmisuseCheck}
 }
 
 // CheckNames returns the names of every registered check, sorted.

@@ -79,6 +79,13 @@ func TestFixtureDiagnostics(t *testing.T) {
 			"simtime_bad.go:15 simtime", // Wait result
 		}},
 		{"simtime_clean", "simtime", nil},
+		{"poolmisuse_bad", "poolmisuse", []string{
+			"poolmisuse_bad.go:10 poolmisuse", // field read after Release
+			"poolmisuse_bad.go:16 poolmisuse", // double Release
+			"poolmisuse_bad.go:22 poolmisuse", // forwarded after Release
+			"poolmisuse_bad.go:29 poolmisuse", // use after Release in branch
+		}},
+		{"poolmisuse_clean", "poolmisuse", nil},
 		{"directive_bad", "wallclock", []string{
 			"directive_bad.go:11 wallclock", // unjustified allow must not suppress
 			"directive_bad.go:11 directive", // allow without justification
@@ -153,8 +160,8 @@ func TestExpandPatternsSkipsTestdata(t *testing.T) {
 
 func TestSelectChecks(t *testing.T) {
 	all, err := SelectChecks("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("SelectChecks(\"\") = %d checks, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("SelectChecks(\"\") = %d checks, err %v; want 5, nil", len(all), err)
 	}
 	two, err := SelectChecks("wallclock,simtime")
 	if err != nil || len(two) != 2 {

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolmisuseCheck flags block-local use-after-Release on pooled packets.
+// Release returns the *packet.Packet to a sync.Pool, so any later touch —
+// a field read, a second Release, handing the pointer to another node —
+// races with whoever draws it from the pool next. The analysis is
+// deliberately local: it tracks a released variable through the statements
+// of the same block (and its nested blocks), stops at reassignment, and
+// treats each branch independently, so the common consumer patterns
+// (release-and-return on an error path, release as the last statement)
+// stay clean while the obvious bugs are caught in the function where they
+// are written.
+var poolmisuseCheck = &Check{
+	Name:      "poolmisuse",
+	Doc:       "a pooled packet must not be used after Release in the same function",
+	ModelOnly: true,
+	Run:       runPoolMisuse,
+}
+
+func runPoolMisuse(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanStmts(pass, fn.Body.List, map[types.Object]bool{})
+				}
+			case *ast.FuncLit:
+				// Closures get their own fresh scope: whether they run
+				// before or after an enclosing Release is a scheduling
+				// question this local analysis does not answer.
+				scanStmts(pass, fn.Body.List, map[types.Object]bool{})
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// scanStmts walks one statement list in order, threading the set of
+// released packet variables through it.
+func scanStmts(pass *Pass, stmts []ast.Stmt, released map[types.Object]bool) {
+	for _, st := range stmts {
+		scanStmt(pass, st, released)
+	}
+}
+
+// scanStmt dispatches one statement. Compound statements recurse into
+// their bodies with a copy of the released set: a Release on one branch
+// must not poison the code after the branch, which may be the not-dropped
+// path that still owns the packet.
+func scanStmt(pass *Pass, st ast.Stmt, released map[types.Object]bool) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		scanStmts(pass, s.List, cloneSet(released))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, released)
+		}
+		checkLeaf(pass, s.Cond, released)
+		scanStmts(pass, s.Body.List, cloneSet(released))
+		if s.Else != nil {
+			scanStmt(pass, s.Else, released)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, released)
+		}
+		if s.Cond != nil {
+			checkLeaf(pass, s.Cond, released)
+		}
+		scanStmts(pass, s.Body.List, cloneSet(released))
+	case *ast.RangeStmt:
+		checkLeaf(pass, s.X, released)
+		scanStmts(pass, s.Body.List, cloneSet(released))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, released)
+		}
+		if s.Tag != nil {
+			checkLeaf(pass, s.Tag, released)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					checkLeaf(pass, e, released)
+				}
+				scanStmts(pass, cc.Body, cloneSet(released))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, released)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanStmts(pass, cc.Body, cloneSet(released))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanStmts(pass, cc.Body, cloneSet(released))
+			}
+		}
+	case *ast.LabeledStmt:
+		scanStmt(pass, s.Stmt, released)
+	default:
+		checkLeaf(pass, st, released)
+	}
+}
+
+// checkLeaf handles one non-compound statement (or condition expression):
+// report uses of already-released variables, clear tracking on
+// reassignment, then record any x.Release() calls.
+func checkLeaf(pass *Pass, n ast.Node, released map[types.Object]bool) {
+	// Plain `x = ...` re-binds x; the left-hand ident is not a read.
+	reassigned := map[*ast.Ident]bool{}
+	if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				reassigned[id] = true
+			}
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok || reassigned[id] {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj != nil && released[obj] {
+			pass.Reportf(id.Pos(),
+				"%s used after Release returned it to the packet pool; Clone before Release to retain it",
+				id.Name)
+			delete(released, obj) // one report per release site
+		}
+		return true
+	})
+	for id := range reassigned {
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+			delete(released, obj)
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Release" || len(call.Args) != 0 {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil && isPacketPtr(obj.Type()) {
+			released[obj] = true
+		}
+		return true
+	})
+}
+
+// isPacketPtr reports whether t is *marlin/internal/packet.Packet.
+func isPacketPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Packet" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "marlin/internal/packet"
+}
+
+func cloneSet(m map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

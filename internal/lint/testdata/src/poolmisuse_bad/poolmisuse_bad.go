@@ -1,0 +1,32 @@
+// Package poolmisuse_bad exercises the poolmisuse check: every marked line
+// touches a packet after Release returned it to the pool.
+package poolmisuse_bad
+
+import "marlin/internal/packet"
+
+// UseAfterRelease reads a field of a released packet.
+func UseAfterRelease(p *packet.Packet) uint32 {
+	p.Release()
+	return p.PSN
+}
+
+// DoubleRelease returns the same packet to the pool twice.
+func DoubleRelease(p *packet.Packet) {
+	p.Release()
+	p.Release()
+}
+
+// ForwardAfterRelease hands a released packet to another owner.
+func ForwardAfterRelease(p *packet.Packet, sink func(*packet.Packet)) {
+	p.Release()
+	sink(p)
+}
+
+// BranchUse releases and then keeps using within the same branch.
+func BranchUse(p *packet.Packet, drop bool) int {
+	if drop {
+		p.Release()
+		return p.Size
+	}
+	return 0
+}

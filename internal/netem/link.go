@@ -50,6 +50,11 @@ type Link struct {
 	draining bool
 	paused   bool
 	stats    LinkStats
+
+	// drainFn and deliverFn are allocated once: scheduling a method value
+	// or a per-packet closure would allocate on every frame.
+	drainFn   sim.Func
+	deliverFn sim.ArgFunc
 }
 
 // LinkConfig configures a Link.
@@ -83,7 +88,7 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst Node) *Link {
 	if jrng == nil {
 		jrng = sim.NewRand(0x1a77e6)
 	}
-	return &Link{
+	l := &Link{
 		eng:       eng,
 		rate:      cfg.Rate,
 		delay:     cfg.Delay,
@@ -93,6 +98,9 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst Node) *Link {
 		jitter:    cfg.Jitter,
 		jrng:      jrng,
 	}
+	l.drainFn = l.drain
+	l.deliverFn = func(arg any) { l.dst.Receive(arg.(*packet.Packet)) }
+	return l
 }
 
 // AddHook registers a packet hook. Hooks run in registration order; the
@@ -118,6 +126,7 @@ func (l *Link) Send(p *packet.Packet) {
 		switch h(p) {
 		case Drop:
 			l.stats.InjectedDrops++
+			p.Release()
 			return
 		case MarkCE:
 			p.Flags |= packet.FlagCE
@@ -125,6 +134,7 @@ func (l *Link) Send(p *packet.Packet) {
 		}
 	}
 	if !l.queue.Enqueue(p) {
+		p.Release() // tail drop
 		return
 	}
 	if !l.draining {
@@ -181,6 +191,6 @@ func (l *Link) drain() {
 		prop += sim.Duration(l.jrng.Float64() * float64(l.jitter))
 	}
 	// Last bit leaves at now+ser; arrival is the propagation later.
-	l.eng.Schedule(ser+prop, func() { l.dst.Receive(p) })
-	l.eng.Schedule(ser, l.drain)
+	l.eng.ScheduleArg(ser+prop, l.deliverFn, p)
+	l.eng.Schedule(ser, l.drainFn)
 }

@@ -107,10 +107,12 @@ func (s *Switch) Receive(p *packet.Packet) {
 	i := s.route(p)
 	if i < 0 {
 		s.lost++
+		p.Release()
 		return
 	}
 	if i >= len(s.out) {
 		s.misroutes++
+		p.Release()
 		return
 	}
 	s.ports[i].TxPackets++

@@ -18,7 +18,11 @@
 // that the model exercises real parse/deparse paths, not just struct copies.
 package packet
 
-import "marlin/internal/sim"
+import (
+	"sync"
+
+	"marlin/internal/sim"
+)
 
 // Type is a packet role.
 type Type uint8
@@ -166,21 +170,59 @@ func (r *INTRecord) Push(h INTHop) bool {
 	return true
 }
 
+// pool recycles Packet structs across the packet lifecycle. A sync.Pool
+// (rather than a per-engine free list) because the fleet runner executes
+// many engines on parallel goroutines within one process. Pooled packets
+// are always zeroed: Release clears before putting back.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed Packet from the pool. Callers that build a packet
+// field-by-field (wire parsing, custom roles) use Get directly; the common
+// roles have typed constructors below.
+func Get() *Packet {
+	return pool.Get().(*Packet)
+}
+
+// Release returns p to the pool once it reaches end-of-life. Ownership
+// rule: passing a packet to a component's Receive transfers ownership;
+// whoever consumes, drops, or retires the packet calls Release exactly
+// once, and must not touch it afterwards. Components that retain a packet
+// past their handler (e.g. capture sinks) must Clone it instead of keeping
+// the original.
+func (p *Packet) Release() {
+	*p = Packet{}
+	pool.Put(p)
+}
+
 // NewData returns a DATA packet of the given frame size.
 func NewData(flow FlowID, psn uint32, size int, sentAt sim.Time) *Packet {
-	return &Packet{Type: DATA, Flow: flow, PSN: psn, Size: size, SentAt: sentAt, Flags: FlagECNCapable}
+	p := Get()
+	p.Type, p.Flow, p.PSN, p.Size, p.SentAt, p.Flags = DATA, flow, psn, size, sentAt, FlagECNCapable
+	return p
 }
 
 // NewSche returns a 64-byte SCHE packet instructing the switch to emit the
 // flow's next DATA packet on the given port.
 func NewSche(flow FlowID, psn uint32, port int, now sim.Time) *Packet {
-	return &Packet{Type: SCHE, Flow: flow, PSN: psn, Port: port, Size: ControlSize, SentAt: now}
+	p := Get()
+	p.Type, p.Flow, p.PSN, p.Port, p.Size, p.SentAt = SCHE, flow, psn, port, ControlSize, now
+	return p
 }
 
-// Clone returns a copy of p. Multicast paths clone rather than alias.
+// NewAck returns a 64-byte ACK carrying the cumulative acknowledgement ack
+// in response to the DATA packet with sequence psn.
+func NewAck(flow FlowID, psn, ack uint32, rx sim.Time) *Packet {
+	p := Get()
+	p.Type, p.Flow, p.PSN, p.Ack, p.Size, p.RxTime = ACK, flow, psn, ack, ControlSize, rx
+	return p
+}
+
+// Clone returns a pooled copy of p. Multicast paths clone rather than
+// alias; the clone has its own lifetime and its own Release.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	return &q
+	q := Get()
+	*q = *p
+	return q
 }
 
 // Payload returns the DATA packet's payload size after header overhead;

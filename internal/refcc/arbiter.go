@@ -28,6 +28,10 @@ type PortArbiter struct {
 	// indicates a mis-sized experiment and packets are still retained.
 	MaxBacklogBytes int
 	maxSeen         int
+
+	// deliverFn is allocated once; scheduling a per-packet closure would
+	// allocate on every frame.
+	deliverFn sim.ArgFunc
 }
 
 type arbQueue struct {
@@ -37,10 +41,15 @@ type arbQueue struct {
 
 // NewPortArbiter builds an arbiter draining to out at the given rate.
 func NewPortArbiter(eng *sim.Engine, rate sim.Rate, out netem.Node) *PortArbiter {
-	return &PortArbiter{
+	a := &PortArbiter{
 		eng: eng, rate: rate, out: out,
 		queues: make(map[packet.FlowID]*arbQueue),
 	}
+	a.deliverFn = func(arg any) {
+		a.out.Receive(arg.(*packet.Packet))
+		a.drain()
+	}
+	return a
 }
 
 // Receive implements netem.Node: enqueue on the owning QP's send queue.
@@ -73,10 +82,7 @@ func (a *PortArbiter) drain() {
 	}
 	a.backlog -= p.Size
 	ser := a.rate.Serialize(packet.WireSize(p.Size))
-	a.eng.Schedule(ser, func() {
-		a.out.Receive(p)
-		a.drain()
-	})
+	a.eng.ScheduleArg(ser, a.deliverFn, p)
 }
 
 // next picks the next packet round-robin across non-empty QP queues.

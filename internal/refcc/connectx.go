@@ -57,6 +57,11 @@ type ConnectXQP struct {
 
 	onComplete func(flow packet.FlowID, sizePkts uint32, fct sim.Duration)
 	nextFlow   func() uint32 // closed-loop size source; nil = stop after one
+
+	// paceFn and rtoFn are allocated once; scheduling a fresh closure would
+	// allocate per quantum / per packet.
+	paceFn sim.Func
+	rtoFn  sim.Func
 }
 
 // ConnectXConfig configures one QP.
@@ -116,6 +121,11 @@ func NewConnectXQP(eng *sim.Engine, cfg ConnectXConfig, out netem.Node) *Connect
 	}
 	q.alphaTmr = sim.NewTicker(eng, cfg.AlphaTimer, q.alphaTick)
 	q.rateTmr = sim.NewTicker(eng, cfg.RateTimer, q.rateTick)
+	q.paceFn = func() {
+		q.paceArmed = false
+		q.pace()
+	}
+	q.rtoFn = q.onRTO
 	return q
 }
 
@@ -175,10 +185,7 @@ func (q *ConnectXQP) pace() {
 	if min := now.Add(q.quantum); next < min {
 		next = min
 	}
-	q.eng.ScheduleAt(next, func() {
-		q.paceArmed = false
-		q.pace()
-	})
+	q.eng.ScheduleAt(next, q.paceFn)
 }
 
 func (q *ConnectXQP) emit(psn uint32, rtx bool) {
@@ -195,18 +202,21 @@ func (q *ConnectXQP) emit(psn uint32, rtx bool) {
 
 func (q *ConnectXQP) armRTO() {
 	q.rtoTimer.Cancel()
-	q.rtoTimer = q.eng.Schedule(q.rto, func() {
-		if !q.active || q.una == q.nxt {
-			return
-		}
-		q.nxt = q.una // go-back-N restart
-		q.pace()
-	})
+	q.rtoTimer = q.eng.Schedule(q.rto, q.rtoFn)
+}
+
+func (q *ConnectXQP) onRTO() {
+	if !q.active || q.una == q.nxt {
+		return
+	}
+	q.nxt = q.una // go-back-N restart
+	q.pace()
 }
 
 // Receive implements netem.Node for returning ACK/NACK/CNP traffic.
 func (q *ConnectXQP) Receive(p *packet.Packet) {
 	if !q.active || p.Flow != q.flow {
+		p.Release()
 		return
 	}
 	switch {
@@ -224,6 +234,7 @@ func (q *ConnectXQP) Receive(p *packet.Packet) {
 			q.checkDone()
 		}
 	}
+	p.Release()
 }
 
 func (q *ConnectXQP) onCNP() {
@@ -308,6 +319,7 @@ func (r *RoCEReceiver) Reset(flow packet.FlowID) { delete(r.flows, flow) }
 // Receive implements netem.Node for the DATA stream.
 func (r *RoCEReceiver) Receive(p *packet.Packet) {
 	if p.Type != packet.DATA {
+		p.Release()
 		return
 	}
 	f := r.flows[p.Flow]
@@ -320,27 +332,40 @@ func (r *RoCEReceiver) Receive(p *packet.Packet) {
 		if !f.cnpSent || now.Sub(f.lastCNP) >= r.cnpInterval {
 			f.cnpSent = true
 			f.lastCNP = now
-			r.out.Receive(&packet.Packet{
-				Type: packet.CNP, Flow: p.Flow, Ack: f.expected,
-				Flags: packet.FlagCNPNotify, Size: packet.ControlSize,
-			})
+			cnp := packet.Get()
+			cnp.Type = packet.CNP
+			cnp.Flow = p.Flow
+			cnp.Ack = f.expected
+			cnp.Flags = packet.FlagCNPNotify
+			cnp.Size = packet.ControlSize
+			r.out.Receive(cnp)
 		}
 	}
 	switch {
 	case p.PSN == f.expected:
 		f.expected++
 		f.nacked = false
-		r.out.Receive(&packet.Packet{
-			Type: packet.ACK, Flow: p.Flow, PSN: p.PSN, Ack: f.expected,
-			Size: packet.ControlSize, SentAt: p.SentAt,
-		})
+		a := packet.Get()
+		a.Type = packet.ACK
+		a.Flow = p.Flow
+		a.PSN = p.PSN
+		a.Ack = f.expected
+		a.Size = packet.ControlSize
+		a.SentAt = p.SentAt
+		r.out.Receive(a)
 	case p.PSN > f.expected:
 		if !f.nacked {
 			f.nacked = true
-			r.out.Receive(&packet.Packet{
-				Type: packet.ACK, Flow: p.Flow, PSN: p.PSN, Ack: f.expected,
-				Flags: packet.FlagNACK, Size: packet.ControlSize, SentAt: p.SentAt,
-			})
+			a := packet.Get()
+			a.Type = packet.ACK
+			a.Flow = p.Flow
+			a.PSN = p.PSN
+			a.Ack = f.expected
+			a.Flags = packet.FlagNACK
+			a.Size = packet.ControlSize
+			a.SentAt = p.SentAt
+			r.out.Receive(a)
 		}
 	}
+	p.Release()
 }

@@ -47,6 +47,11 @@ type DCTCPSender struct {
 	rto      sim.Duration
 	rtoTimer sim.Handle
 
+	// sendFn and rtoFn are allocated once; scheduling a fresh closure or
+	// method value would allocate per packet.
+	sendFn sim.Func
+	rtoFn  sim.Func
+
 	// CwndTrace and AlphaTrace record every parameter change, matching
 	// Marlin's fine-grained logging for the Figure 5 comparison.
 	CwndTrace  measure.StepTrace
@@ -83,6 +88,11 @@ func NewDCTCPSender(eng *sim.Engine, cfg DCTCPConfig, out netem.Node) *DCTCPSend
 		eng: eng, out: out, flow: cfg.Flow, mtu: cfg.MTU, rate: cfg.LineRate,
 		cwnd: cfg.InitCwnd, ssthresh: cfg.Ssthresh, g: cfg.G, rto: cfg.RTO,
 	}
+	s.sendFn = func() {
+		s.sendArm = false
+		s.trySend()
+	}
+	s.rtoFn = s.onTimeout
 	s.logCwnd()
 	s.logAlpha()
 	return s
@@ -109,10 +119,7 @@ func (s *DCTCPSender) trySend() {
 		if now < s.nextSend {
 			if !s.sendArm {
 				s.sendArm = true
-				s.eng.ScheduleAt(s.nextSend, func() {
-					s.sendArm = false
-					s.trySend()
-				})
+				s.eng.ScheduleAt(s.nextSend, s.sendFn)
 			}
 			return
 		}
@@ -137,7 +144,7 @@ func (s *DCTCPSender) emit(psn uint32, rtx bool) {
 
 func (s *DCTCPSender) armRTO() {
 	s.rtoTimer.Cancel()
-	s.rtoTimer = s.eng.Schedule(s.rto, s.onTimeout)
+	s.rtoTimer = s.eng.Schedule(s.rto, s.rtoFn)
 }
 
 func (s *DCTCPSender) onTimeout() {
@@ -155,12 +162,15 @@ func (s *DCTCPSender) onTimeout() {
 // Receive implements netem.Node for the returning ACK stream.
 func (s *DCTCPSender) Receive(p *packet.Packet) {
 	if p.Type != packet.ACK {
+		p.Release()
 		return
 	}
 	ack := p.Ack
+	ece := p.Flags.Has(packet.FlagECNEcho)
+	p.Release()
 	switch {
 	case ack > s.una:
-		s.onNewAck(ack, p.Flags.Has(packet.FlagECNEcho))
+		s.onNewAck(ack, ece)
 	case ack == s.una && s.nxt != s.una:
 		s.onDupAck()
 	}
@@ -251,6 +261,7 @@ func NewReceiver(eng *sim.Engine, out netem.Node) *Receiver {
 // Receive implements netem.Node for the DATA stream.
 func (r *Receiver) Receive(p *packet.Packet) {
 	if p.Type != packet.DATA {
+		p.Release()
 		return
 	}
 	if p.PSN == r.expected {
@@ -265,14 +276,20 @@ func (r *Receiver) Receive(p *packet.Packet) {
 	} else if p.PSN > r.expected {
 		r.ooo[p.PSN] = struct{}{}
 	}
-	ack := &packet.Packet{
-		Type: packet.ACK, Flow: p.Flow, PSN: p.PSN, Ack: r.expected,
-		Size: packet.ControlSize, SentAt: p.SentAt, RxTime: r.eng.Now(),
+	// Rewrite the consumed DATA packet into its ACK in place. Every field
+	// the old ACK literal left at its zero value is reset explicitly.
+	ce := p.Flags.Has(packet.FlagCE)
+	p.Type = packet.ACK
+	p.Ack = r.expected
+	p.Size = packet.ControlSize
+	p.Port = 0
+	p.RxTime = r.eng.Now()
+	p.Flags = 0
+	if ce {
+		p.Flags = packet.FlagECNEcho
 	}
-	if p.Flags.Has(packet.FlagCE) {
-		ack.Flags |= packet.FlagECNEcho
-	}
-	r.out.Receive(ack)
+	p.INT = packet.INTRecord{}
+	r.out.Receive(p)
 }
 
 func maxF(a, b float64) float64 {

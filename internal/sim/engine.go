@@ -1,56 +1,216 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Func is the body of a scheduled event. It runs exactly once at its
 // scheduled timestamp with the engine clock already advanced to that time.
 type Func func()
 
+// ArgFunc is the body of a scheduled event that carries one argument. Hot
+// paths that would otherwise close over a per-packet value (allocating one
+// closure per packet) preallocate a single ArgFunc and pass the value
+// through ScheduleArg instead.
+type ArgFunc func(arg any)
+
+// Location sentinels for event.where. Non-negative values are wheel slot
+// indices.
+const (
+	locFree     = -1
+	locCur      = -2
+	locOverflow = -3
+)
+
 // event is a queue entry. seq breaks ties so that events scheduled earlier
 // at the same timestamp fire first, keeping runs deterministic.
+//
+// Events are pooled: the engine recycles fired and cancelled events through
+// an intrusive free list (safe because the engine is single-goroutine by
+// construction). gen guards stale Handles against recycled slots. where/idx
+// track the event's current container and position so Cancel can remove it
+// in O(log n) (heaps) or O(1) (slots) instead of leaving it to rot.
 type event struct {
-	at     Time
-	seq    uint64
-	fn     Func
-	cancel bool
+	at  Time
+	seq uint64
+	fn  Func
+	afn ArgFunc
+	arg any
+	eng *Engine
+	gen uint32
+	// where is locCur, locOverflow, locFree, or a wheel slot index; idx is
+	// the position within that container (heap slice or slot slice).
+	where int32
+	idx   int32
+	// next links the engine's free list.
+	next *event
 }
 
-// eventHeap orders events by (time, sequence).
+// eventBefore is the firing order: (timestamp, schedule sequence).
+func eventBefore(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by eventBefore that
+// keeps each event's idx in sync with its slice position so remove works
+// from a Handle. It backs the active-region ready set and the far-future
+// overflow queue. (container/heap's interface dispatch costs ~2 dynamic
+// calls per sift level; these direct slice loops are what make the wheel's
+// per-event constant factor beat the reference heap.)
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h eventHeap) up(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = int32(i)
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	h[i] = ev
+	ev.idx = int32(i)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	ev := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventBefore(h[r], h[child]) {
+			child = r
+		}
+		if !eventBefore(h[child], ev) {
+			break
+		}
+		h[i] = h[child]
+		h[i].idx = int32(i)
+		i = child
+	}
+	h[i] = ev
+	ev.idx = int32(i)
 }
+
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *eventHeap) push(ev *event) {
+	i := len(*h)
+	ev.idx = int32(i)
+	*h = append(*h, ev)
+	(*h).up(i)
+}
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() *event {
+	s := *h
+	n := len(s) - 1
+	root := s[0]
+	s[0] = s[n]
+	s[n] = nil
+	*h = s[:n]
+	if n > 0 {
+		s[0].idx = 0
+		(*h).down(0)
+	}
+	return root
+}
+
+// remove deletes the event at position i, preserving the heap invariant.
+func (h *eventHeap) remove(i int) {
+	s := *h
+	n := len(s) - 1
+	moved := s[n]
+	s[n] = nil
+	*h = s[:n]
+	if i == n {
+		return
+	}
+	s[i] = moved
+	moved.idx = int32(i)
+	(*h).down(i)
+	(*h).up(i)
+}
+
+// Timer-wheel geometry. The wheel is a circular window of numSlots buckets,
+// each slotWidth picoseconds wide, sliding forward with the clock:
+//
+//   - events closer than the already-activated region go straight to the
+//     ready heap (cur);
+//   - events within the window hash to slot (at>>slotShift)&slotMask;
+//   - events beyond the window wait in an overflow heap and migrate into
+//     the wheel as it slides over them.
+//
+// slotWidth is 8192 ps (~8 ns): finer than the smallest serialization gap
+// the models schedule at (5120 ps for a 64-byte control frame at 100 Gbps),
+// so steady-state traffic spreads across slots instead of piling into one.
+// The window spans 4096 slots = ~33.6 us, which covers serialization,
+// propagation, CNP pacing, and RX/TX timer horizons; only long timeouts
+// (RTOs, experiment horizons) take the overflow path.
+const (
+	slotShift   = 13
+	slotWidth   = Duration(1) << slotShift
+	slotBits    = 12
+	numSlots    = 1 << slotBits
+	slotMask    = numSlots - 1
+	bitmapWords = numSlots / 64
+)
 
 // Engine is a single-threaded discrete-event simulator.
 //
 // Engines are not safe for concurrent use; all Marlin components run within
 // one engine goroutine by construction.
+//
+// The scheduler is a hierarchical timer wheel rather than a global binary
+// heap: O(1) inserts for the near future, with per-activation cost
+// proportional to the (small) population of one 8 ns bucket. Equal-time
+// events still fire in schedule order everywhere — the ready heap, the
+// buckets, and the overflow heap all order by (timestamp, sequence) — so
+// the determinism contract is identical to the heap implementation
+// (RefEngine keeps that implementation alive for differential testing).
 type Engine struct {
 	now     Time
-	queue   eventHeap
 	seq     uint64
 	stopped bool
 	// executed counts events that have fired, for diagnostics and as a
 	// cheap progress measure in benchmarks.
 	executed uint64
+	// live counts scheduled events that have neither fired nor been
+	// cancelled; Pending reports it.
+	live int
+	// maxDeadAt is the high-water timestamp of cancelled events the heap
+	// implementation would still be holding. Cancel removes events
+	// immediately, but the old scheduler reaped them lazily, which made a
+	// cancelled event beyond Run's horizon pin the clock at `until`. The
+	// watermark reproduces exactly that: Run(until) with nothing live left
+	// still sets now=until while maxDeadAt > until, and the watermark is
+	// dropped once a run passes it (when the old engine would have reaped).
+	maxDeadAt Time
+
+	// cur is the ready heap: events in the already-activated region of the
+	// window (at earlier than baseSlot's start). The globally earliest
+	// pending event is always cur's top once prime() has run.
+	cur eventHeap
+	// baseSlot is the absolute slot index (at>>slotShift) of the window
+	// start; it only moves forward.
+	baseSlot int64
+	// wheelCnt counts events resident in slots.
+	wheelCnt int
+	// overflow holds events at or beyond the window end.
+	overflow eventHeap
+	// free is the intrusive event free list.
+	free   *event
+	slots  [numSlots][]*event
+	bitmap [bitmapWords]uint64
 }
 
 // NewEngine returns an engine with the clock at time zero and an empty queue.
@@ -64,69 +224,273 @@ func (e *Engine) Now() Time { return e.now }
 // Executed reports how many events have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports how many events are queued (including cancelled ones that
-// have not yet been reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are scheduled and not cancelled.
+func (e *Engine) Pending() int { return e.live }
 
-// Handle identifies a scheduled event so that it can be cancelled.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event so that it can be cancelled. The
+// generation survives event recycling: a Handle held past its event's
+// firing safely reports false from Cancel even after the struct is reused.
+type Handle struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancel prevents the event from running. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
-// still pending.
+// still pending. The event is removed from its container immediately —
+// O(1) for a wheel slot, O(log n) for the ready or overflow heap — so
+// cancel-heavy patterns (retransmission timers) do not accumulate garbage.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.cancel || h.ev.fn == nil {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.where == locFree {
 		return false
 	}
-	h.ev.cancel = true
+	e := ev.eng
+	e.live--
+	if ev.at > e.maxDeadAt {
+		e.maxDeadAt = ev.at
+	}
+	switch ev.where {
+	case locCur:
+		e.cur.remove(int(ev.idx))
+	case locOverflow:
+		e.overflow.remove(int(ev.idx))
+	default: // wheel slot: order within a slot is irrelevant, swap-remove
+		slot := int(ev.where)
+		sl := e.slots[slot]
+		n := len(sl) - 1
+		pos := int(ev.idx)
+		sl[pos] = sl[n]
+		sl[pos].idx = int32(pos)
+		sl[n] = nil
+		e.slots[slot] = sl[:n]
+		e.wheelCnt--
+		if n == 0 {
+			e.bitmap[slot>>6] &^= 1 << uint(slot&63)
+		}
+	}
+	e.recycle(ev)
 	return true
+}
+
+// alloc takes an event from the free list, or the heap allocator on a cold
+// start.
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		return &event{eng: e}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// recycle bumps the event's generation (invalidating outstanding Handles)
+// and returns it to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.where = locFree
+	ev.next = e.free
+	e.free = ev
+}
+
+// schedule allocates, fills, and inserts one event.
+func (e *Engine) schedule(at Time, fn Func, afn ArgFunc, arg any) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := e.alloc()
+	ev.at, ev.seq = at, e.seq
+	ev.fn, ev.afn, ev.arg = fn, afn, arg
+	e.seq++
+	e.live++
+	e.insert(ev)
+	return Handle{ev, ev.gen}
+}
+
+// insert places the event in the ready heap, a wheel slot, or overflow.
+func (e *Engine) insert(ev *event) {
+	s := int64(ev.at) >> slotShift
+	if s < e.baseSlot {
+		ev.where = locCur
+		e.cur.push(ev)
+		return
+	}
+	if s < e.baseSlot+numSlots {
+		e.insertSlot(ev, int(s&slotMask))
+		return
+	}
+	ev.where = locOverflow
+	e.overflow.push(ev)
+}
+
+// insertSlot appends the event to a wheel slot and marks the occupancy bit.
+func (e *Engine) insertSlot(ev *event, slot int) {
+	ev.where = int32(slot)
+	ev.idx = int32(len(e.slots[slot]))
+	e.slots[slot] = append(e.slots[slot], ev)
+	e.bitmap[slot>>6] |= 1 << uint(slot&63)
+	e.wheelCnt++
 }
 
 // ScheduleAt enqueues fn to run at the absolute timestamp at. Scheduling in
 // the past panics: it always indicates a component bug, and silently
 // reordering time would corrupt every downstream measurement.
 func (e *Engine) ScheduleAt(at Time, fn Func) Handle {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
-	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return Handle{ev}
+	return e.schedule(at, fn, nil, nil)
 }
 
 // Schedule enqueues fn to run after delay d (d may be zero; negative d
 // panics via ScheduleAt).
 func (e *Engine) Schedule(d Duration, fn Func) Handle {
-	return e.ScheduleAt(e.now.Add(d), fn)
+	return e.schedule(e.now.Add(d), fn, nil, nil)
+}
+
+// ScheduleArgAt enqueues fn(arg) at the absolute timestamp at. Unlike a
+// closure built per call site, fn can be allocated once and reused, keeping
+// per-packet scheduling allocation-free on the hot paths.
+func (e *Engine) ScheduleArgAt(at Time, fn ArgFunc, arg any) Handle {
+	return e.schedule(at, nil, fn, arg)
+}
+
+// ScheduleArg enqueues fn(arg) after delay d.
+func (e *Engine) ScheduleArg(d Duration, fn ArgFunc, arg any) Handle {
+	return e.schedule(e.now.Add(d), nil, fn, arg)
 }
 
 // Stop makes the current Run call return after the in-flight event finishes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// prime fills the ready heap with the next wheel slot's events (advancing
+// or jumping the window as needed) and returns the earliest pending event
+// without removing it.
+func (e *Engine) prime() *event {
+	for len(e.cur) == 0 {
+		if !e.advance() {
+			return nil
+		}
+	}
+	return e.cur[0]
+}
+
+// advance activates the next non-empty wheel slot, jumping the window to
+// the overflow queue's earliest event when the wheel is empty. It reports
+// whether any events remain anywhere.
+func (e *Engine) advance() bool {
+	if e.wheelCnt == 0 {
+		if len(e.overflow) == 0 {
+			return false
+		}
+		e.baseSlot = int64(e.overflow[0].at) >> slotShift
+		e.refill()
+	}
+	d := e.nextSlotDelta()
+	s := e.baseSlot + int64(d)
+	idx := int(s & slotMask)
+	evs := e.slots[idx]
+	e.cur = append(e.cur[:0], evs...)
+	for i, ev := range e.cur {
+		ev.where = locCur
+		ev.idx = int32(i)
+		evs[i] = nil
+	}
+	e.slots[idx] = evs[:0]
+	e.bitmap[idx>>6] &^= 1 << uint(idx&63)
+	e.wheelCnt -= len(e.cur)
+	e.cur.init()
+	// The window start moves past the activated slot; one slot's worth of
+	// far future becomes addressable, so pull any overflow that now fits.
+	e.baseSlot = s + 1
+	e.refill()
+	return true
+}
+
+// nextSlotDelta scans the occupancy bitmap for the first non-empty slot at
+// or after the window start, returning its distance in slots. Requires
+// wheelCnt > 0.
+func (e *Engine) nextSlotDelta() int {
+	base := int(e.baseSlot) & slotMask
+	w := base >> 6
+	off := uint(base & 63)
+	if word := e.bitmap[w] >> off; word != 0 {
+		return bits.TrailingZeros64(word)
+	}
+	for k := 1; k < bitmapWords; k++ {
+		if word := e.bitmap[(w+k)&(bitmapWords-1)]; word != 0 {
+			return k<<6 - int(off) + bits.TrailingZeros64(word)
+		}
+	}
+	// Fully wrapped: the only remaining candidates are the starting word's
+	// bits below the window start.
+	word := e.bitmap[w] & (1<<off - 1)
+	return bitmapWords<<6 - int(off) + bits.TrailingZeros64(word)
+}
+
+// refill migrates overflow events that the (moved) window now covers into
+// their wheel slots.
+func (e *Engine) refill() {
+	if len(e.overflow) == 0 {
+		return
+	}
+	// Saturate the window end near the top of the Time range instead of
+	// overflowing; the residual span always fits one window there.
+	end := Forever
+	if endSlot := e.baseSlot + numSlots; endSlot <= int64(Forever)>>slotShift {
+		end = Time(endSlot << slotShift)
+	}
+	for len(e.overflow) > 0 && (e.overflow[0].at < end || end == Forever) {
+		ev := e.overflow.pop()
+		e.insertSlot(ev, int((int64(ev.at)>>slotShift)&slotMask))
+	}
+}
+
+// fire pops the primed event, runs it, and recycles it. The event is
+// recycled before its body runs, so a Cancel from inside the body (or any
+// time after) reports false, exactly like the heap implementation's
+// fn-nilling.
+func (e *Engine) fire(ev *event) {
+	e.cur.pop()
+	e.now = ev.at
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.recycle(ev)
+	e.live--
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
+	e.executed++
+}
+
 // Run executes events in timestamp order until the queue is empty, the
 // horizon is passed, or Stop is called. The clock is left at the timestamp
 // of the last executed event, or at the horizon if it was reached with
-// events still pending. It returns the number of events executed by this
-// call.
+// events still pending — where "pending" includes events cancelled but not
+// yet notionally reaped (the maxDeadAt watermark), matching the heap
+// scheduler's observable behavior. It returns the number of events executed
+// by this call.
 func (e *Engine) Run(until Time) uint64 {
 	e.stopped = false
 	start := e.executed
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
+	for !e.stopped {
+		ev := e.prime()
+		if ev == nil {
+			if e.maxDeadAt > until {
+				e.now = until
+			}
+			break
+		}
 		if ev.at > until {
 			e.now = until
 			break
 		}
-		heap.Pop(&e.queue)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		e.executed++
+		e.fire(ev)
+	}
+	// A heap-scheduler run to this horizon would have reaped every
+	// cancelled event at or before it (runs always use until >= now).
+	if !e.stopped && e.maxDeadAt <= until {
+		e.maxDeadAt = 0
 	}
 	return e.executed - start
 }
@@ -136,17 +500,16 @@ func (e *Engine) RunAll() uint64 { return e.Run(Forever) }
 
 // Step executes the single next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		e.executed++
-		return true
+	ev := e.prime()
+	if ev == nil {
+		// The heap scheduler's Step drained every cancelled event while
+		// searching for a live one.
+		e.maxDeadAt = 0
+		return false
 	}
-	return false
+	e.fire(ev)
+	if e.maxDeadAt <= e.now {
+		e.maxDeadAt = 0
+	}
+	return true
 }

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// RefEngine is the retired binary-heap scheduler, kept as an executable
+// reference implementation of the determinism contract: events fire in
+// (timestamp, schedule-sequence) order, the clock advances to the horizon
+// while anything is still queued beyond it, and cancellation is lazy.
+//
+// The differential test drives a RefEngine and a timer-wheel Engine with
+// identical testing/quick-generated schedule/cancel sequences and asserts
+// identical firing orders and clocks, and cmd/benchjson reports RefEngine
+// throughput as the "before" number in BENCH_baseline.json. It is not used
+// by any model code.
+type RefEngine struct {
+	now      Time
+	queue    refHeap
+	seq      uint64
+	stopped  bool
+	executed uint64
+}
+
+// refEvent is a RefEngine queue entry.
+type refEvent struct {
+	at     Time
+	seq    uint64
+	fn     Func
+	cancel bool
+}
+
+// refHeap orders events by (time, sequence).
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// NewRefEngine returns a reference engine with the clock at time zero.
+func NewRefEngine() *RefEngine {
+	return &RefEngine{}
+}
+
+// Now returns the current simulation time.
+func (e *RefEngine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *RefEngine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled and not cancelled. (The
+// historical heap implementation counted cancelled-but-unreaped events too;
+// the reference reproduces the fixed semantics so differential tests can
+// compare Pending directly.)
+func (e *RefEngine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancel && ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// RefHandle identifies a RefEngine event so that it can be cancelled.
+type RefHandle struct{ ev *refEvent }
+
+// Cancel prevents the event from running, reporting whether it was still
+// pending.
+func (h RefHandle) Cancel() bool {
+	if h.ev == nil || h.ev.cancel || h.ev.fn == nil {
+		return false
+	}
+	h.ev.cancel = true
+	return true
+}
+
+// ScheduleAt enqueues fn to run at the absolute timestamp at.
+func (e *RefEngine) ScheduleAt(at Time, fn Func) RefHandle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &refEvent{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return RefHandle{ev}
+}
+
+// Schedule enqueues fn to run after delay d.
+func (e *RefEngine) Schedule(d Duration, fn Func) RefHandle {
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// Stop makes the current Run call return after the in-flight event.
+func (e *RefEngine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, the
+// horizon is passed, or Stop is called.
+func (e *RefEngine) Run(until Time) uint64 {
+	e.stopped = false
+	start := e.executed
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > until {
+			e.now = until
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.executed++
+	}
+	return e.executed - start
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *RefEngine) RunAll() uint64 { return e.Run(Forever) }
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (e *RefEngine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*refEvent)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.executed++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package sim
+
+import "testing"
+
+// Tests specific to the timer-wheel implementation details: Pending
+// accounting under cancellation, handle generation safety across event
+// recycling, the closure-free ScheduleArg path, and window/overflow
+// boundary crossings.
+
+// Regression test: Pending must not count cancelled-but-unreaped events.
+// The historical heap scheduler reported len(queue) and so over-counted
+// until the cancelled entry happened to reach the top.
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	h1 := e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	h3 := e.Schedule(30*Millisecond, func() {}) // lives in the overflow heap
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending after 3 schedules = %d, want 3", got)
+	}
+	h1.Cancel()
+	h3.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after cancelling 2 of 3 = %d, want 1", got)
+	}
+	h1.Cancel() // double-cancel must not double-decrement
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after double cancel = %d, want 1", got)
+	}
+	if n := e.RunAll(); n != 1 {
+		t.Fatalf("RunAll executed %d events, want 1", n)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+// Handles carry a generation so a stale handle cannot cancel an unrelated
+// event that recycled the same pooled struct.
+func TestHandleGenerationSafety(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(5, func() {})
+	e.RunAll()
+	if h.Cancel() {
+		t.Fatal("Cancel succeeded on an already-fired event")
+	}
+	// The fired event's struct is now on the free list; the next schedule
+	// recycles it under a bumped generation.
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	if h.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestScheduleArg(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	record := ArgFunc(func(arg any) { got = append(got, *arg.(*int)) })
+	vals := []int{3, 1, 2}
+	e.ScheduleArgAt(30, record, &vals[0])
+	e.ScheduleArgAt(10, record, &vals[1])
+	h := e.ScheduleArg(20, record, &vals[2])
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	if !h.Cancel() {
+		t.Fatal("Cancel of pending arg event returned false")
+	}
+	e.RunAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("arg events fired %v, want [1 3]", got)
+	}
+}
+
+// Events beyond the wheel window land in the overflow heap and must still
+// fire in timestamp order as the window slides over them.
+func TestOverflowOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	at := []Time{
+		0,
+		Time(8191),                // same slot as 0
+		Time(40 * Microsecond),    // beyond the initial ~33.6µs window
+		Time(100 * Millisecond),   // deep overflow
+		Time(100*Millisecond + 1), // adjacent ps in the same slot
+		Time(3 * Time(Second)),    // several window jumps away
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	for i, ts := range at {
+		i := i
+		e.ScheduleAt(ts, func() { order = append(order, i) })
+	}
+	if n := e.RunAll(); n != uint64(len(at)) {
+		t.Fatalf("RunAll executed %d, want %d", n, len(at))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", order, want)
+		}
+	}
+	if e.Now() != at[len(at)-1] {
+		t.Fatalf("Now = %v, want %v", e.Now(), at[len(at)-1])
+	}
+}
+
+// An empty wheel with only far-future work must jump the window directly to
+// the overflow head rather than scanning empty slots.
+func TestWindowJump(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.ScheduleAt(Time(7*Time(Second)), func() { fired = true })
+	e.RunAll()
+	if !fired || e.Now() != Time(7*Time(Second)) {
+		t.Fatalf("window jump failed: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+// A cancelled far-future event still pins the horizon semantics: Run(until)
+// leaves now at until while anything — even a cancelled event — is queued
+// beyond the horizon, exactly as the heap scheduler behaved.
+func TestCancelledEventKeepsHorizon(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(50*Millisecond, func() {})
+	h.Cancel()
+	if n := e.Run(Time(Millisecond)); n != 0 {
+		t.Fatalf("Run executed %d, want 0", n)
+	}
+	if e.Now() != Time(Millisecond) {
+		t.Fatalf("Now = %v, want %v", e.Now(), Time(Millisecond))
+	}
+	if n := e.RunAll(); n != 0 {
+		t.Fatalf("RunAll executed %d, want 0", n)
+	}
+}

@@ -71,6 +71,9 @@ type Pipeline struct {
 	slot     sim.Duration // TEMP slot: wire time of one MTU frame
 	portFree []sim.Time
 	pending  []bool
+	// emitFns holds one prebuilt TEMP-slot closure per port so kick does
+	// not allocate a closure per emitted packet.
+	emitFns []sim.Func
 
 	flowPort []int32
 	perFlow  []flowCounters
@@ -102,7 +105,12 @@ func NewPipeline(eng *sim.Engine, cfg Config) (*Pipeline, error) {
 		slot:     cfg.Plan.PortRate.Serialize(packet.WireSize(cfg.Plan.MTU)),
 		portFree: make([]sim.Time, n),
 		pending:  make([]bool, n),
+		emitFns:  make([]sim.Func, n),
 		ports:    make([]PortCounters, n),
+	}
+	for i := range pl.emitFns {
+		i := i
+		pl.emitFns[i] = func() { pl.emit(i) }
 	}
 	if cfg.SharedQueue {
 		pl.shared = newRegQueue(cfg.QueueDepth * maxInt(n, 1))
@@ -195,16 +203,18 @@ func (pl *Pipeline) ScheIn() netem.Node {
 // designated output port", then the SCHE packet is discarded.
 func (pl *Pipeline) receiveSche(p *packet.Packet) {
 	if p.Type != packet.SCHE {
+		p.Release()
 		return
 	}
 	pl.c.ScheRx++
 	port := p.Port
+	m := scheMeta{flow: p.Flow, psn: p.PSN, flags: p.Flags, sentAt: int64(p.SentAt), port: port}
+	p.Release() // the SCHE frame is pure metadata once parsed (§4.2)
 	if port < 0 || port >= len(pl.dataOut) {
 		pl.c.ScheDrops++
 		return
 	}
 	pl.ports[port].ScheRx++
-	m := scheMeta{flow: p.Flow, psn: p.PSN, flags: p.Flags, sentAt: int64(p.SentAt), port: port}
 	q := pl.shared
 	if q == nil {
 		q = pl.queues[port]
@@ -234,7 +244,7 @@ func (pl *Pipeline) kick(port int) {
 	if now := pl.eng.Now(); at < now {
 		at = now
 	}
-	pl.eng.ScheduleAt(at, func() { pl.emit(port) })
+	pl.eng.ScheduleAt(at, pl.emitFns[port])
 }
 
 // emit is one TEMP slot on a port: dequeue metadata, restore the DATA
@@ -317,13 +327,13 @@ func (pl *Pipeline) DataIn(port int) netem.Node {
 	if pl.cfg.ReceiverOnFPGA {
 		return netem.NodeFunc(func(p *packet.Packet) {
 			if p.Type != packet.DATA || pl.rxFwd == nil {
+				p.Release()
 				return
 			}
 			pl.recv.dataRx++
-			t := p.Clone()
-			t.Size = packet.ControlSize // truncation
-			t.Port = port               // arrival port for ACK routing
-			pl.rxFwd.Receive(t)
+			p.Size = packet.ControlSize // truncation, in place
+			p.Port = port               // arrival port for ACK routing
+			pl.rxFwd.Receive(p)
 		})
 	}
 	return netem.NodeFunc(func(p *packet.Packet) { pl.recv.onData(port, p) })
@@ -360,31 +370,28 @@ func (pl *Pipeline) receiveAck(p *packet.Packet) {
 	switch p.Type {
 	case packet.ACK, packet.CNP:
 	default:
+		p.Release()
 		return
 	}
 	pl.c.AckRx++
 	if pl.infoOut == nil {
+		p.Release()
 		return
 	}
-	info := &packet.Packet{
-		Type:   packet.INFO,
-		Flow:   p.Flow,
-		PSN:    p.PSN,
-		Ack:    p.Ack,
-		Flags:  p.Flags,
-		Size:   packet.ControlSize,
-		SentAt: p.SentAt,
-		RxTime: pl.eng.Now(),
-		INT:    p.INT,
-	}
+	// Compression rewrites the frame in place — the ACK/CNP terminates here
+	// and its Flow/PSN/Ack/Flags/SentAt/INT fields carry over verbatim.
 	if p.Type == packet.CNP {
-		info.Flags |= packet.FlagCNPNotify
+		p.Flags |= packet.FlagCNPNotify
 	}
+	p.Type = packet.INFO
+	p.Size = packet.ControlSize
+	p.RxTime = pl.eng.Now()
+	p.Port = 0
 	if int(p.Flow) < len(pl.flowPort) && pl.flowPort[p.Flow] >= 0 {
-		info.Port = int(pl.flowPort[p.Flow])
+		p.Port = int(pl.flowPort[p.Flow])
 	}
 	pl.c.InfoTx++
-	pl.infoOut.Receive(info)
+	pl.infoOut.Receive(p)
 }
 
 func maxInt(a, b int) int {

@@ -83,6 +83,7 @@ func (r *receiver) reset(id packet.FlowID) {
 // DATA packets to 64 bytes and rewriting their header fields".
 func (r *receiver) onData(port int, p *packet.Packet) {
 	if p.Type != packet.DATA {
+		p.Release()
 		return
 	}
 	r.dataRx++
@@ -118,6 +119,7 @@ func (r *receiver) onData(port int, p *packet.Packet) {
 			if ce {
 				r.maybeCNP(port, p, f)
 			}
+			p.Release() // go-back-N discards the out-of-order frame
 			return
 		}
 	default:
@@ -130,27 +132,26 @@ func (r *receiver) onData(port int, p *packet.Packet) {
 	r.sendAck(port, p, f.expected, ce)
 }
 
-// sendAck emits the truncated-DATA acknowledgement.
+// sendAck emits the acknowledgement by truncating and rewriting the DATA
+// frame in place (§3.2 step 4), consuming it: Flow, PSN, SentAt, and the
+// INT telemetry stack are echoed verbatim, everything else is rewritten.
 func (r *receiver) sendAck(port int, d *packet.Packet, cumAck uint32, ce bool) {
 	out := r.out(port)
 	if out == nil {
+		d.Release()
 		return
 	}
-	ack := &packet.Packet{
-		Type:   packet.ACK,
-		Flow:   d.Flow,
-		PSN:    d.PSN,
-		Ack:    cumAck,
-		Size:   packet.ControlSize,
-		SentAt: d.SentAt, // echoed for RTT probing
-		RxTime: r.eng.Now(),
-		INT:    d.INT, // telemetry echo for INT-based CC
-	}
+	d.Type = packet.ACK
+	d.Ack = cumAck
+	d.Size = packet.ControlSize
+	d.Port = 0
+	d.RxTime = r.eng.Now()
+	d.Flags = 0
 	if ce && r.mode == TCPReceiver {
-		ack.Flags |= packet.FlagECNEcho
+		d.Flags = packet.FlagECNEcho
 	}
 	r.ackTx++
-	out.Receive(ack)
+	out.Receive(d)
 }
 
 func (r *receiver) sendNack(port int, d *packet.Packet, expected uint32) {
@@ -158,16 +159,15 @@ func (r *receiver) sendNack(port int, d *packet.Packet, expected uint32) {
 	if out == nil {
 		return
 	}
-	n := &packet.Packet{
-		Type:   packet.ACK,
-		Flow:   d.Flow,
-		PSN:    d.PSN,
-		Ack:    expected,
-		Flags:  packet.FlagNACK,
-		Size:   packet.ControlSize,
-		SentAt: d.SentAt,
-		RxTime: r.eng.Now(),
-	}
+	n := packet.Get()
+	n.Type = packet.ACK
+	n.Flow = d.Flow
+	n.PSN = d.PSN
+	n.Ack = expected
+	n.Flags = packet.FlagNACK
+	n.Size = packet.ControlSize
+	n.SentAt = d.SentAt
+	n.RxTime = r.eng.Now()
 	r.nackTx++
 	out.Receive(n)
 }
@@ -185,16 +185,15 @@ func (r *receiver) maybeCNP(port int, d *packet.Packet, f *rxFlow) {
 	}
 	f.lastCNP = now
 	f.cnpSent = true
-	cnp := &packet.Packet{
-		Type:   packet.CNP,
-		Flow:   d.Flow,
-		PSN:    d.PSN,
-		Ack:    f.expected,
-		Flags:  packet.FlagCNPNotify,
-		Size:   packet.ControlSize,
-		SentAt: d.SentAt,
-		RxTime: now,
-	}
+	cnp := packet.Get()
+	cnp.Type = packet.CNP
+	cnp.Flow = d.Flow
+	cnp.PSN = d.PSN
+	cnp.Ack = f.expected
+	cnp.Flags = packet.FlagCNPNotify
+	cnp.Size = packet.ControlSize
+	cnp.SentAt = d.SentAt
+	cnp.RxTime = now
 	r.cnpTx++
 	out.Receive(cnp)
 }

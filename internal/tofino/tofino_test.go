@@ -508,12 +508,39 @@ func BenchmarkPipelineScheToData(b *testing.B) {
 	eng := sim.NewEngine()
 	plan, _ := NewPlan(1024, 100*sim.Gbps)
 	pl, _ := NewPipeline(eng, Config{Plan: plan, QueueDepth: 1 << 12})
-	pl.ConnectDataPort(0, netem.NodeFunc(func(p *packet.Packet) {}))
+	pl.ConnectDataPort(0, netem.NodeFunc(func(p *packet.Packet) { p.Release() }))
 	pl.BindFlow(1, 0)
 	in := pl.ScheIn()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		in.Receive(sche(1, uint32(i), 0))
+		if i%512 == 511 {
+			eng.RunAll()
+		}
+	}
+	eng.RunAll()
+}
+
+// BenchmarkPipelineFig6Scale drives the whole pipeline at its Figure 6
+// shape: all 12 data ports bound and fed SCHE round-robin, DATA consumed
+// (and released) at the ports. This is the steady-state switch inner loop.
+func BenchmarkPipelineFig6Scale(b *testing.B) {
+	eng := sim.NewEngine()
+	plan, _ := NewPlan(1024, 100*sim.Gbps)
+	pl, _ := NewPipeline(eng, Config{Plan: plan, QueueDepth: 1 << 12})
+	drop := netem.NodeFunc(func(p *packet.Packet) { p.Release() })
+	for port := 0; port < plan.DataPorts; port++ {
+		pl.ConnectDataPort(port, drop)
+		pl.BindFlow(packet.FlowID(port), port)
+	}
+	in := pl.ScheIn()
+	psn := make([]uint32, plan.DataPorts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port := i % plan.DataPorts
+		in.Receive(sche(packet.FlowID(port), psn[port], port))
+		psn[port]++
 		if i%512 == 511 {
 			eng.RunAll()
 		}
