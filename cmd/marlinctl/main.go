@@ -221,6 +221,7 @@ func cmdTest(args []string) error {
 	fpgaRecv := fs.Bool("fpgarecv", false, "run receiver logic on the FPGA (reserved port)")
 	topology := fs.String("topology", "", "tested-network fabric (dumbbell, leafspine:LxS, fattree:K, parkinglot:N; empty = single switch)")
 	pcapPath := fs.String("pcap", "", "capture the first forward link to this pcap file")
+	faultSpec := fs.String("faults", "", `time-domain fault plan, e.g. "linkdown fwd1 at 2ms for 300us; nicstall at 4ms for 100us"`)
 	seed := fs.Uint64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -238,6 +239,7 @@ func cmdTest(args []string) error {
 		EnablePFC:        *usePFC,
 		ReceiverOnFPGA:   *fpgaRecv,
 		Topology:         *topology,
+		Faults:           *faultSpec,
 		DCQCNTimeScale:   30,
 		Seed:             *seed,
 	}
@@ -298,6 +300,14 @@ func cmdTest(args []string) error {
 	losses := t.Losses()
 	fmt.Printf("losses: network=%d false=%d rx=%d\n",
 		losses.NetworkDrops, losses.FalseLosses, losses.RXDrops)
+	if *faultSpec != "" {
+		fmt.Printf("fault losses: injected=%d carrier=%d\n",
+			losses.InjectedDrops, losses.DownDrops)
+		fmt.Println("fault recovery:")
+		for _, r := range t.FaultRecoveries() {
+			fmt.Printf("  %s\n", r)
+		}
+	}
 	if *topology != "" {
 		fmt.Printf("misroutes: %d\n", losses.Misroutes)
 		if paths := t.ECMPPaths(); len(paths) > 0 {

@@ -261,10 +261,23 @@ func TestRenoTimeoutResetsToMinCwnd(t *testing.T) {
 	if len(h.rtxes) != 1 || h.rtxes[0] != 0 {
 		t.Fatalf("timeout rtxes = %v, want [0]", h.rtxes)
 	}
-	// ssthresh = flight/2 = 16: slow start resumes, one packet per ack.
-	h.ack(h.una+1, 0)
-	if h.cwnd != 2 {
-		t.Fatalf("slow start after timeout broken: cwnd = %d", h.cwnd)
+	// A timeout means the whole flight is presumed lost; the sender enters
+	// loss recovery so each partial ACK repairs the next hole back-to-back
+	// instead of waiting out one RTO per hole.
+	h.rtxes = nil
+	h.ack(1, 0)
+	if len(h.rtxes) != 1 || h.rtxes[0] != 1 {
+		t.Fatalf("post-timeout partial-ack rtxes = %v, want [1]", h.rtxes)
+	}
+	h.ack(2, 0)
+	if len(h.rtxes) != 2 || h.rtxes[1] != 2 {
+		t.Fatalf("post-timeout partial-ack rtxes = %v, want [1 2]", h.rtxes)
+	}
+	// Full ACK of the pre-timeout flight exits recovery at ssthresh
+	// (= flight/2 = 16).
+	h.ack(32, 0)
+	if h.cwnd != 16 {
+		t.Fatalf("cwnd after recovery = %d, want ssthresh 16", h.cwnd)
 	}
 }
 

@@ -167,7 +167,13 @@ func renoOnTimeout(r Regs, in *Input, out *Output) {
 	}
 	r.SetU32(rSsthresh, maxU32(flight/2, 2))
 	r.SetU32(rCwndQ16, in.Params.MinCwnd<<16)
-	r.SetU32(rState, stateOpen)
+	// Everything in flight is presumed lost: enter loss recovery with the
+	// exit point at Nxt so each partial ACK retransmits the next hole
+	// (NewReno). Returning to stateOpen here would strand the flow after a
+	// multi-packet loss — with Nxt-Una still far beyond cwnd no new data
+	// goes out to draw dup ACKs, so every hole would cost a further RTO.
+	r.SetU32(rState, stateRecovery)
+	r.SetU32(rRecover, in.Nxt)
 	r.SetU32(rDupAcks, 0)
 	out.Rtx, out.RtxPSN = true, in.Una
 	out.Schedule = true

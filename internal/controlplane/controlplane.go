@@ -11,6 +11,7 @@ import (
 	"marlin/internal/cc"
 	"marlin/internal/core"
 	"marlin/internal/fabric"
+	"marlin/internal/faults"
 	"marlin/internal/fpga"
 	"marlin/internal/netem"
 	"marlin/internal/packet"
@@ -59,6 +60,10 @@ type Spec struct {
 	// DCQCNTimeScale compresses DCQCN's recovery timescale for short
 	// simulated horizons (1 = paper parameters).
 	DCQCNTimeScale float64
+	// Faults schedules a deterministic fault plan in faults.ParseSpec
+	// syntax, e.g. "linkdown leaf0->spine1 at 2ms for 500us; nicstall at
+	// 4ms for 100us". Empty runs fault-free.
+	Faults string
 	// Params fully overrides the parameter block when non-nil.
 	Params *cc.Params
 	// Seed drives all randomness.
@@ -87,6 +92,11 @@ func (s *Spec) Validate() error {
 		}
 		if s.ExtraHops > 0 {
 			return fmt.Errorf("controlplane: ExtraHops applies only to the canonical single-switch network, not topology %q", s.Topology)
+		}
+	}
+	if s.Faults != "" {
+		if _, err := faults.ParseSpec(s.Faults); err != nil {
+			return err
 		}
 	}
 	if s.Params != nil {
@@ -209,7 +219,20 @@ func (s *Spec) Deploy(eng *sim.Engine) (*core.Tester, error) {
 		cfg.Receiver = tofino.RoCEReceiver
 		cfg.ReceiverSet = true
 	}
-	return core.New(eng, cfg)
+	tester, err := core.New(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.Faults != "" {
+		plan, err := faults.ParseSpec(s.Faults)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tester.InstallFaults(plan); err != nil {
+			return nil, err
+		}
+	}
+	return tester, nil
 }
 
 // Snapshot is a readout of every control-plane-visible register, as
@@ -224,6 +247,9 @@ type Snapshot struct {
 	// one entry for the canonical single switch, one per fabric switch
 	// under a multi-switch Topology.
 	Network []netem.Stats
+	// Faults is per-fault recovery telemetry when a fault plan is
+	// installed (nil otherwise).
+	Faults []faults.Recovery
 }
 
 // ReadRegisters collects a Snapshot from a running tester.
@@ -234,6 +260,7 @@ func ReadRegisters(t *core.Tester) Snapshot {
 		NIC:      t.NIC.Stats(),
 		FCTCount: t.FCTs.Len(),
 		Network:  t.NetworkStats(),
+		Faults:   t.FaultRecoveries(),
 	}
 	for i := 0; i < t.Plan().DataPorts; i++ {
 		snap.Ports = append(snap.Ports, t.Pipeline.PortCounters(i))
@@ -255,6 +282,12 @@ type LossReport struct {
 	// Misroutes are packets a switch routing function sent to a
 	// nonexistent port — a routing bug, counted instead of crashing.
 	Misroutes uint64
+	// InjectedDrops are hook-injected losses (netem.Script entries and
+	// lossburst faults) — deliberate, not congestion.
+	InjectedDrops uint64
+	// DownDrops are carrier losses on administratively-down links
+	// (linkdown faults).
+	DownDrops uint64
 }
 
 // ReadLosses collects a LossReport.
@@ -264,11 +297,25 @@ func ReadLosses(t *core.Tester) LossReport {
 		st := sw.Stats()
 		for _, ps := range st.Ports {
 			r.NetworkDrops += ps.Drops
+			r.InjectedDrops += ps.InjectedDrops
+			r.DownDrops += ps.DownDrops
 		}
 		r.Misroutes += st.Misroutes
 	}
 	for i := 0; i < t.Plan().DataPorts; i++ {
+		ls := t.TxLink(i).Stats()
+		r.InjectedDrops += ls.InjectedDrops
+		r.DownDrops += ls.DownDrops
 		r.NetworkDrops += t.TxLink(i).Queue().Stats().Drops
+	}
+	if t.Fab != nil {
+		// Host uplinks into the fabric are standalone links, not switch
+		// ports; faults can target them too.
+		for i := 0; i < t.Plan().DataPorts; i++ {
+			ls := t.Fab.HostUplink(i).Stats()
+			r.InjectedDrops += ls.InjectedDrops
+			r.DownDrops += ls.DownDrops
+		}
 	}
 	r.FalseLosses = t.Pipeline.Counters().ScheDrops
 	r.RXDrops = t.NIC.Stats().InfoDrops

@@ -17,6 +17,7 @@ import (
 
 	"marlin/internal/cc"
 	"marlin/internal/fabric"
+	"marlin/internal/faults"
 	"marlin/internal/fpga"
 	"marlin/internal/measure"
 	"marlin/internal/netem"
@@ -125,6 +126,9 @@ type Tester struct {
 	infoLink *netem.Link
 
 	userComplete func(flow packet.FlowID, fct sim.Duration)
+
+	faultPlan faults.Plan
+	faultMon  *faults.Monitor
 }
 
 // New builds and wires a tester.
@@ -428,6 +432,106 @@ func (t *Tester) ForwardLink(rx int) *netem.Link {
 
 // TxLink returns the link from tester data port i into the network.
 func (t *Tester) TxLink(i int) *netem.Link { return t.txLinks[i] }
+
+// ResolveLink maps a fault-plan link name onto an emulated link
+// (implementing faults.Target). "txN" is tester data port N's uplink in
+// any topology. With a fabric deployed, fabric names resolve as
+// fabric.ResolveLink documents ("leaf0->spine1", "host2->leaf0"). The
+// canonical single switch additionally accepts "fwdN" for the forward
+// link toward receiver port N.
+func (t *Tester) ResolveLink(name string) (*netem.Link, error) {
+	if i, ok := portAlias(name, "tx"); ok {
+		if i < 0 || i >= len(t.txLinks) {
+			return nil, fmt.Errorf("core: %s out of range [tx0,tx%d]", name, len(t.txLinks)-1)
+		}
+		return t.txLinks[i], nil
+	}
+	if t.Fab != nil {
+		return t.Fab.ResolveLink(name)
+	}
+	if i, ok := portAlias(name, "fwd"); ok {
+		if i < 0 || i >= t.cfg.DataPorts {
+			return nil, fmt.Errorf("core: %s out of range [fwd0,fwd%d]", name, t.cfg.DataPorts-1)
+		}
+		return t.Net.Port(i), nil
+	}
+	return nil, fmt.Errorf("core: unknown link %q (single-switch names: txN, fwdN)", name)
+}
+
+// portAlias recognises prefixed port names like "tx3" or "fwd0".
+func portAlias(name, prefix string) (int, bool) {
+	num, ok := strings.CutPrefix(name, prefix)
+	if !ok || num == "" {
+		return 0, false
+	}
+	i := 0
+	for _, c := range num {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		i = i*10 + int(c-'0')
+	}
+	return i, true
+}
+
+// StallNIC gates the FPGA NIC's pacing timers (implementing
+// faults.Target).
+func (t *Tester) StallNIC(stalled bool) { t.NIC.SetStall(stalled) }
+
+// InstallFaults schedules a fault plan against this tester and arms the
+// recovery monitor. Call once, before running; recoveries surface in
+// FaultRecoveries, controlplane snapshots, and the loss report.
+func (t *Tester) InstallFaults(plan faults.Plan) (*faults.Monitor, error) {
+	if t.faultMon != nil {
+		return nil, fmt.Errorf("core: fault plan already installed")
+	}
+	if err := faults.Apply(t.Eng, t, plan); err != nil {
+		return nil, err
+	}
+	t.faultPlan = plan
+	t.faultMon = faults.NewMonitor(t.Eng, faults.MonitorConfig{}, plan,
+		t.deliveredBytes,
+		func() uint64 { return t.NIC.Stats().RtxTx },
+		t.ecnMarks)
+	return t.faultMon, nil
+}
+
+// FaultPlan returns the installed fault plan (zero when none).
+func (t *Tester) FaultPlan() faults.Plan { return t.faultPlan }
+
+// FaultMonitor returns the armed recovery monitor, or nil.
+func (t *Tester) FaultMonitor() *faults.Monitor { return t.faultMon }
+
+// FaultRecoveries reports per-fault recovery telemetry (nil when no plan
+// is installed).
+func (t *Tester) FaultRecoveries() []faults.Recovery {
+	if t.faultMon == nil {
+		return nil
+	}
+	return t.faultMon.Report()
+}
+
+// deliveredBytes sums the tested network's last-hop delivered bytes — the
+// goodput counter the fault monitor samples.
+func (t *Tester) deliveredBytes() uint64 {
+	var n uint64
+	for i := 0; i < t.cfg.DataPorts; i++ {
+		n += t.ForwardLink(i).Stats().TxBytes
+	}
+	return n
+}
+
+// ecnMarks sums CE marks across every tested-network egress queue.
+func (t *Tester) ecnMarks() uint64 {
+	var n uint64
+	for _, s := range t.Switches() {
+		st := s.Stats()
+		for _, p := range st.Ports {
+			n += p.ECNMarks
+		}
+	}
+	return n
+}
 
 // ScheLink returns the FPGA->switch device link (SCHE direction).
 func (t *Tester) ScheLink() *netem.Link { return t.scheLink }

@@ -7,6 +7,7 @@ import (
 
 	"marlin/internal/cc"
 	"marlin/internal/fabric"
+	"marlin/internal/faults"
 	"marlin/internal/fpga"
 	"marlin/internal/measure"
 	"marlin/internal/netem"
@@ -598,5 +599,104 @@ func TestFabricRejectsExtraHops(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "ExtraHops") {
 		t.Fatalf("Topology+ExtraHops accepted: err=%v", err)
+	}
+}
+
+func TestResolveLinkSingleSwitch(t *testing.T) {
+	tr := newTester(t, Config{Algorithm: mustAlg(t, "dctcp"), DataPorts: 2, Seed: 4})
+	if l, err := tr.ResolveLink("tx1"); err != nil || l != tr.TxLink(1) {
+		t.Fatalf("tx1 = %p, %v; want %p", l, err, tr.TxLink(1))
+	}
+	if l, err := tr.ResolveLink("fwd0"); err != nil || l != tr.ForwardLink(0) {
+		t.Fatalf("fwd0 = %p, %v; want %p", l, err, tr.ForwardLink(0))
+	}
+	for _, bad := range []string{"tx9", "fwd9", "tx", "leaf0->spine1", "bogus"} {
+		if _, err := tr.ResolveLink(bad); err == nil {
+			t.Errorf("ResolveLink(%q) accepted", bad)
+		}
+	}
+}
+
+func TestResolveLinkFabric(t *testing.T) {
+	tr := newTester(t, Config{
+		Algorithm: mustAlg(t, "dctcp"),
+		DataPorts: 4,
+		Topology:  fabric.Spec{Kind: fabric.KindLeafSpine, Leaves: 2, Spines: 2},
+		Seed:      4,
+	})
+	if l, err := tr.ResolveLink("leaf0->spine1"); err != nil || l == nil {
+		t.Fatalf("leaf0->spine1: %p, %v", l, err)
+	}
+	if l, err := tr.ResolveLink("host0->leaf0"); err != nil || l != tr.Fab.HostUplink(0) {
+		t.Fatalf("host0->leaf0 = %p, %v; want %p", l, err, tr.Fab.HostUplink(0))
+	}
+	// txN aliases keep working over a fabric; fwdN is single-switch only.
+	if l, err := tr.ResolveLink("tx0"); err != nil || l != tr.TxLink(0) {
+		t.Fatalf("tx0 = %p, %v", l, err)
+	}
+	if _, err := tr.ResolveLink("fwd0"); err == nil {
+		t.Fatal("fwd0 accepted over a fabric")
+	}
+}
+
+func TestInstallFaultsLinkDownRecovery(t *testing.T) {
+	tr := newTester(t, Config{Algorithm: mustAlg(t, "dctcp"), DataPorts: 2, Seed: 5})
+	if err := tr.StartFlow(0, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.ParseSpec("linkdown fwd1 at 2ms for 300us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := tr.InstallFaults(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mon == nil || tr.FaultMonitor() != mon || tr.FaultPlan().String() != plan.String() {
+		t.Fatal("installed plan/monitor not surfaced")
+	}
+	if _, err := tr.InstallFaults(plan); err == nil {
+		t.Fatal("second InstallFaults accepted")
+	}
+	tr.Run(sim.Time(12 * sim.Millisecond))
+
+	link, _ := tr.ResolveLink("fwd1")
+	if link.Stats().DownDrops == 0 {
+		t.Fatal("outage produced no carrier drops")
+	}
+	rs := tr.FaultRecoveries()
+	if len(rs) != 1 {
+		t.Fatalf("got %d recoveries, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.PreGbps < 50 {
+		t.Fatalf("pre-fault goodput = %.1f Gbps, want near line rate", r.PreGbps)
+	}
+	if !r.Recovered {
+		t.Fatalf("flow did not recover: %s", r)
+	}
+	if r.TimeToRecover <= 0 || r.TimeToRecover > 10*sim.Millisecond {
+		t.Fatalf("ttr = %v, implausible", r.TimeToRecover)
+	}
+	if r.RtxDuring == 0 && link.Stats().DownDrops > 0 {
+		// Retransmissions may land after the window; only sanity-check the
+		// NIC saw the loss at all.
+		if tr.NIC.Stats().RtxTx == 0 {
+			t.Fatal("carrier drops but no retransmissions ever")
+		}
+	}
+}
+
+func TestInstallFaultsRejectsUnknownLink(t *testing.T) {
+	tr := newTester(t, Config{Algorithm: mustAlg(t, "dctcp"), DataPorts: 2, Seed: 6})
+	plan, err := faults.ParseSpec("linkdown leaf0->spine1 at 1ms for 1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.InstallFaults(plan); err == nil {
+		t.Fatal("fabric link name accepted on single-switch tester")
+	}
+	if tr.FaultMonitor() != nil {
+		t.Fatal("monitor armed despite failed install")
 	}
 }

@@ -16,6 +16,8 @@ package fabric
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"marlin/internal/netem"
 	"marlin/internal/packet"
@@ -256,6 +258,78 @@ func (f *Fabric) HostDownlink(h int) *netem.Link {
 
 // HostLeaf returns the name of the switch host h attaches to.
 func (f *Fabric) HostLeaf(h int) string { return f.switches[f.hostSw[h]].name }
+
+// ResolveLink maps a directed "src->dst" endpoint pair onto the link that
+// carries traffic from src to dst. Endpoints are switch names as the
+// topology builders assign them (leaf0, spine1, edge2, agg0, core1, hop0)
+// or hosts (host3). "hostN->leafX" is host N's uplink into the fabric;
+// "leafX->hostN" is its downlink. Fault plans address links by these names.
+func (f *Fabric) ResolveLink(name string) (*netem.Link, error) {
+	src, dst, ok := strings.Cut(name, "->")
+	if !ok || src == "" || dst == "" {
+		return nil, fmt.Errorf("fabric: link name %q is not of the form src->dst", name)
+	}
+	if h, isHost := parseHost(src); isHost {
+		if h < 0 || h >= f.cfg.Hosts {
+			return nil, fmt.Errorf("fabric: no such host in %q (have %d hosts)", name, f.cfg.Hosts)
+		}
+		if leaf := f.switches[f.hostSw[h]].name; dst != leaf {
+			return nil, fmt.Errorf("fabric: host%d attaches to %s, not %s", h, leaf, dst)
+		}
+		return f.uplinks[h], nil
+	}
+	if h, isHost := parseHost(dst); isHost {
+		if h < 0 || h >= f.cfg.Hosts {
+			return nil, fmt.Errorf("fabric: no such host in %q (have %d hosts)", name, f.cfg.Hosts)
+		}
+		if leaf := f.switches[f.hostSw[h]].name; src != leaf {
+			return nil, fmt.Errorf("fabric: host%d attaches to %s, not %s", h, leaf, src)
+		}
+		return f.HostDownlink(h), nil
+	}
+	for _, n := range f.switches {
+		if n.name != src {
+			continue
+		}
+		for port, peer := range n.peers {
+			if peer == dst {
+				return n.s.Port(port), nil
+			}
+		}
+		return nil, fmt.Errorf("fabric: %s has no link toward %s (peers: %s)",
+			src, dst, strings.Join(n.peers, " "))
+	}
+	return nil, fmt.Errorf("fabric: no switch named %q", src)
+}
+
+// LinkNames lists every addressable link name in deterministic build
+// order: all switch egress links first (including host downlinks), then
+// the host uplinks.
+func (f *Fabric) LinkNames() []string {
+	var out []string
+	for _, n := range f.switches {
+		for _, peer := range n.peers {
+			out = append(out, n.name+"->"+peer)
+		}
+	}
+	for h := 0; h < f.cfg.Hosts; h++ {
+		out = append(out, fmt.Sprintf("host%d->%s", h, f.switches[f.hostSw[h]].name))
+	}
+	return out
+}
+
+// parseHost recognises "hostN" endpoint names.
+func parseHost(s string) (int, bool) {
+	num, ok := strings.CutPrefix(s, "host")
+	if !ok || num == "" {
+		return 0, false
+	}
+	h, err := strconv.Atoi(num)
+	if err != nil {
+		return 0, false
+	}
+	return h, true
+}
 
 // Switches lists the fabric's switches in build order.
 func (f *Fabric) Switches() []*netem.Switch {

@@ -319,3 +319,69 @@ func TestHostAccessors(t *testing.T) {
 		t.Fatalf("leafspine diameter = %d, want 4", d)
 	}
 }
+
+func TestResolveLink(t *testing.T) {
+	eng := sim.NewEngine()
+	// 2x2 leaf-spine, 4 hosts: hosts are struck round-robin across leaves,
+	// so host0/host2 sit on leaf0 and host1/host3 on leaf1.
+	f, _ := build(t, eng, Spec{Kind: KindLeafSpine, Leaves: 2, Spines: 2}, 4, nil, nil)
+
+	if l, err := f.ResolveLink("host0->leaf0"); err != nil || l != f.HostUplink(0) {
+		t.Fatalf("host0->leaf0 = %p, %v; want uplink %p", l, err, f.HostUplink(0))
+	}
+	if l, err := f.ResolveLink("leaf1->host3"); err != nil || l != f.HostDownlink(3) {
+		t.Fatalf("leaf1->host3 = %p, %v; want downlink %p", l, err, f.HostDownlink(3))
+	}
+	// Trunk links resolve in both directions to distinct links.
+	up, err := f.ResolveLink("leaf0->spine1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := f.ResolveLink("spine1->leaf0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up == down {
+		t.Fatal("leaf0->spine1 and spine1->leaf0 resolved to the same link")
+	}
+
+	bad := []string{
+		"leaf0",         // not src->dst
+		"leaf0->",       // empty dst
+		"leaf9->spine0", // unknown switch
+		"leaf0->leaf1",  // no such adjacency
+		"host9->leaf0",  // host out of range
+		"host1->leaf0",  // host1 attaches to leaf1
+		"leaf0->host1",  // wrong leaf for downlink
+	}
+	for _, name := range bad {
+		if _, err := f.ResolveLink(name); err == nil {
+			t.Errorf("ResolveLink(%q) accepted", name)
+		}
+	}
+}
+
+func TestLinkNamesResolveAndAreStable(t *testing.T) {
+	eng := sim.NewEngine()
+	f, _ := build(t, eng, Spec{Kind: KindLeafSpine, Leaves: 2, Spines: 2}, 4, nil, nil)
+	names := f.LinkNames()
+	// 2 leaves x 2 spine uplinks + 2 spines x 2 downlinks + 4 host
+	// downlinks + 4 host uplinks.
+	if len(names) != 16 {
+		t.Fatalf("LinkNames() returned %d names: %v", len(names), names)
+	}
+	seen := map[*netem.Link]string{}
+	for _, name := range names {
+		l, err := f.ResolveLink(name)
+		if err != nil {
+			t.Fatalf("ResolveLink(%q): %v", name, err)
+		}
+		if prev, dup := seen[l]; dup {
+			t.Fatalf("%q and %q resolved to the same link", prev, name)
+		}
+		seen[l] = name
+	}
+	if got := f.LinkNames(); !reflect.DeepEqual(got, names) {
+		t.Fatalf("LinkNames() unstable:\n%v\n%v", names, got)
+	}
+}

@@ -1,0 +1,321 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"marlin/internal/netem"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// stub implements Target over a fixed name->link table.
+type stub struct {
+	links  map[string]*netem.Link
+	stalls []bool
+}
+
+func (s *stub) ResolveLink(name string) (*netem.Link, error) {
+	if l, ok := s.links[name]; ok {
+		return l, nil
+	}
+	return nil, errUnknown(name)
+}
+
+type errUnknown string
+
+func (e errUnknown) Error() string { return "unknown link " + string(e) }
+
+func (s *stub) StallNIC(st bool) { s.stalls = append(s.stalls, st) }
+
+func data(flow packet.FlowID, psn uint32) *packet.Packet {
+	return packet.NewData(flow, psn, 1000, 0)
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	src := "linkdown leaf0->spine1 at 2ms for 500us; " +
+		"brownout host2->leaf0 at 1ms for 1ms frac 0.25; " +
+		"lossburst tx3 at 3ms for 200us prob 0.1 seed 7; " +
+		"ecnoff leaf1->spine0 at 4ms for 1ms; " +
+		"nicstall at 5ms for 100us"
+	plan, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) != 5 {
+		t.Fatalf("parsed %d entries, want 5", len(plan.Entries))
+	}
+	e := plan.Entries[0]
+	if e.Kind != KindLinkDown || e.Link != "leaf0->spine1" ||
+		e.At != sim.Time(2*sim.Millisecond) || e.Dur != 500*sim.Microsecond {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if e := plan.Entries[1]; e.Fraction != 0.25 {
+		t.Fatalf("brownout fraction = %g", e.Fraction)
+	}
+	if e := plan.Entries[2]; e.Prob != 0.1 || e.Seed != 7 {
+		t.Fatalf("lossburst = %+v", e)
+	}
+	if e := plan.Entries[4]; e.Kind != KindNICStall || e.Link != "" {
+		t.Fatalf("nicstall = %+v", e)
+	}
+	// String() renders back into parseable syntax.
+	plan2, err := ParseSpec(plan.String())
+	if err != nil {
+		t.Fatalf("round trip: %v\nrendered: %s", err, plan.String())
+	}
+	if len(plan2.Entries) != len(plan.Entries) {
+		t.Fatalf("round trip lost entries: %s", plan.String())
+	}
+	for i := range plan.Entries {
+		if plan.Entries[i] != plan2.Entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, plan.Entries[i], plan2.Entries[i])
+		}
+	}
+}
+
+func TestParseSpecDefaultsLossSeed(t *testing.T) {
+	plan, err := ParseSpec("lossburst tx0 at 1ms for 1ms prob 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Entries[0].Seed != 1 {
+		t.Fatalf("default seed = %d, want 1", plan.Entries[0].Seed)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"linkdown at 1ms for 1ms",              // missing link
+		"linkdown tx0 at 1ms",                  // missing for
+		"brownout tx0 at 1ms for 1ms",          // missing frac
+		"brownout tx0 at 1ms for 1ms frac 1.5", // frac > 1
+		"lossburst tx0 at 1ms for 1ms",         // missing prob
+		"lossburst tx0 at 1ms for 1ms prob 0",  // prob 0
+		"nicstall tx0 at 1ms for 1ms",          // stall takes no link
+		"explode tx0 at 1ms for 1ms",           // unknown kind
+		"linkdown tx0 at 1ms for 0s",           // zero duration
+		"linkdown tx0 at 1ms for 1ms frac 0.5", // frac on linkdown
+		"linkdown tx0 at 1ms for 2ms; linkdown tx0 at 2.5ms for 1ms", // overlap
+	}
+	for _, src := range bad {
+		if _, err := ParseSpec(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestValidateAllowsAdjacentAndDistinctKinds(t *testing.T) {
+	plan := Plan{Entries: []Entry{
+		LinkDown("a->b", sim.Time(sim.Millisecond), sim.Millisecond),
+		// Back-to-back windows touch but do not overlap.
+		LinkDown("a->b", sim.Time(2*sim.Millisecond), sim.Millisecond),
+		// Different kind may overlap the first window.
+		EcnOff("a->b", sim.Time(sim.Millisecond), 3*sim.Millisecond),
+		// Same kind, different link.
+		LinkDown("b->c", sim.Time(sim.Millisecond), sim.Millisecond),
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRejectsUnresolvableLink(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &stub{links: map[string]*netem.Link{}}
+	plan := Plan{Entries: []Entry{LinkDown("nope", 0, sim.Millisecond)}}
+	if err := Apply(eng, tgt, plan); err == nil {
+		t.Fatal("unresolvable link accepted")
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("events scheduled despite failed Apply: %d", eng.Pending())
+	}
+}
+
+func TestApplyLinkDownWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := netem.NodeFunc(func(p *packet.Packet) { p.Release() })
+	l := netem.NewLink(eng, netem.LinkConfig{Rate: sim.Gbps}, sink)
+	tgt := &stub{links: map[string]*netem.Link{"a->b": l}}
+	at, dur := sim.Time(sim.Millisecond), 500*sim.Microsecond
+	if err := Apply(eng, tgt, Plan{Entries: []Entry{LinkDown("a->b", at, dur)}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(at.Add(dur / 2))
+	if !l.Down() {
+		t.Fatal("link not down inside the window")
+	}
+	eng.RunAll()
+	if l.Down() {
+		t.Fatal("link still down after the window")
+	}
+}
+
+func TestApplyBrownoutRestoresRate(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := netem.NodeFunc(func(p *packet.Packet) { p.Release() })
+	l := netem.NewLink(eng, netem.LinkConfig{Rate: 100 * sim.Gbps}, sink)
+	tgt := &stub{links: map[string]*netem.Link{"a->b": l}}
+	at, dur := sim.Time(sim.Millisecond), sim.Millisecond
+	err := Apply(eng, tgt, Plan{Entries: []Entry{Brownout("a->b", at, dur, 0.1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(at.Add(dur / 2))
+	if l.Rate() != 10*sim.Gbps {
+		t.Fatalf("brownout rate = %v, want 10Gbps", l.Rate())
+	}
+	eng.RunAll()
+	if l.Rate() != 100*sim.Gbps {
+		t.Fatalf("restored rate = %v, want 100Gbps", l.Rate())
+	}
+}
+
+func TestLossBurstWindowedAndDeterministic(t *testing.T) {
+	run := func() (delivered, dropped uint64) {
+		eng := sim.NewEngine()
+		sink := netem.NodeFunc(func(p *packet.Packet) { delivered++; p.Release() })
+		l := netem.NewLink(eng, netem.LinkConfig{Rate: 100 * sim.Gbps, QueueBytes: 1 << 24}, sink)
+		tgt := &stub{links: map[string]*netem.Link{"a->b": l}}
+		at, dur := sim.Time(sim.Millisecond), sim.Millisecond
+		err := Apply(eng, tgt, Plan{Entries: []Entry{LossBurst("a->b", at, dur, 0.5, 42)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Steady arrivals across the window boundaries.
+		for i := 0; i < 300; i++ {
+			i := i
+			eng.ScheduleAt(sim.Time(i)*sim.Time(10*sim.Microsecond), func() {
+				l.Send(data(1, uint32(i)))
+			})
+		}
+		eng.RunAll()
+		return delivered, l.Stats().InjectedDrops
+	}
+	d1, x1 := run()
+	d2, x2 := run()
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", d1, x1, d2, x2)
+	}
+	if x1 == 0 {
+		t.Fatal("loss burst dropped nothing")
+	}
+	// Packets outside [1ms, 2ms) must pass: 100 before, 100 after.
+	if d1 < 200 {
+		t.Fatalf("delivered %d, want >= 200 (outside-window packets must pass)", d1)
+	}
+	if d1+x1 != 300 {
+		t.Fatalf("delivered %d + dropped %d != 300", d1, x1)
+	}
+}
+
+func TestEcnOffSuppressesDuringWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := netem.NodeFunc(func(p *packet.Packet) { p.Release() })
+	l := netem.NewLink(eng, netem.LinkConfig{Rate: sim.Gbps, ECN: netem.StepMarking(0, 1)}, sink)
+	tgt := &stub{links: map[string]*netem.Link{"a->b": l}}
+	at, dur := sim.Time(sim.Millisecond), sim.Millisecond
+	if err := Apply(eng, tgt, Plan{Entries: []Entry{EcnOff("a->b", at, dur)}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(at.Add(dur / 2))
+	if !l.Queue().MarkingSuppressed() {
+		t.Fatal("marking not suppressed inside window")
+	}
+	eng.RunAll()
+	if l.Queue().MarkingSuppressed() {
+		t.Fatal("marking still suppressed after window")
+	}
+}
+
+func TestNICStallCallsTarget(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &stub{links: map[string]*netem.Link{}}
+	plan := Plan{Entries: []Entry{NICStall(sim.Time(sim.Millisecond), 100*sim.Microsecond)}}
+	if err := Apply(eng, tgt, plan); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunAll()
+	if len(tgt.stalls) != 2 || !tgt.stalls[0] || tgt.stalls[1] {
+		t.Fatalf("stall transitions = %v, want [true false]", tgt.stalls)
+	}
+}
+
+func TestMonitorReportsRecovery(t *testing.T) {
+	eng := sim.NewEngine()
+	// Synthetic goodput: 12,500 bytes per 10 us (10 Gbps), except zero
+	// during the outage [1ms, 1.5ms); recovery is instant at 1.5ms.
+	outStart, outEnd := sim.Time(sim.Millisecond), sim.Time(1500*sim.Microsecond)
+	var bytes, rtx, marks uint64
+	tick := sim.NewTicker(eng, 10*sim.Microsecond, func() {
+		now := eng.Now()
+		if now < outStart || now >= outEnd {
+			bytes += 12500
+		} else {
+			rtx++ // pretend the transport retransmits during the outage
+		}
+		if now >= outEnd {
+			marks += 2
+		}
+	})
+	tick.Start()
+	plan := Plan{Entries: []Entry{LinkDown("a->b", outStart, outEnd.Sub(outStart))}}
+	mon := NewMonitor(eng, MonitorConfig{Interval: 50 * sim.Microsecond}, plan,
+		func() uint64 { return bytes },
+		func() uint64 { return rtx },
+		func() uint64 { return marks })
+	eng.Run(sim.Time(3 * sim.Millisecond))
+	tick.Stop()
+	rs := mon.Report()
+	if len(rs) != 1 {
+		t.Fatalf("got %d recoveries", len(rs))
+	}
+	r := rs[0]
+	if r.PreGbps < 9.5 || r.PreGbps > 10.5 {
+		t.Fatalf("PreGbps = %g, want ~10", r.PreGbps)
+	}
+	if !r.Recovered {
+		t.Fatal("recovery not detected")
+	}
+	// Goodput resumes immediately at outEnd; the first recovered sample is
+	// within a couple of sampling intervals.
+	if r.TimeToRecover <= 0 || r.TimeToRecover > 200*sim.Microsecond {
+		t.Fatalf("TimeToRecover = %v, want (0, 200us]", r.TimeToRecover)
+	}
+	if r.RtxDuring == 0 {
+		t.Fatal("RtxDuring = 0, want outage retransmits counted")
+	}
+	// marks advance 2 per 10us after the outage: 200,000/s.
+	if r.PostMarkPerSec < 150_000 || r.PostMarkPerSec > 250_000 {
+		t.Fatalf("PostMarkPerSec = %g, want ~200k", r.PostMarkPerSec)
+	}
+	if !strings.Contains(r.String(), "linkdown") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestMonitorNeverRecovered(t *testing.T) {
+	eng := sim.NewEngine()
+	var bytes uint64
+	cut := sim.Time(sim.Millisecond)
+	tick := sim.NewTicker(eng, 10*sim.Microsecond, func() {
+		if eng.Now() < cut {
+			bytes += 12500
+		}
+	})
+	tick.Start()
+	plan := Plan{Entries: []Entry{LinkDown("a->b", cut, 500*sim.Microsecond)}}
+	zero := func() uint64 { return 0 }
+	mon := NewMonitor(eng, MonitorConfig{Interval: 50 * sim.Microsecond}, plan,
+		func() uint64 { return bytes }, zero, zero)
+	eng.Run(sim.Time(3 * sim.Millisecond))
+	tick.Stop()
+	r := mon.Report()[0]
+	if r.Recovered {
+		t.Fatal("recovery reported though goodput never returned")
+	}
+	if r.TimeToRecover != 0 {
+		t.Fatalf("TimeToRecover = %v for unrecovered fault", r.TimeToRecover)
+	}
+}

@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"marlin/internal/sim"
+)
+
+// ParseSpec compiles a textual fault plan: entries separated by ';', each
+// of the form
+//
+//	linkdown  LINK at TIME for DUR
+//	brownout  LINK at TIME for DUR frac F
+//	lossburst LINK at TIME for DUR prob P [seed N]
+//	ecnoff    LINK at TIME for DUR
+//	nicstall       at TIME for DUR
+//
+// where LINK is a Target link name ("leaf0->spine1", "host2->leaf0",
+// "tx3"), and TIME/DUR use Go duration syntax ("2ms", "500us"). An
+// omitted lossburst seed defaults to 1. The compiled plan is validated.
+func ParseSpec(src string) (Plan, error) {
+	var plan Plan
+	for _, part := range strings.Split(src, ";") {
+		fields := strings.Fields(part)
+		if len(fields) == 0 {
+			continue
+		}
+		e, err := parseEntry(fields)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: %q: %w", strings.TrimSpace(part), err)
+		}
+		plan.Entries = append(plan.Entries, e)
+	}
+	if plan.IsZero() {
+		return Plan{}, fmt.Errorf("faults: empty spec")
+	}
+	if err := plan.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
+}
+
+func parseEntry(fields []string) (Entry, error) {
+	e := Entry{Kind: Kind(fields[0])}
+	rest := fields[1:]
+	if e.Kind != KindNICStall {
+		if len(rest) == 0 {
+			return e, fmt.Errorf("missing link name")
+		}
+		e.Link = rest[0]
+		rest = rest[1:]
+	}
+	if len(rest) < 4 || rest[0] != "at" || rest[2] != "for" {
+		return e, fmt.Errorf("expected: at TIME for DUR")
+	}
+	at, err := parseDur(rest[1])
+	if err != nil {
+		return e, err
+	}
+	dur, err := parseDur(rest[3])
+	if err != nil {
+		return e, err
+	}
+	e.At, e.Dur = sim.Time(at), dur
+	rest = rest[4:]
+
+	// Kind-specific trailing parameters.
+	if e.Kind == KindLossBurst {
+		e.Seed = 1
+	}
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return e, fmt.Errorf("dangling token %q", rest[0])
+		}
+		key, val := rest[0], rest[1]
+		rest = rest[2:]
+		switch {
+		case key == "frac" && e.Kind == KindBrownout:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad frac %q", val)
+			}
+			e.Fraction = f
+		case key == "prob" && e.Kind == KindLossBurst:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad prob %q", val)
+			}
+			e.Prob = f
+		case key == "seed" && e.Kind == KindLossBurst:
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad seed %q", val)
+			}
+			e.Seed = n
+		default:
+			return e, fmt.Errorf("unexpected %q for %s", key, e.Kind)
+		}
+	}
+	return e, nil
+}
+
+func parseDur(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return sim.FromStd(d), nil
+}

@@ -392,6 +392,59 @@ func TestStopFlowCancelsTimers(t *testing.T) {
 	}
 }
 
+func TestNICStallFreezesTimersAndResumes(t *testing.T) {
+	r := newRig(t, nil) // Reno, InitCwnd=1
+	r.nic.StartFlow(1, 0, 100)
+	r.eng.Run(sim.Time(10 * sim.Microsecond))
+	if got := len(r.scheFor(1)); got != 1 {
+		t.Fatalf("pre-stall SCHE = %d, want 1 (window-limited)", got)
+	}
+	// Stall, then deliver an ack. The INFO lands in the RX FIFO but the
+	// frozen RX timer must not pace it into the CC module, so the window
+	// stays closed and no SCHE goes out.
+	r.nic.SetStall(true)
+	if !r.nic.Stalled() {
+		t.Fatal("Stalled() = false after SetStall(true)")
+	}
+	r.ackUpTo(1, 1, 0)
+	r.eng.Run(sim.Time(500 * sim.Microsecond))
+	if got := len(r.scheFor(1)); got != 1 {
+		t.Fatalf("SCHE = %d during stall, want 1 (timers must freeze)", got)
+	}
+	if r.nic.Stats().InfoRx != 1 {
+		t.Fatalf("InfoRx = %d, want 1 (FIFO still accepts during stall)", r.nic.Stats().InfoRx)
+	}
+	// Unstall: the queued INFO drains, the window opens, SCHE resumes.
+	r.nic.SetStall(false)
+	r.eng.Run(sim.Time(sim.Millisecond))
+	if got := len(r.scheFor(1)); got != 3 {
+		t.Fatalf("SCHE = %d after unstall, want 3 (queued ack processed)", got)
+	}
+}
+
+func TestNICStallRTOPushFlushesOnUnstall(t *testing.T) {
+	// An RTO firing mid-stall queues its retransmission in the priority
+	// FIFO; the push must survive the stall and emit on recovery.
+	r := newRig(t, func(c *Config) { c.Params.InitCwnd = 4; c.Params.RTOMin = sim.Micros(50) })
+	r.nic.StartFlow(1, 0, 100)
+	r.eng.Run(sim.Time(sim.Microsecond))
+	r.ackUpTo(1, 1, 0) // partial ack with data outstanding: arms the RTO
+	r.eng.Run(sim.Time(10 * sim.Microsecond))
+	r.nic.SetStall(true)
+	r.eng.Run(sim.Time(sim.Millisecond)) // RTO fires during the stall
+	if r.nic.Stats().Timeouts == 0 {
+		t.Fatal("RTO did not fire during stall (CC timers must keep running)")
+	}
+	if r.nic.Stats().RtxTx != 0 {
+		t.Fatal("retransmission emitted while stalled")
+	}
+	r.nic.SetStall(false)
+	r.eng.Run(sim.Time(2 * sim.Millisecond))
+	if r.nic.Stats().RtxTx == 0 {
+		t.Fatal("queued retransmission did not flush after unstall")
+	}
+}
+
 func TestScanSchedulerWorksButWastesSlots(t *testing.T) {
 	r := newRig(t, func(c *Config) {
 		c.Scheduler = CyclicScan

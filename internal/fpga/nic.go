@@ -157,6 +157,12 @@ type NIC struct {
 
 	sched *scheduler
 
+	// stalled freezes the RX and TX pacing timers (a NIC stall fault):
+	// INFO packets still land in the RX FIFOs (and can overflow them, a
+	// real loss) and CC timers still fire, but nothing is paced through
+	// the CC module or onto the wire until the stall clears.
+	stalled bool
+
 	scheOut    netem.Node
 	onComplete CompletionFunc
 
@@ -336,14 +342,49 @@ func (n *NIC) receiveInfo(p *packet.Packet) {
 		return
 	}
 	n.rxFIFO[port] = append(n.rxFIFO[port], p)
-	if !n.rxActive[port] {
+	if !n.rxActive[port] && !n.stalled {
 		n.rxActive[port] = true
 		n.eng.Schedule(sim.Interval(n.cfg.RXTimerPPS), n.rxTickFns[port])
 	}
 }
 
+// SetStall gates the NIC's pacing timers (a NICStall fault). While
+// stalled, RX ticks and TX slots stop; arriving INFO packets queue in the
+// RX FIFOs (overflows become real InfoDrops) and CC timers (e.g. RTO)
+// still fire — their retransmission pushes accumulate in the priority FIFO
+// and flush when the stall clears. The DisableRXTimer ablation path is
+// unaffected by design: it bypasses the timers the stall models. Clearing
+// the stall re-arms every timer that has pending work.
+func (n *NIC) SetStall(stalled bool) {
+	if n.stalled == stalled {
+		return
+	}
+	n.stalled = stalled
+	if stalled {
+		return
+	}
+	for port := 0; port < n.cfg.Ports; port++ {
+		if !n.rxActive[port] && n.rxHead[port] < len(n.rxFIFO[port]) {
+			n.rxActive[port] = true
+			n.eng.Schedule(sim.Interval(n.cfg.RXTimerPPS), n.rxTickFns[port])
+		}
+		if n.sched.hasWork(port) {
+			n.sched.kick(port)
+		}
+	}
+}
+
+// Stalled reports whether the pacing timers are gated.
+func (n *NIC) Stalled() bool { return n.stalled }
+
 // rxTick is one RX timer period: submit one INFO packet to the CC module.
 func (n *NIC) rxTick(port int) {
+	if n.stalled {
+		// Freeze: drop the timer (SetStall(false) re-arms it) but keep the
+		// FIFO contents for delivery after the stall.
+		n.rxActive[port] = false
+		return
+	}
 	q := n.rxFIFO[port]
 	h := n.rxHead[port]
 	if h >= len(q) {

@@ -100,9 +100,10 @@ func (s *scheduler) pushPriority(flow packet.FlowID) {
 	s.kick(f.port)
 }
 
-// kick arms the port's TX timer if idle.
+// kick arms the port's TX timer if idle. While the NIC is stalled the
+// timer stays unarmed; SetStall(false) re-kicks every port with work.
 func (s *scheduler) kick(port int) {
-	if s.txPending[port] {
+	if s.txPending[port] || s.nic.stalled {
 		return
 	}
 	s.txPending[port] = true
@@ -116,6 +117,11 @@ func (s *scheduler) kick(port int) {
 // tick is one TX timer period on a port: emit at most one SCHE packet.
 func (s *scheduler) tick(port int) {
 	s.txPending[port] = false
+	if s.nic.stalled {
+		// A slot that was already pending when the stall began fires as a
+		// no-op; txNext is left alone so the unstall kick runs immediately.
+		return
+	}
 	now := s.nic.eng.Now()
 	s.txNext[port] = now.Add(s.txSlot)
 

@@ -13,33 +13,41 @@ import (
 type Histogram struct {
 	// unit labels the sample dimension (e.g. "us").
 	unit    string
-	buckets map[int]int // floor(log2(v)) -> count
-	count   int
-	sum     float64
-	min     float64
-	max     float64
+	buckets map[int]int // floor(log2(v)) -> count, positive samples only
+	// underflow counts non-positive samples, which have no logarithmic
+	// bucket; folding them into bucket 0 would collide with [1,2).
+	underflow int
+	count     int
+	sum       float64
+	min       float64
+	max       float64
 }
 
 // NewHistogram creates an empty histogram for samples labeled with unit.
 func NewHistogram(unit string) *Histogram {
-	return &Histogram{unit: unit, buckets: make(map[int]int), min: math.Inf(1)}
+	return &Histogram{unit: unit, buckets: make(map[int]int)}
 }
 
-// Add records one sample; non-positive samples land in the lowest bucket.
+// Add records one sample; non-positive samples are counted in a dedicated
+// underflow bucket (log2 is undefined for them).
 func (h *Histogram) Add(v float64) {
-	b := 0
 	if v > 0 {
-		b = int(math.Floor(math.Log2(v)))
+		h.buckets[int(math.Floor(math.Log2(v)))]++
+	} else {
+		h.underflow++
 	}
-	h.buckets[b]++
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
 	h.count++
 	h.sum += v
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
 }
 
 // AddAll records a batch.
@@ -51,6 +59,25 @@ func (h *Histogram) AddAll(vs []float64) {
 
 // Count returns recorded samples.
 func (h *Histogram) Count() int { return h.count }
+
+// Underflow returns how many non-positive samples were recorded.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Min returns the smallest sample (NaN when empty).
+func (h *Histogram) Min() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.min
+}
+
+// Max returns the largest sample (NaN when empty).
+func (h *Histogram) Max() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.max
+}
 
 // Mean returns the arithmetic mean (NaN when empty).
 func (h *Histogram) Mean() float64 {
@@ -70,7 +97,7 @@ func (h *Histogram) Render(width int) string {
 		width = 40
 	}
 	keys := make([]int, 0, len(h.buckets))
-	maxN := 0
+	maxN := h.underflow
 	for k, n := range h.buckets {
 		keys = append(keys, k)
 		if n > maxN {
@@ -79,6 +106,10 @@ func (h *Histogram) Render(width int) string {
 	}
 	sort.Ints(keys)
 	var b strings.Builder
+	if h.underflow > 0 {
+		bar := strings.Repeat("#", maxI(1, h.underflow*width/maxN))
+		fmt.Fprintf(&b, "%10s-%-10s %s%-6d %s\n", "", "<=0", "", h.underflow, bar)
+	}
 	for _, k := range keys {
 		n := h.buckets[k]
 		bar := strings.Repeat("#", maxI(1, n*width/maxN))

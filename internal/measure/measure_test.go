@@ -277,6 +277,49 @@ func TestHistogramBinsAndRender(t *testing.T) {
 	}
 }
 
+// TestHistogramUnderflowBucket is a regression test: non-positive samples
+// used to be folded into bucket 0, colliding with the [1,2) bucket, so a
+// zero sample inflated the 1-2 row.
+func TestHistogramUnderflowBucket(t *testing.T) {
+	h := NewHistogram("us")
+	h.AddAll([]float64{0, -3, 1.5})
+	if h.Underflow() != 2 {
+		t.Fatalf("underflow = %d, want 2", h.Underflow())
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "<=0") {
+		t.Errorf("render missing underflow row:\n%s", out)
+	}
+	// The [1,2) bucket must hold exactly the one positive sample, not the
+	// non-positive ones.
+	if h.buckets[0] != 1 {
+		t.Fatalf("bucket[0] = %d, want 1 (only the 1.5 sample)", h.buckets[0])
+	}
+}
+
+// TestHistogramMinMaxFromFirstSample is a regression test: max used to
+// start at 0, so all-negative (and generally all-sub-zero) sample sets
+// reported max=0, and min relied on a +Inf sentinel.
+func TestHistogramMinMaxFromFirstSample(t *testing.T) {
+	h := NewHistogram("us")
+	h.AddAll([]float64{-5, -2})
+	if h.Min() != -5 || h.Max() != -2 {
+		t.Fatalf("min/max = %v/%v, want -5/-2", h.Min(), h.Max())
+	}
+	if !strings.Contains(h.Render(10), "max=-2") {
+		t.Errorf("render reports wrong max:\n%s", h.Render(10))
+	}
+
+	h2 := NewHistogram("us")
+	h2.Add(0.25) // all-sub-1 positive set: max must be 0.25, not 0
+	if h2.Min() != 0.25 || h2.Max() != 0.25 {
+		t.Fatalf("min/max = %v/%v, want 0.25/0.25", h2.Min(), h2.Max())
+	}
+	if !math.IsNaN(NewHistogram("us").Min()) || !math.IsNaN(NewHistogram("us").Max()) {
+		t.Fatal("empty histogram min/max not NaN")
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram("us")
 	if !math.IsNaN(h.Mean()) {

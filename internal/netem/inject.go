@@ -8,7 +8,8 @@ import "marlin/internal/packet"
 // modified ECN markings at specific points".
 //
 // A Script is installed on a Link with AddHook(script.Hook). Each entry
-// fires exactly once: retransmissions of a dropped PSN pass through.
+// fires exactly once, and only on original transmissions: retransmissions
+// of a dropped or marked PSN pass through unharmed (see Hook).
 type Script struct {
 	drop map[scriptKey]bool
 	mark map[scriptKey]bool
@@ -43,13 +44,21 @@ func (s *Script) MarkRange(flow packet.FlowID, from, to uint32) *Script {
 	return s
 }
 
-// Hook is the Link hook implementing the script.
+// Hook is the Link hook implementing the script. Retransmissions are
+// exempt from both drops and marks: §7.1's injections exist for
+// determinism and interpretability, and a scripted event that re-fires on
+// the retransmission of the PSN it targeted would couple the injection to
+// the CC algorithm's recovery behavior — the same script would then mean
+// different fault sequences under different algorithms. Each entry
+// therefore binds to the first (original) transmission of its PSN only;
+// an unconsumed mark whose PSN arrives first as a retransmission stays
+// pending.
 func (s *Script) Hook(p *packet.Packet) HookAction {
-	if p.Type != packet.DATA {
+	if p.Type != packet.DATA || p.Flags.Has(packet.FlagRetransmit) {
 		return Pass
 	}
 	k := scriptKey{p.Flow, p.PSN}
-	if s.drop[k] && !p.Flags.Has(packet.FlagRetransmit) {
+	if s.drop[k] {
 		delete(s.drop, k)
 		return Drop
 	}

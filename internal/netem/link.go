@@ -30,6 +30,9 @@ type LinkStats struct {
 	TxBytes       uint64
 	InjectedDrops uint64
 	InjectedMarks uint64
+	// DownDrops counts packets that arrived while the link was
+	// administratively down (carrier loss) and were discarded.
+	DownDrops uint64
 }
 
 // Link models a unidirectional cable fronted by a bounded FIFO queue: the
@@ -49,6 +52,7 @@ type Link struct {
 
 	draining bool
 	paused   bool
+	down     bool
 	stats    LinkStats
 
 	// drainFn and deliverFn are allocated once: scheduling a method value
@@ -120,8 +124,15 @@ func (l *Link) Queue() *Queue { return l.queue }
 func (l *Link) Stats() LinkStats { return l.stats }
 
 // Send submits a packet to the link. It applies hooks, then queue
-// admission, and starts the drain loop if idle.
+// admission, and starts the drain loop if idle. While the link is down,
+// arrivals are discarded (counted in DownDrops) — carrier loss destroys
+// the frame on the wire, it does not buffer it.
 func (l *Link) Send(p *packet.Packet) {
+	if l.down {
+		l.stats.DownDrops++
+		p.Release()
+		return
+	}
 	for _, h := range l.hooks {
 		switch h(p) {
 		case Drop:
@@ -156,17 +167,53 @@ func (l *Link) Resume() {
 		return
 	}
 	l.paused = false
-	if !l.draining && l.queue.Len() > 0 {
-		l.draining = true
-		l.drain()
-	}
+	l.restart()
 }
 
 // Paused reports whether the link is PFC-paused.
 func (l *Link) Paused() bool { return l.paused }
 
+// SetDown changes the link's administrative state. Taking the link down
+// stops the drain loop after the in-flight frame; packets already queued
+// are HELD, not flushed — they model frames sitting in the upstream port
+// buffer, which survives a downstream carrier loss. New arrivals while
+// down are dropped and counted in DownDrops (ownership: the link Releases
+// them, per the pool rule that whoever consumes a packet frees it).
+// Bringing the link back up restarts the drain if work is queued and the
+// link is not also PFC-paused.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	if !down {
+		l.restart()
+	}
+}
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// SetRate changes the line rate in place (a brownout or recovery). The new
+// rate applies from the next dequeued frame; the in-flight frame finishes
+// at the old rate, as real PHYs do.
+func (l *Link) SetRate(r sim.Rate) {
+	if r <= 0 {
+		panic("netem: SetRate to non-positive rate")
+	}
+	l.rate = r
+}
+
+// restart re-enters the drain loop if the link may transmit and has work.
+func (l *Link) restart() {
+	if !l.paused && !l.down && !l.draining && l.queue.Len() > 0 {
+		l.draining = true
+		l.drain()
+	}
+}
+
 func (l *Link) drain() {
-	if l.paused {
+	if l.paused || l.down {
 		l.draining = false
 		return
 	}

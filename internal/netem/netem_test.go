@@ -238,6 +238,172 @@ func TestLinkHookDropAndMark(t *testing.T) {
 	}
 }
 
+func TestLinkSetDownHoldsQueueDropsArrivals(t *testing.T) {
+	eng := sim.NewEngine()
+	got := 0
+	sink := NodeFunc(func(p *packet.Packet) { got++; p.Release() })
+	l := NewLink(eng, LinkConfig{Rate: sim.Gbps, QueueBytes: 1 << 20}, sink)
+	for i := 0; i < 5; i++ {
+		l.Send(data(1, uint32(i), 1000))
+	}
+	// The first frame is already in flight when the carrier drops; the rest
+	// are held in the upstream buffer, not flushed.
+	l.SetDown(true)
+	eng.RunAll()
+	if got != 1 {
+		t.Fatalf("delivered %d while down, want 1 (in-flight frame only)", got)
+	}
+	if l.Queue().Len() != 4 {
+		t.Fatalf("queue holds %d, want 4 (down holds queued frames)", l.Queue().Len())
+	}
+	// Arrivals during the outage are carrier losses.
+	l.Send(data(1, 9, 1000))
+	l.Send(data(1, 10, 1000))
+	if st := l.Stats(); st.DownDrops != 2 {
+		t.Fatalf("DownDrops = %d, want 2", st.DownDrops)
+	}
+	if !l.Down() {
+		t.Fatal("Down() = false while down")
+	}
+	l.SetDown(false)
+	eng.RunAll()
+	if got != 5 {
+		t.Fatalf("delivered %d after recovery, want 5 (held frames drain)", got)
+	}
+}
+
+func TestLinkDownAndPauseIndependent(t *testing.T) {
+	// A link both PFC-paused and down must not restart until BOTH clear.
+	eng := sim.NewEngine()
+	got := 0
+	sink := NodeFunc(func(p *packet.Packet) { got++; p.Release() })
+	l := NewLink(eng, LinkConfig{Rate: sim.Gbps, QueueBytes: 1 << 20}, sink)
+	l.Pause()
+	l.SetDown(true)
+	l.Send(data(1, 0, 1000)) // down wins: carrier loss
+	l.SetDown(false)
+	l.Send(data(1, 1, 1000)) // queued behind the pause
+	eng.RunAll()
+	if got != 0 {
+		t.Fatalf("delivered %d while paused, want 0", got)
+	}
+	l.Resume()
+	eng.RunAll()
+	if got != 1 {
+		t.Fatalf("delivered %d after resume, want 1", got)
+	}
+	if st := l.Stats(); st.DownDrops != 1 {
+		t.Fatalf("DownDrops = %d, want 1", st.DownDrops)
+	}
+}
+
+func TestLinkSetRateBrownout(t *testing.T) {
+	eng := sim.NewEngine()
+	var arrivals []sim.Time
+	sink := NodeFunc(func(p *packet.Packet) { arrivals = append(arrivals, eng.Now()); p.Release() })
+	l := NewLink(eng, LinkConfig{Rate: 100 * sim.Gbps}, sink)
+	l.Send(data(1, 0, 1024))
+	l.Send(data(1, 1, 1024))
+	eng.RunAll()
+	l.SetRate(10 * sim.Gbps) // brownout to a tenth
+	l.Send(data(1, 2, 1024))
+	l.Send(data(1, 3, 1024))
+	eng.RunAll()
+	if len(arrivals) != 4 {
+		t.Fatalf("delivered %d, want 4", len(arrivals))
+	}
+	if gap := arrivals[1] - arrivals[0]; gap != 83520 {
+		t.Fatalf("pre-brownout gap = %v ps, want 83520", gap)
+	}
+	if gap := arrivals[3] - arrivals[2]; gap != 835200 {
+		t.Fatalf("brownout gap = %v ps, want 835200 (10x slower)", gap)
+	}
+	if l.Rate() != 10*sim.Gbps {
+		t.Fatalf("Rate() = %v after SetRate", l.Rate())
+	}
+}
+
+func TestQueueSuppressMarking(t *testing.T) {
+	// StepMarking(0, 1) marks every ECT arrival; suppression must win
+	// without disturbing the configured thresholds.
+	q := NewQueue(1<<20, StepMarking(0, 1), nil)
+	q.SuppressMarking(true)
+	p := data(1, 0, 100)
+	q.Enqueue(p)
+	if p.Flags.Has(packet.FlagCE) {
+		t.Fatal("suppressed queue still marked CE")
+	}
+	if q.Stats().ECNMarks != 0 {
+		t.Fatalf("ECNMarks = %d with marking suppressed", q.Stats().ECNMarks)
+	}
+	q.SuppressMarking(false)
+	p2 := data(1, 1, 100)
+	q.Enqueue(p2)
+	if !p2.Flags.Has(packet.FlagCE) {
+		t.Fatal("marking did not resume after suppression cleared")
+	}
+}
+
+// TestPoolOwnershipDownedAndPausedPaths audits the pool ownership rule on
+// the fault paths: every packet sent into a downed link or queued behind a
+// PFC-paused port must be Released exactly once — by the link on a carrier
+// loss, by the sink on eventual delivery. Runs under -race in CI.
+func TestPoolOwnershipDownedAndPausedPaths(t *testing.T) {
+	packet.SetAccounting(true)
+	defer packet.SetAccounting(false)
+
+	eng := sim.NewEngine()
+	delivered := 0
+	sink := NodeFunc(func(p *packet.Packet) { delivered++; p.Release() })
+	l := NewLink(eng, LinkConfig{Rate: sim.Gbps, QueueBytes: 1 << 20}, sink)
+
+	// Carrier-loss path: the link owns and Releases every arrival.
+	l.SetDown(true)
+	for i := 0; i < 50; i++ {
+		l.Send(data(1, uint32(i), 500))
+	}
+	eng.RunAll()
+	if n := packet.Live(); n != 0 {
+		t.Fatalf("downed link leaked %d packets", n)
+	}
+
+	// Hold-then-recover path: queued frames survive the outage and drain.
+	l.SetDown(false)
+	for i := 0; i < 50; i++ {
+		l.Send(data(1, uint32(i), 500))
+	}
+	l.SetDown(true)
+	eng.RunAll()
+	l.SetDown(false)
+	eng.RunAll()
+	if n := packet.Live(); n != 0 {
+		t.Fatalf("down/up cycle leaked %d packets (delivered %d)", n, delivered)
+	}
+
+	// PFC path: a fast feeder into a slow bottleneck; the PFC controller
+	// pauses the feeder and every queued packet must still drain.
+	bottleneck := NewLink(eng, LinkConfig{Rate: sim.Gbps, QueueBytes: 100 << 10}, sink)
+	feeder := NewLink(eng, LinkConfig{Rate: 100 * sim.Gbps, QueueBytes: 1 << 20}, bottleneck)
+	pfc, err := NewPFC(eng, bottleneck.Queue(), []*Link{feeder}, PFCConfig{XOFF: 10 << 10, XON: 5 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := delivered
+	for i := 0; i < 100; i++ {
+		feeder.Send(data(2, uint32(i), 1000))
+	}
+	eng.RunAll()
+	if pfc.Pauses() == 0 {
+		t.Fatal("PFC never engaged; the paused path was not exercised")
+	}
+	if delivered-before != 100 {
+		t.Fatalf("delivered %d of 100 through the paused path", delivered-before)
+	}
+	if n := packet.Live(); n != 0 {
+		t.Fatalf("PFC pause path leaked %d packets", n)
+	}
+}
+
 func TestSwitchRouting(t *testing.T) {
 	eng := sim.NewEngine()
 	var a, b Sink
@@ -312,6 +478,40 @@ func TestScriptMarkRange(t *testing.T) {
 	}
 	if s.Hook(&packet.Packet{Type: packet.ACK, Flow: 1, PSN: 11}) != Pass {
 		t.Fatal("script acted on a non-DATA packet")
+	}
+}
+
+func TestScriptDropInsideMarkedRangeSkipsRetransmit(t *testing.T) {
+	// Regression: a PSN dropped by DropOnce inside a MarkRange span comes
+	// back as a retransmission. The retransmit must sail through unmarked —
+	// the mark entry binds to the original transmission only — otherwise the
+	// injection couples to the CC algorithm's recovery behavior.
+	s := NewScript().DropOnce(1, 5).MarkRange(1, 3, 7)
+	if act := s.Hook(data(1, 5, 100)); act != Drop {
+		t.Fatalf("original PSN 5: action %v, want Drop", act)
+	}
+	rtx := data(1, 5, 100)
+	rtx.Flags |= packet.FlagRetransmit
+	if act := s.Hook(rtx); act != Pass {
+		t.Fatalf("retransmitted PSN 5: action %v, want Pass (mark must not fire)", act)
+	}
+	// Other retransmits in the marked range are exempt too.
+	rtx6 := data(1, 6, 100)
+	rtx6.Flags |= packet.FlagRetransmit
+	if act := s.Hook(rtx6); act != Pass {
+		t.Fatalf("retransmitted PSN 6: action %v, want Pass", act)
+	}
+	// Surrounding originals still get marked exactly once.
+	for _, psn := range []uint32{3, 4, 6, 7} {
+		if act := s.Hook(data(1, psn, 100)); act != MarkCE {
+			t.Fatalf("original PSN %d: action %v, want MarkCE", psn, act)
+		}
+	}
+	// The PSN-5 mark was never consumed: its only original transmission was
+	// claimed by the drop entry, and the retransmission is exempt. Exactly
+	// one mark entry stays pending.
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (unconsumed mark for the dropped PSN)", s.Pending())
 	}
 }
 

@@ -50,6 +50,9 @@ type Queue struct {
 	capacity int
 	ecn      ECNConfig
 	rng      *sim.Rand
+	// suppressMark disables ECN marking without touching the configured
+	// thresholds — an "ecnoff" fault that is exactly reversible.
+	suppressMark bool
 
 	head  int
 	buf   []*packet.Packet
@@ -106,8 +109,16 @@ func (q *Queue) Enqueue(p *packet.Packet) bool {
 	return true
 }
 
+// SuppressMarking toggles a temporary override that disables ECN marking
+// while leaving the configured thresholds untouched; clearing it restores
+// the original behavior exactly. Used by the ecnoff fault.
+func (q *Queue) SuppressMarking(suppress bool) { q.suppressMark = suppress }
+
+// MarkingSuppressed reports whether the ecnoff override is active.
+func (q *Queue) MarkingSuppressed() bool { return q.suppressMark }
+
 func (q *Queue) shouldMark(p *packet.Packet) bool {
-	if !q.ecn.Enable || !p.Flags.Has(packet.FlagECNCapable) {
+	if !q.ecn.Enable || q.suppressMark || !p.Flags.Has(packet.FlagECNCapable) {
 		return false
 	}
 	backlog := q.bytes

@@ -32,6 +32,11 @@ type PortStats struct {
 	// Drops and ECNMarks are the egress queue's cumulative counters.
 	Drops    uint64
 	ECNMarks uint64
+	// InjectedDrops counts hook-injected losses at the egress link
+	// (scripted faults and loss bursts).
+	InjectedDrops uint64
+	// DownDrops counts carrier losses while the egress link was down.
+	DownDrops uint64
 	// Paused reports whether the egress link is PFC-paused right now.
 	Paused bool
 }
@@ -147,13 +152,16 @@ func (s *Switch) Stats() Stats {
 	for i, l := range s.out {
 		q := l.Queue()
 		qs := q.Stats()
+		ls := l.Stats()
 		st.Ports = append(st.Ports, PortStats{
-			PortCounters: s.ports[i],
-			QueueBytes:   q.Bytes(),
-			QueuePkts:    q.Len(),
-			Drops:        qs.Drops,
-			ECNMarks:     qs.ECNMarks,
-			Paused:       l.Paused(),
+			PortCounters:  s.ports[i],
+			QueueBytes:    q.Bytes(),
+			QueuePkts:     q.Len(),
+			Drops:         qs.Drops,
+			ECNMarks:      qs.ECNMarks,
+			InjectedDrops: ls.InjectedDrops,
+			DownDrops:     ls.DownDrops,
+			Paused:        l.Paused(),
 		})
 	}
 	return st

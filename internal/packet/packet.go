@@ -20,6 +20,7 @@ package packet
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"marlin/internal/sim"
 )
@@ -176,10 +177,34 @@ func (r *INTRecord) Push(h INTHop) bool {
 // are always zeroed: Release clears before putting back.
 var pool = sync.Pool{New: func() any { return new(Packet) }}
 
+// accounting, when non-zero, makes Get/Release maintain the live-packet
+// counter. It is a test-only facility for pool-ownership audits: production
+// paths pay one relaxed atomic load per Get/Release and nothing else.
+var accounting atomic.Bool
+
+// live is the number of packets obtained from the pool and not yet
+// Released, counted only while accounting is enabled.
+var live atomic.Int64
+
+// SetAccounting enables or disables live-packet accounting and resets the
+// counter. Tests wrap a traffic pattern with SetAccounting(true) /
+// Live()==0 assertions to prove every packet is Released exactly once.
+func SetAccounting(on bool) {
+	accounting.Store(on)
+	live.Store(0)
+}
+
+// Live returns the number of outstanding (un-Released) packets taken from
+// the pool since accounting was enabled. Meaningless when accounting is off.
+func Live() int64 { return live.Load() }
+
 // Get returns a zeroed Packet from the pool. Callers that build a packet
 // field-by-field (wire parsing, custom roles) use Get directly; the common
 // roles have typed constructors below.
 func Get() *Packet {
+	if accounting.Load() {
+		live.Add(1)
+	}
 	return pool.Get().(*Packet)
 }
 
@@ -192,6 +217,9 @@ func Get() *Packet {
 func (p *Packet) Release() {
 	*p = Packet{}
 	pool.Put(p)
+	if accounting.Load() {
+		live.Add(-1)
+	}
 }
 
 // NewData returns a DATA packet of the given frame size.

@@ -14,6 +14,10 @@ func FuzzParse(f *testing.F) {
 	f.Add("set topology fattree:4\nrun 1ms")
 	f.Add("set topology parkinglot:3\nset pfc on\nrun 1ms\nexpect network_drops == 0")
 	f.Add("set topology dumbbell\nset topology leafspine:8,8\nrun 1us")
+	f.Add("set fault linkdown fwd1 at 2ms for 300us\nrun 8ms\nexpect faults_recovered == 1")
+	f.Add("set fault lossburst tx0 at 1ms for 200us prob 0.1 seed 7\nset fault nicstall at 4ms for 100us\nrun 6ms\nexpect fault_ttr_us < 5000")
+	f.Add("set topology leafspine:2x2\nset ports 4\nset fault brownout leaf0->spine1 at 1ms for 1ms frac 0.25\nat 0ms start 0 tx 0 rx 1\nrun 4ms")
+	f.Add("set fault linkdown fwd0 at 1ms for 1ms\nset fault linkdown fwd0 at 1.5ms for 1ms\nrun 3ms")
 	f.Fuzz(func(t *testing.T, src string) {
 		s1, err := Parse(src)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"marlin/internal/faults"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
 )
@@ -27,6 +28,10 @@ func Parse(src string) (*Scenario, error) {
 		case "set":
 			if sawRun {
 				err = fmt.Errorf("set after run is not allowed")
+			} else if len(fields) >= 2 && fields[1] == "fault" {
+				// "set fault KIND ..." takes a variable-length clause, so
+				// it bypasses the KEY VALUE form below.
+				err = s.parseFault(fields[2:])
 			} else {
 				err = s.parseSet(fields[1:])
 			}
@@ -99,6 +104,30 @@ func (s *Scenario) parseSet(args []string) error {
 	default:
 		return fmt.Errorf("unknown setting %q", key)
 	}
+	return nil
+}
+
+// parseFault accumulates one fault clause, e.g.
+//
+//	set fault linkdown leaf0->spine1 at 2ms for 500us
+//	set fault lossburst tx0 at 1ms for 200us prob 0.1 seed 7
+//	set fault nicstall at 4ms for 100us
+//
+// Clauses use faults.ParseSpec syntax; each new clause is validated
+// against the ones already set (overlap rules included).
+func (s *Scenario) parseFault(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("set fault needs a clause (e.g. linkdown LINK at TIME for DUR)")
+	}
+	clause := strings.Join(args, " ")
+	spec := clause
+	if s.spec.Faults != "" {
+		spec = s.spec.Faults + "; " + clause
+	}
+	if _, err := faults.ParseSpec(spec); err != nil {
+		return err
+	}
+	s.spec.Faults = spec
 	return nil
 }
 

@@ -9,21 +9,26 @@
 //	set algo dctcp
 //	set ports 3
 //	set ecn 65
+//	set fault linkdown fwd2 at 2ms for 300us
 //	at 0ms   start 0 tx 0 rx 2
 //	at 0ms   start 1 tx 1 rx 2
 //	at 1ms   drop flow 0 rx 2 psn 5000
-//	run 4ms
+//	run 8ms
 //	expect false_losses == 0
 //	expect jain >= 0.95
-//	expect total_gbps >= 85
+//	expect faults_recovered == 1
+//	expect fault_ttr_us < 5000
 //
 // Durations use Go syntax (1ms, 250us). Lines starting with '#' are
 // comments. Expectations compare a metric against a constant with one of
-// ==, !=, <, <=, >, >=.
+// ==, !=, <, <=, >, >=. "set fault KIND ..." clauses (faults.ParseSpec
+// syntax) build a deterministic time-domain fault plan; the
+// faults_recovered and fault_ttr_us metrics read its recovery telemetry.
 package scenario
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -238,6 +243,31 @@ func (s *Scenario) measure(tr *core.Tester, e *expectation, elapsed sim.Duration
 			return ewma, nil
 		}
 		return measure.NewCDF(samples).Percentile(0.5), nil
+	case "faults_recovered":
+		n := 0.0
+		for _, r := range tr.FaultRecoveries() {
+			if r.Recovered {
+				n++
+			}
+		}
+		return n, nil
+	case "fault_ttr_us":
+		// Worst time-to-recover across the plan; an unrecovered fault
+		// measures +Inf so any upper-bound expectation fails loudly.
+		rs := tr.FaultRecoveries()
+		if len(rs) == 0 {
+			return 0, fmt.Errorf("no fault plan installed for %s", e.metric)
+		}
+		worst := 0.0
+		for _, r := range rs {
+			if !r.Recovered {
+				return math.Inf(1), nil
+			}
+			if us := float64(r.TimeToRecover) / float64(sim.Microsecond); us > worst {
+				worst = us
+			}
+		}
+		return worst, nil
 	default:
 		return 0, fmt.Errorf("unknown metric %q", e.metric)
 	}

@@ -272,3 +272,55 @@ func TestScenarioBadTopologyRejected(t *testing.T) {
 		t.Fatalf("bad topology deployed: %v", err)
 	}
 }
+
+func TestScenarioSetFaultRecovery(t *testing.T) {
+	rep := mustRun(t, `
+set algo dctcp
+set ports 2
+set fault linkdown fwd1 at 2ms for 300us
+at 0ms start 0 tx 0 rx 1
+run 12ms
+expect faults_recovered == 1
+expect fault_ttr_us > 0
+expect fault_ttr_us < 5000
+`)
+	if !rep.Passed() {
+		t.Fatalf("checks failed:\n%s", rep.Summary())
+	}
+	if len(rep.Snapshot.Faults) != 1 {
+		t.Fatalf("snapshot carries %d fault recoveries, want 1", len(rep.Snapshot.Faults))
+	}
+	if !rep.Snapshot.Faults[0].Recovered {
+		t.Fatalf("snapshot recovery = %+v", rep.Snapshot.Faults[0])
+	}
+}
+
+func TestScenarioSetFaultAccumulatesAndValidates(t *testing.T) {
+	s := mustParse(t, `
+set fault linkdown fwd0 at 1ms for 200us
+set fault nicstall at 2ms for 50us
+run 4ms
+`)
+	want := "linkdown fwd0 at 1ms for 200us; nicstall at 2ms for 50us"
+	if s.spec.Faults != want {
+		t.Fatalf("accumulated spec = %q, want %q", s.spec.Faults, want)
+	}
+	bad := []struct{ name, src, want string }{
+		{"empty clause", "set fault\nrun 1ms", "set fault needs"},
+		{"bad kind", "set fault explode fwd0 at 1ms for 1ms\nrun 1ms", "unknown kind"},
+		{"overlap across clauses", "set fault linkdown fwd0 at 1ms for 1ms\nset fault linkdown fwd0 at 1.5ms for 1ms\nrun 3ms", "overlapping"},
+		{"fault after run", "run 1ms\nset fault linkdown fwd0 at 1ms for 1ms", "set after run"},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestScenarioFaultMetricWithoutPlan(t *testing.T) {
+	_, err := mustParse(t, "set algo dctcp\nrun 1ms\nexpect fault_ttr_us < 10").Run()
+	if err == nil || !strings.Contains(err.Error(), "no fault plan") {
+		t.Fatalf("err = %v, want no-fault-plan error", err)
+	}
+}

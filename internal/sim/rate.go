@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Rate is a data rate in bits per second. It is shared by the link
 // emulator, the switch model, and the FPGA pacing timers so that
@@ -36,12 +39,20 @@ func (r Rate) PacketsPerSecond(bytes int) float64 {
 }
 
 // Interval returns the steady-state gap between frame starts when sending
-// pps packets per second. It is the primitive behind the FPGA RX/TX timers.
+// pps packets per second, rounded to the nearest picosecond. It is the
+// primitive behind the FPGA RX/TX timers.
+//
+// Rounding matters: pps values derived from a rate and frame size (e.g.
+// 148.8 Mpps for 64+20-byte SCHE frames at 100 Gbps) have an exactly
+// integral period in picoseconds, but the float64 division can land one ULP
+// below it. Truncation then shaves a picosecond off every tick, so paced
+// timers run systematically fast relative to Rate.Serialize's round-up;
+// round-to-nearest recovers the exact period.
 func Interval(pps float64) Duration {
 	if pps <= 0 {
 		panic("sim: interval for non-positive pps")
 	}
-	return Duration(float64(Second) / pps)
+	return Duration(math.Round(float64(Second) / pps))
 }
 
 // String formats the rate with an adaptive unit.

@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// TestIntervalMatchesSerialize pins Interval to the exact frame period for
+// pps values derived from a (rate, wire size) pair whose period is an
+// integral number of picoseconds — the shape every FPGA timer uses. The
+// old truncating conversion returned one picosecond short whenever the
+// float64 division landed an ULP below the integer (e.g. the 148.8 Mpps
+// SCHE rate), making paced timers systematically fast relative to
+// Rate.Serialize's round-up.
+func TestIntervalMatchesSerialize(t *testing.T) {
+	cases := []struct {
+		rate      Rate
+		wireBytes int
+	}{
+		{100 * Gbps, 1024 + 20}, // DATA at MTU 1024: 83,520 ps
+		{100 * Gbps, 64 + 20},   // SCHE/ACK/INFO: 6,720 ps (148.8 Mpps)
+		{100 * Gbps, 1518 + 20}, // DATA at MTU 1518: 123,040 ps
+		{400 * Gbps, 1024 + 20},
+		{25 * Gbps, 1024 + 20},
+	}
+	for _, tc := range cases {
+		pps := tc.rate.PacketsPerSecond(tc.wireBytes)
+		got := Interval(pps)
+		// Exact wire period in integer arithmetic (these cases divide
+		// evenly): period_ps = bits * 1e12 / rate.
+		want := Duration(int64(tc.wireBytes) * 8 * int64(Second) / int64(tc.rate))
+		if got != want {
+			t.Errorf("Interval(%v@%d B) = %d ps, want %d ps", tc.rate, tc.wireBytes, got, want)
+		}
+	}
+}
+
+// TestIntervalDrift accumulates 1e6 ticks and requires the sum to stay
+// within ±1 ps of the nominal elapsed time. Before the round-to-nearest
+// fix, the SCHE-rate case drifted a full microsecond fast (1 ps per tick).
+func TestIntervalDrift(t *testing.T) {
+	const ticks = 1_000_000
+	for _, tc := range []struct {
+		name      string
+		rate      Rate
+		wireBytes int64
+	}{
+		{"sche-148.8Mpps", 100 * Gbps, 84},
+		{"data-11.97Mpps", 100 * Gbps, 1044},
+		{"data-8.127Mpps", 100 * Gbps, 1538},
+	} {
+		pps := float64(tc.rate) / (float64(tc.wireBytes) * 8)
+		elapsed := int64(ticks) * int64(Interval(pps))
+		// Per-tick period is exactly integral for these (rate, size) pairs;
+		// computing it first keeps ticks*period inside int64.
+		nominal := int64(ticks) * (tc.wireBytes * 8 * int64(Second) / int64(tc.rate))
+		if diff := elapsed - nominal; diff < -1 || diff > 1 {
+			t.Errorf("%s: %d ticks drifted %d ps from nominal %d ps", tc.name, int64(ticks), diff, nominal)
+		}
+	}
+}
