@@ -80,6 +80,8 @@ sweep flags:   -axis key=v1,v2,... (repeatable) -reps N -j N -seed N
                -timeout D -retries N -journal FILE -format text|json|csv
 test flags:    -algo NAME -ports N -flows N -duration D -ecn K -fanin
                -int -pfc -fpgarecv -topology SPEC -pcap FILE -seed N
+               -faults "SPEC" -pattern "SPEC" (traffic patterns: square,
+               saw, mmpp, lognormal, incast, flood)
 bench flags:   -algo NAME -ports N -flows N -duration D -reps N
                -cpuprofile FILE -memprofile FILE -trace FILE
 dot flags:     -algo NAME -ports N -pfc -fpgarecv -topology SPEC
@@ -222,6 +224,7 @@ func cmdTest(args []string) error {
 	topology := fs.String("topology", "", "tested-network fabric (dumbbell, leafspine:LxS, fattree:K, parkinglot:N; empty = single switch)")
 	pcapPath := fs.String("pcap", "", "capture the first forward link to this pcap file")
 	faultSpec := fs.String("faults", "", `time-domain fault plan, e.g. "linkdown fwd1 at 2ms for 300us; nicstall at 4ms for 100us"`)
+	patternSpec := fs.String("pattern", "", `traffic-pattern plan, e.g. "incast:period=5ms,fanin=8,victim=1,size=150; flood:peak=20G,victim=1"`)
 	seed := fs.Uint64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -240,6 +243,7 @@ func cmdTest(args []string) error {
 		ReceiverOnFPGA:   *fpgaRecv,
 		Topology:         *topology,
 		Faults:           *faultSpec,
+		Pattern:          *patternSpec,
 		DCQCNTimeScale:   30,
 		Seed:             *seed,
 	}
@@ -306,6 +310,20 @@ func cmdTest(args []string) error {
 		fmt.Println("fault recovery:")
 		for _, r := range t.FaultRecoveries() {
 			fmt.Printf("  %s\n", r)
+		}
+	}
+	if *patternSpec != "" {
+		if ov := t.Overload(); ov != nil {
+			fmt.Printf("overload: absorption=%.4f peak_queue=%dB (%.2fx threshold) time_over=%v windows=%d\n",
+				ov.BurstAbsorption, ov.PeakQueueBytes, ov.PeakOvershoot, ov.TimeInOverload, len(ov.Windows))
+			base := t.PatternFlowBase()
+			var bg []marlin.FCTRecord
+			for _, rec := range t.FCTs() {
+				if rec.Flow < base {
+					bg = append(bg, rec)
+				}
+			}
+			fmt.Printf("background fct inflation: %.3f\n", marlin.FCTInflation(bg, ov.Windows))
 		}
 	}
 	if *topology != "" {

@@ -13,10 +13,12 @@ import (
 	"marlin/internal/fabric"
 	"marlin/internal/faults"
 	"marlin/internal/fpga"
+	"marlin/internal/measure"
 	"marlin/internal/netem"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
 	"marlin/internal/tofino"
+	"marlin/internal/workload"
 )
 
 // Spec is an operator's test description: "selecting the CC algorithm,
@@ -64,6 +66,10 @@ type Spec struct {
 	// syntax, e.g. "linkdown leaf0->spine1 at 2ms for 500us; nicstall at
 	// 4ms for 100us". Empty runs fault-free.
 	Faults string
+	// Pattern layers deterministic traffic patterns over the test in
+	// workload.ParseSpec syntax, e.g. "incast:period=5ms,fanin=8,victim=1,
+	// size=150; flood:peak=20G,victim=1". Empty runs pattern-free.
+	Pattern string
 	// Params fully overrides the parameter block when non-nil.
 	Params *cc.Params
 	// Seed drives all randomness.
@@ -96,6 +102,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Faults != "" {
 		if _, err := faults.ParseSpec(s.Faults); err != nil {
+			return err
+		}
+	}
+	if s.Pattern != "" {
+		if _, err := workload.ParseSpec(s.Pattern); err != nil {
 			return err
 		}
 	}
@@ -232,6 +243,15 @@ func (s *Spec) Deploy(eng *sim.Engine) (*core.Tester, error) {
 			return nil, err
 		}
 	}
+	if s.Pattern != "" {
+		plan, err := workload.ParseSpec(s.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tester.InstallPatterns(plan); err != nil {
+			return nil, err
+		}
+	}
 	return tester, nil
 }
 
@@ -250,6 +270,9 @@ type Snapshot struct {
 	// Faults is per-fault recovery telemetry when a fault plan is
 	// installed (nil otherwise).
 	Faults []faults.Recovery
+	// Overload is the victim-port burst telemetry when a pattern plan is
+	// installed (nil otherwise).
+	Overload *measure.OverloadReport
 }
 
 // ReadRegisters collects a Snapshot from a running tester.
@@ -264,6 +287,10 @@ func ReadRegisters(t *core.Tester) Snapshot {
 	}
 	for i := 0; i < t.Plan().DataPorts; i++ {
 		snap.Ports = append(snap.Ports, t.Pipeline.PortCounters(i))
+	}
+	if mon := t.OverloadMonitor(); mon != nil {
+		r := mon.Report()
+		snap.Overload = &r
 	}
 	return snap
 }

@@ -24,6 +24,7 @@ import (
 	"marlin/internal/packet"
 	"marlin/internal/sim"
 	"marlin/internal/tofino"
+	"marlin/internal/workload"
 )
 
 // Config assembles a tester. Zero values select the paper's defaults.
@@ -129,6 +130,10 @@ type Tester struct {
 
 	faultPlan faults.Plan
 	faultMon  *faults.Monitor
+
+	patternPlan workload.Plan
+	patternDrv  *workload.Driver
+	overloadMon *measure.OverloadMonitor
 }
 
 // New builds and wires a tester.
@@ -510,6 +515,71 @@ func (t *Tester) FaultRecoveries() []faults.Recovery {
 	}
 	return t.faultMon.Report()
 }
+
+// BindExternalFlow routes a tester-external flow (pattern flood traffic
+// injected past the NIC) toward receiver port rx, implementing
+// workload.Target. The flow has no NIC or CC state: the tested network
+// forwards, queues, marks, and drops its frames like any other DATA, and
+// the ACKs the receiver generates are discarded at the inactive flow.
+func (t *Tester) BindExternalFlow(flow packet.FlowID, rx int) error {
+	if rx < 0 || rx >= t.cfg.DataPorts {
+		return fmt.Errorf("core: rx port %d out of range [0,%d)", rx, t.cfg.DataPorts)
+	}
+	t.flowDst[flow] = rx
+	return nil
+}
+
+// InjectData sends one raw DATA frame for a bound external flow into data
+// port tx's uplink, implementing workload.Target.
+func (t *Tester) InjectData(flow packet.FlowID, tx int, psn uint32, frameBytes int) {
+	t.txLinks[tx].Send(packet.NewData(flow, psn, frameBytes, t.Eng.Now()))
+}
+
+// InstallPatterns compiles a traffic-pattern plan onto this tester: a
+// workload driver arms every pattern's arrival, storm, and flood events,
+// and an overload monitor starts watching the victim port (the plan's
+// explicit victim, else port 0). Call once, before running; the telemetry
+// surfaces through OverloadMonitor and controlplane snapshots.
+func (t *Tester) InstallPatterns(plan workload.Plan) (*measure.OverloadMonitor, error) {
+	if t.patternDrv != nil {
+		return nil, fmt.Errorf("core: pattern plan already installed")
+	}
+	drv, err := workload.Apply(t.Eng, t, plan, workload.DriverConfig{
+		Ports: t.cfg.DataPorts,
+		MTU:   t.cfg.MTU,
+		Seed:  t.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	victim, _ := plan.Victim() // zero value: watch port 0
+	link := t.ForwardLink(victim)
+	q := link.Queue()
+	mon, err := measure.NewOverloadMonitor(t.Eng, measure.OverloadProbe{
+		QueueBytes: q.Bytes,
+		PeakBytes:  func() int { return q.Stats().MaxBacklogB },
+		Delivered:  func() uint64 { return link.Stats().TxPackets },
+		Dropped:    func() uint64 { return q.Stats().Drops },
+	}, measure.OverloadConfig{ThresholdBytes: q.Capacity() / 2})
+	if err != nil {
+		return nil, err
+	}
+	mon.Start()
+	t.patternPlan = plan
+	t.patternDrv = drv
+	t.overloadMon = mon
+	return mon, nil
+}
+
+// PatternPlan returns the installed pattern plan (zero when none).
+func (t *Tester) PatternPlan() workload.Plan { return t.patternPlan }
+
+// PatternDriver returns the armed workload driver, or nil.
+func (t *Tester) PatternDriver() *workload.Driver { return t.patternDrv }
+
+// OverloadMonitor returns the victim-port monitor armed by
+// InstallPatterns, or nil.
+func (t *Tester) OverloadMonitor() *measure.OverloadMonitor { return t.overloadMon }
 
 // deliveredBytes sums the tested network's last-hop delivered bytes — the
 // goodput counter the fault monitor samples.

@@ -2,11 +2,10 @@ package faults
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
-	"time"
 
 	"marlin/internal/sim"
+	"marlin/internal/spec"
 )
 
 // ParseSpec compiles a textual fault plan: entries separated by ';', each
@@ -56,11 +55,11 @@ func parseEntry(fields []string) (Entry, error) {
 	if len(rest) < 4 || rest[0] != "at" || rest[2] != "for" {
 		return e, fmt.Errorf("expected: at TIME for DUR")
 	}
-	at, err := parseDur(rest[1])
+	at, err := spec.Duration(rest[1])
 	if err != nil {
 		return e, err
 	}
-	dur, err := parseDur(rest[3])
+	dur, err := spec.Duration(rest[3])
 	if err != nil {
 		return e, err
 	}
@@ -79,21 +78,21 @@ func parseEntry(fields []string) (Entry, error) {
 		rest = rest[2:]
 		switch {
 		case key == "frac" && e.Kind == KindBrownout:
-			f, err := strconv.ParseFloat(val, 64)
+			f, err := spec.Float("frac", val)
 			if err != nil {
-				return e, fmt.Errorf("bad frac %q", val)
+				return e, err
 			}
 			e.Fraction = f
 		case key == "prob" && e.Kind == KindLossBurst:
-			f, err := strconv.ParseFloat(val, 64)
+			f, err := spec.Float("prob", val)
 			if err != nil {
-				return e, fmt.Errorf("bad prob %q", val)
+				return e, err
 			}
 			e.Prob = f
 		case key == "seed" && e.Kind == KindLossBurst:
-			n, err := strconv.ParseUint(val, 10, 64)
+			n, err := spec.Uint("seed", val)
 			if err != nil {
-				return e, fmt.Errorf("bad seed %q", val)
+				return e, err
 			}
 			e.Seed = n
 		default:
@@ -101,12 +100,4 @@ func parseEntry(fields []string) (Entry, error) {
 		}
 	}
 	return e, nil
-}
-
-func parseDur(s string) (sim.Duration, error) {
-	d, err := time.ParseDuration(s)
-	if err != nil || d < 0 {
-		return 0, fmt.Errorf("bad duration %q", s)
-	}
-	return sim.FromStd(d), nil
 }

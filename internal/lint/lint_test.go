@@ -67,6 +67,9 @@ func TestFixtureDiagnostics(t *testing.T) {
 		}},
 		{"maporder_clean", "maporder", nil},
 		{"rngsource_bad", "rngsource", []string{
+			"pattern_bad.go:6 rngsource",    // math/rand/v2 import
+			"pattern_bad.go:11 rngsource",   // randv2.New
+			"pattern_bad.go:11 rngsource",   // randv2.NewPCG
 			"rngsource_bad.go:5 rngsource",  // math/rand import
 			"rngsource_bad.go:10 rngsource", // rand.New
 			"rngsource_bad.go:10 rngsource", // rand.NewSource

@@ -1,0 +1,13 @@
+// pattern_bad mimics a traffic-pattern envelope that samples its MMPP
+// dwell times from math/rand/v2: the import and both explicit
+// constructors must be flagged even though the seeds are literals.
+package rngsource_bad
+
+import randv2 "math/rand/v2"
+
+// DwellAt samples a dwell time for the given modulation state. The PCG
+// seed is hard-coded, so the trajectory cannot derive from the run seed.
+func DwellAt(state int) float64 {
+	g := randv2.New(randv2.NewPCG(1, 2))
+	return g.ExpFloat64() * float64(state+1)
+}

@@ -1,0 +1,11 @@
+// pattern_clean samples pattern randomness the sanctioned way: the dwell
+// stream is a sim.Rand handed down from the run seed (typically via
+// Split), so the trajectory is a pure function of configuration.
+package rngsource_clean
+
+import "marlin/internal/sim"
+
+// Dwell draws one mean-scaled dwell time from the caller's stream.
+func Dwell(r *sim.Rand, mean sim.Duration) sim.Duration {
+	return r.Exp(mean)
+}

@@ -18,6 +18,10 @@ func FuzzParse(f *testing.F) {
 	f.Add("set fault lossburst tx0 at 1ms for 200us prob 0.1 seed 7\nset fault nicstall at 4ms for 100us\nrun 6ms\nexpect fault_ttr_us < 5000")
 	f.Add("set topology leafspine:2x2\nset ports 4\nset fault brownout leaf0->spine1 at 1ms for 1ms frac 0.25\nat 0ms start 0 tx 0 rx 1\nrun 4ms")
 	f.Add("set fault linkdown fwd0 at 1ms for 1ms\nset fault linkdown fwd0 at 1.5ms for 1ms\nrun 3ms")
+	f.Add("set pattern incast:period=1ms,fanin=4,victim=1,size=50\nrun 3ms\nexpect burst_absorption > 0.5")
+	f.Add("set ports 4\nset pattern flood:peak=20G,victim=2,period=2ms,duty=0.5\nset pattern square:period=1ms,duty=0.2,peak=10G,base=1G\nat 0ms start 0 tx 0 rx 1\nrun 4ms\nexpect overload_us >= 0\nexpect peak_queue_bytes > 0")
+	f.Add("set pattern mmpp:rates=1G|40G,dwell=1ms|250us,seed=7,dist=datamining\nrun 2ms\nexpect bg_fct_inflation > 0")
+	f.Add("set pattern lognormal:rate=5G,sigma=1.5,victim=0\nset pattern saw:period=2ms,peak=20G,base=1G\nrun 1ms")
 	f.Fuzz(func(t *testing.T, src string) {
 		s1, err := Parse(src)
 		if err != nil {

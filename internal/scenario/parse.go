@@ -9,6 +9,7 @@ import (
 	"marlin/internal/faults"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
+	"marlin/internal/workload"
 )
 
 // Parse compiles a scenario script. Errors carry 1-based line numbers.
@@ -32,6 +33,8 @@ func Parse(src string) (*Scenario, error) {
 				// "set fault KIND ..." takes a variable-length clause, so
 				// it bypasses the KEY VALUE form below.
 				err = s.parseFault(fields[2:])
+			} else if len(fields) >= 2 && fields[1] == "pattern" {
+				err = s.parsePattern(fields[2:])
 			} else {
 				err = s.parseSet(fields[1:])
 			}
@@ -128,6 +131,30 @@ func (s *Scenario) parseFault(args []string) error {
 		return err
 	}
 	s.spec.Faults = spec
+	return nil
+}
+
+// parsePattern accumulates one traffic-pattern clause, e.g.
+//
+//	set pattern incast:period=5ms,fanin=8,victim=1,size=150
+//	set pattern flood:peak=20G,victim=1,period=4ms,duty=0.25
+//	set pattern square:period=10ms,duty=0.2,peak=40G,base=1G
+//
+// Clauses use workload.ParseSpec syntax; each new clause is validated
+// together with the ones already set.
+func (s *Scenario) parsePattern(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("set pattern needs a clause (e.g. incast:period=5ms,fanin=8,victim=1,size=150)")
+	}
+	clause := strings.Join(args, " ")
+	spec := clause
+	if s.spec.Pattern != "" {
+		spec = s.spec.Pattern + "; " + clause
+	}
+	if _, err := workload.ParseSpec(spec); err != nil {
+		return err
+	}
+	s.spec.Pattern = spec
 	return nil
 }
 

@@ -24,6 +24,10 @@
 // ==, !=, <, <=, >, >=. "set fault KIND ..." clauses (faults.ParseSpec
 // syntax) build a deterministic time-domain fault plan; the
 // faults_recovered and fault_ttr_us metrics read its recovery telemetry.
+// "set pattern NAME:key=value,..." clauses (workload.ParseSpec syntax)
+// layer deterministic traffic patterns — bursts, incast storms, floods —
+// over the test; the burst_absorption, peak_queue_bytes, overload_us, and
+// bg_fct_inflation metrics read the victim port's overload telemetry.
 package scenario
 
 import (
@@ -268,6 +272,28 @@ func (s *Scenario) measure(tr *core.Tester, e *expectation, elapsed sim.Duration
 			}
 		}
 		return worst, nil
+	case "burst_absorption", "peak_queue_bytes", "overload_us", "bg_fct_inflation":
+		if snap.Overload == nil {
+			return 0, fmt.Errorf("no pattern plan installed for %s", e.metric)
+		}
+		switch e.metric {
+		case "burst_absorption":
+			return snap.Overload.BurstAbsorption, nil
+		case "peak_queue_bytes":
+			return float64(snap.Overload.PeakQueueBytes), nil
+		case "overload_us":
+			return snap.Overload.TimeInOverload.Microseconds(), nil
+		default: // bg_fct_inflation
+			// Background flows are the ones the timeline started — their
+			// IDs sit below the pattern driver's flow base.
+			var bg []measure.FCTRecord
+			for _, rec := range tr.FCTs.Records() {
+				if rec.Flow < tr.PatternDriver().FlowBase() {
+					bg = append(bg, rec)
+				}
+			}
+			return measure.FCTInflation(bg, snap.Overload.Windows), nil
+		}
 	default:
 		return 0, fmt.Errorf("unknown metric %q", e.metric)
 	}

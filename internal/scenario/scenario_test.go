@@ -324,3 +324,58 @@ func TestScenarioFaultMetricWithoutPlan(t *testing.T) {
 		t.Fatalf("err = %v, want no-fault-plan error", err)
 	}
 }
+
+func TestScenarioSetPatternOverload(t *testing.T) {
+	rep := mustRun(t, `
+set algo dctcp
+set ports 4
+set pattern incast:period=1ms,fanin=8,victim=2,size=200
+set pattern flood:peak=40G,victim=2,period=2ms,duty=0.5
+at 0ms start 0 tx 0 rx 1
+at 0ms start 1 tx 1 rx 3
+run 6ms
+expect burst_absorption > 0
+expect burst_absorption <= 1
+expect peak_queue_bytes > 0
+expect overload_us >= 0
+`)
+	if !rep.Passed() {
+		t.Fatalf("checks failed:\n%s", rep.Summary())
+	}
+	if rep.Snapshot.Overload == nil {
+		t.Fatal("snapshot missing overload telemetry")
+	}
+	if rep.Snapshot.Overload.Delivered == 0 {
+		t.Fatalf("overload report saw no delivered packets: %+v", rep.Snapshot.Overload)
+	}
+}
+
+func TestScenarioSetPatternAccumulatesAndValidates(t *testing.T) {
+	s := mustParse(t, `
+set pattern incast:period=1ms,fanin=4,victim=0,size=50
+set pattern flood:peak=20G,victim=0
+run 2ms
+`)
+	want := "incast:period=1ms,fanin=4,victim=0,size=50; flood:peak=20G,victim=0"
+	if s.spec.Pattern != want {
+		t.Fatalf("accumulated spec = %q, want %q", s.spec.Pattern, want)
+	}
+	bad := []struct{ name, src, want string }{
+		{"empty clause", "set pattern\nrun 1ms", "set pattern needs"},
+		{"bad kind", "set pattern tsunami:peak=1G\nrun 1ms", "unknown pattern"},
+		{"bad key", "set pattern flood:peak=1G,victim=0,frob=2\nrun 1ms", "unexpected"},
+		{"pattern after run", "run 1ms\nset pattern flood:peak=1G,victim=0", "set after run"},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestScenarioOverloadMetricWithoutPlan(t *testing.T) {
+	_, err := mustParse(t, "set algo dctcp\nrun 1ms\nexpect burst_absorption > 0").Run()
+	if err == nil || !strings.Contains(err.Error(), "no pattern plan") {
+		t.Fatalf("err = %v, want no-pattern-plan error", err)
+	}
+}

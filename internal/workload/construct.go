@@ -1,0 +1,67 @@
+package workload
+
+import "marlin/internal/sim"
+
+// LoadOption tunes a load-envelope pattern built with NewSquare, NewSaw,
+// NewMMPP, or NewLognormal. Only the options below exist; the type's
+// parameter is unexported on purpose.
+type LoadOption func(*loadOpts)
+
+// WithDist selects the flow-size distribution feeding the pattern's
+// arrivals: "websearch" (default), "datamining", or "uniform".
+func WithDist(name string) LoadOption { return func(o *loadOpts) { o.Dist = name } }
+
+// WithVictim fans every flow the pattern starts into port victim instead
+// of spreading receivers uniformly.
+func WithVictim(victim int) LoadOption { return func(o *loadOpts) { o.Victim = victim } }
+
+func newOpts(opts []LoadOption) loadOpts {
+	o := loadOpts{Victim: -1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// NewSquare builds a square-wave envelope: peak for the first duty
+// fraction of every period, base for the rest.
+func NewSquare(period sim.Duration, duty float64, peak, base sim.Rate, opts ...LoadOption) *Square {
+	return &Square{Period: period, Duty: duty, Peak: peak, Base: base, Opts: newOpts(opts)}
+}
+
+// NewSaw builds a sawtooth envelope ramping from base to peak over each
+// period.
+func NewSaw(period sim.Duration, peak, base sim.Rate, opts ...LoadOption) *Saw {
+	return &Saw{Period: period, Peak: peak, Base: base, Opts: newOpts(opts)}
+}
+
+// NewMMPP builds a Markov-modulated envelope over the given per-state
+// rates and mean dwell times; the state trajectory is a pure function of
+// seed.
+func NewMMPP(rates []sim.Rate, dwells []sim.Duration, seed uint64, opts ...LoadOption) *MMPP {
+	return &MMPP{Rates: rates, Dwells: dwells, Seed: seed, Opts: newOpts(opts)}
+}
+
+// NewLognormal builds a renewal arrival process offering a constant mean
+// load of rate with lognormal inter-arrival gaps (sigma controls
+// clumping).
+func NewLognormal(rate sim.Rate, sigma float64, opts ...LoadOption) *Lognormal {
+	return &Lognormal{Rate: rate, Sigma: sigma, Opts: newOpts(opts)}
+}
+
+// NewIncast builds a synchronized N-to-1 storm: every period, fanin
+// senders each start one sizePkts-packet flow at victim.
+func NewIncast(period sim.Duration, fanin, victim int, sizePkts uint32) *Incast {
+	return &Incast{Period: period, Fanin: fanin, Victim: victim, SizePkts: sizePkts}
+}
+
+// NewFlood builds a continuous victim-targeted flood of raw DATA at peak.
+func NewFlood(peak sim.Rate, victim int) *Flood {
+	return &Flood{Peak: peak, Victim: victim}
+}
+
+// NewPulsedFlood builds a flood that pulses: peak for duty of each period,
+// silent otherwise.
+func NewPulsedFlood(peak sim.Rate, victim int, period sim.Duration, duty float64) *Flood {
+	return &Flood{Peak: peak, Victim: victim, Period: period, Duty: duty}
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// event is one recorded driver action with its timestamp.
+type event struct {
+	at     sim.Time
+	kind   string // "start" or "inject"
+	flow   packet.FlowID
+	tx, rx int
+	size   uint32
+	psn    uint32
+}
+
+// fakeTarget records every driver action.
+type fakeTarget struct {
+	eng    *sim.Engine
+	events []event
+	refuse bool
+	bound  map[packet.FlowID]int
+}
+
+func (f *fakeTarget) StartFlow(flow packet.FlowID, tx, rx int, sizePkts uint32) error {
+	if f.refuse {
+		return fmt.Errorf("refused")
+	}
+	f.events = append(f.events, event{at: f.eng.Now(), kind: "start", flow: flow, tx: tx, rx: rx, size: sizePkts})
+	return nil
+}
+
+func (f *fakeTarget) BindExternalFlow(flow packet.FlowID, rx int) error {
+	if f.bound == nil {
+		f.bound = make(map[packet.FlowID]int)
+	}
+	f.bound[flow] = rx
+	return nil
+}
+
+func (f *fakeTarget) InjectData(flow packet.FlowID, tx int, psn uint32, frameBytes int) {
+	f.events = append(f.events, event{at: f.eng.Now(), kind: "inject", flow: flow, tx: tx, psn: psn})
+}
+
+func applyPlan(t *testing.T, eng *sim.Engine, tgt *fakeTarget, src string, seed uint64) *Driver {
+	t.Helper()
+	plan, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Apply(eng, tgt, plan, DriverConfig{Ports: 4, MTU: 1024, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDriverIncastStorms(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &fakeTarget{eng: eng}
+	d := applyPlan(t, eng, tgt, "incast:period=1ms,fanin=5,victim=2,size=100", 1)
+	eng.Run(sim.Time(sim.Duration(3500) * sim.Microsecond))
+	// Storms at 1ms, 2ms, 3ms: 5 synchronized flows each, senders cycling
+	// over every port but the victim (3,0,1,3,0), flow IDs dense from the
+	// base.
+	if d.Started() != 15 {
+		t.Fatalf("started = %d, want 15", d.Started())
+	}
+	want := event{at: sim.Time(sim.Millisecond), kind: "start", flow: DefaultFlowBase, tx: 3, rx: 2, size: 100}
+	if tgt.events[0] != want {
+		t.Fatalf("first storm entry = %+v, want %+v", tgt.events[0], want)
+	}
+	wantTx := []int{3, 0, 1, 3, 0}
+	for i, ev := range tgt.events[:5] {
+		if ev.at != sim.Time(sim.Millisecond) || ev.rx != 2 || ev.tx != wantTx[i] {
+			t.Fatalf("storm entry %d = %+v", i, ev)
+		}
+	}
+	if d.NextFlow() != DefaultFlowBase+15 {
+		t.Fatalf("next flow = %d", d.NextFlow())
+	}
+}
+
+func TestDriverFloodPacing(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &fakeTarget{eng: eng}
+	d := applyPlan(t, eng, tgt, "flood:peak=20G,victim=0,period=1ms,duty=0.5", 1)
+	eng.Run(sim.Time(2 * sim.Millisecond))
+	if rx, ok := tgt.bound[DefaultFlowBase]; !ok || rx != 0 {
+		t.Fatalf("flood flow not bound to victim: %v", tgt.bound)
+	}
+	// 20 Gbps of 1044-byte wire frames is one frame per 417.6ns; two
+	// half-duty periods give one full on-millisecond, ~2395 frames.
+	if d.Injected() < 2300 || d.Injected() > 2500 {
+		t.Fatalf("injected = %d, want ~2395", d.Injected())
+	}
+	// Every injection falls inside an on-phase; PSNs are sequential.
+	for i, ev := range tgt.events {
+		if phase := sim.Duration(ev.at) % sim.Millisecond; phase >= 500*sim.Microsecond {
+			t.Fatalf("injection %d at %v lands in the silent phase", i, sim.Duration(ev.at))
+		}
+		if ev.psn != uint32(i) {
+			t.Fatalf("injection %d carries psn %d", i, ev.psn)
+		}
+		if ev.tx != 1 {
+			t.Fatalf("injection %d from port %d, want attacker 1", i, ev.tx)
+		}
+	}
+}
+
+func TestDriverSquareGatesArrivals(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &fakeTarget{eng: eng}
+	d := applyPlan(t, eng, tgt, "square:period=1ms,duty=0.5,peak=40G,base=0bps,dist=uniform,victim=3", 7)
+	eng.Run(sim.Time(20 * sim.Millisecond))
+	if d.Started() == 0 {
+		t.Fatal("square pattern started nothing")
+	}
+	// With base=0 every accepted arrival must fall in the on-phase
+	// [0, 0.5ms) of its period, and every flow fans into the victim.
+	for i, ev := range tgt.events {
+		if phase := sim.Duration(ev.at) % sim.Millisecond; phase >= 500*sim.Microsecond {
+			t.Fatalf("arrival %d at %v lands in the off-phase", i, sim.Duration(ev.at))
+		}
+		if ev.rx != 3 {
+			t.Fatalf("arrival %d targets port %d, want victim 3", i, ev.rx)
+		}
+		if ev.size < 1 || ev.size > 100 {
+			t.Fatalf("arrival %d size %d outside uniform support", i, ev.size)
+		}
+	}
+}
+
+func TestDriverDeterminism(t *testing.T) {
+	run := func() []event {
+		eng := sim.NewEngine()
+		tgt := &fakeTarget{eng: eng}
+		applyPlan(t, eng, tgt,
+			"mmpp:rates=1G|40G,dwell=1ms|250us,seed=3,dist=uniform; incast:period=2ms,fanin=3,victim=1,size=50; flood:peak=5G,victim=1", 42)
+		eng.Run(sim.Time(8 * sim.Millisecond))
+		return tgt.events
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("driver not deterministic: %d vs %d events", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty run")
+	}
+}
+
+func TestDriverRefusedStartsAreCounted(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &fakeTarget{eng: eng, refuse: true}
+	d := applyPlan(t, eng, tgt, "incast:period=1ms,fanin=4,victim=0,size=10", 1)
+	eng.Run(sim.Time(sim.Duration(2500) * sim.Microsecond))
+	if d.Started() != 0 || d.Skipped() != 8 {
+		t.Fatalf("started=%d skipped=%d, want 0, 8", d.Started(), d.Skipped())
+	}
+}
+
+func TestApplyRejects(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &fakeTarget{eng: eng}
+	good, err := ParseSpec("flood:peak=1G,victim=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(eng, tgt, good, DriverConfig{Ports: 0, MTU: 1024}); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := Apply(eng, tgt, good, DriverConfig{Ports: 4, MTU: 0}); err == nil {
+		t.Error("zero MTU accepted")
+	}
+	if _, err := Apply(eng, tgt, good, DriverConfig{Ports: 1, MTU: 1024}); err == nil {
+		t.Error("single-port flood accepted")
+	}
+	victimOut, err := ParseSpec("incast:period=1ms,fanin=2,victim=9,size=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(eng, tgt, victimOut, DriverConfig{Ports: 4, MTU: 1024}); err == nil {
+		t.Error("out-of-range incast victim accepted")
+	}
+	loadVictimOut, err := ParseSpec("square:period=1ms,duty=0.5,peak=1G,victim=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(eng, tgt, loadVictimOut, DriverConfig{Ports: 4, MTU: 1024}); err == nil {
+		t.Error("out-of-range load victim accepted")
+	}
+}

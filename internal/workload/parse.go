@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"marlin/internal/sim"
+	"marlin/internal/spec"
+)
+
+// ParseSpec compiles a textual pattern plan: entries separated by ';',
+// each of the form NAME:key=value,... — the same shape and validation
+// discipline as faults.ParseSpec:
+//
+//	square:period=10ms,duty=0.2,peak=40G,base=1G
+//	saw:period=10ms,peak=40G,base=1G
+//	mmpp:rates=1G|40G,dwell=1ms|250us,seed=7
+//	lognormal:rate=5G,sigma=1.5
+//	incast:period=5ms,fanin=8,victim=4,size=150
+//	flood:peak=20G,victim=0,period=4ms,duty=0.25
+//
+// Rates take a K/M/G/T suffix ("40G", "500M") and durations Go syntax
+// ("10ms", "250us"). The load-envelope patterns (square, saw, mmpp,
+// lognormal) additionally accept dist=websearch|datamining|uniform and
+// victim=N (fan every pattern flow into port N). An omitted mmpp seed
+// defaults to 1. The compiled plan is validated.
+func ParseSpec(src string) (Plan, error) {
+	var plan Plan
+	for _, part := range strings.Split(src, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := parsePattern(part)
+		if err != nil {
+			return Plan{}, fmt.Errorf("workload: %q: %w", part, err)
+		}
+		plan.Patterns = append(plan.Patterns, p)
+	}
+	if plan.IsZero() {
+		return Plan{}, fmt.Errorf("workload: empty spec")
+	}
+	if err := plan.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
+}
+
+func parsePattern(src string) (Pattern, error) {
+	name, body, ok := strings.Cut(src, ":")
+	if !ok || body == "" {
+		return nil, fmt.Errorf("expected NAME:key=value,...")
+	}
+	pairs, err := spec.Pairs(body)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "square":
+		p := &Square{Duty: 1, Opts: loadOpts{Victim: -1}}
+		for _, kv := range pairs {
+			switch kv.Key {
+			case "period":
+				p.Period, err = spec.Duration(kv.Val)
+			case "duty":
+				p.Duty, err = spec.Float("duty", kv.Val)
+			case "peak":
+				p.Peak, err = spec.Rate("peak", kv.Val)
+			case "base":
+				p.Base, err = spec.Rate("base", kv.Val)
+			default:
+				err = loadOpt(&p.Opts, kv)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case "saw":
+		p := &Saw{Opts: loadOpts{Victim: -1}}
+		for _, kv := range pairs {
+			switch kv.Key {
+			case "period":
+				p.Period, err = spec.Duration(kv.Val)
+			case "peak":
+				p.Peak, err = spec.Rate("peak", kv.Val)
+			case "base":
+				p.Base, err = spec.Rate("base", kv.Val)
+			default:
+				err = loadOpt(&p.Opts, kv)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case "mmpp":
+		p := &MMPP{Seed: 1, Opts: loadOpts{Victim: -1}}
+		for _, kv := range pairs {
+			switch kv.Key {
+			case "rates":
+				for _, rs := range strings.Split(kv.Val, "|") {
+					var r sim.Rate
+					if r, err = spec.Rate("rates", rs); err != nil {
+						break
+					}
+					p.Rates = append(p.Rates, r)
+				}
+			case "dwell":
+				for _, ds := range strings.Split(kv.Val, "|") {
+					var d sim.Duration
+					if d, err = spec.Duration(ds); err != nil {
+						break
+					}
+					p.Dwells = append(p.Dwells, d)
+				}
+			case "seed":
+				p.Seed, err = spec.Uint("seed", kv.Val)
+			default:
+				err = loadOpt(&p.Opts, kv)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case "lognormal":
+		p := &Lognormal{Opts: loadOpts{Victim: -1}}
+		for _, kv := range pairs {
+			switch kv.Key {
+			case "rate":
+				p.Rate, err = spec.Rate("rate", kv.Val)
+			case "sigma":
+				p.Sigma, err = spec.Float("sigma", kv.Val)
+			default:
+				err = loadOpt(&p.Opts, kv)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case "incast":
+		p := &Incast{}
+		for _, kv := range pairs {
+			switch kv.Key {
+			case "period":
+				p.Period, err = spec.Duration(kv.Val)
+			case "fanin":
+				p.Fanin, err = spec.Int("fanin", kv.Val)
+			case "victim":
+				p.Victim, err = spec.Int("victim", kv.Val)
+			case "size":
+				var n uint64
+				if n, err = spec.Uint("size", kv.Val); err == nil {
+					p.SizePkts = uint32(n)
+				}
+			default:
+				err = fmt.Errorf("unexpected %q for incast", kv.Key)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case "flood":
+		p := &Flood{}
+		for _, kv := range pairs {
+			switch kv.Key {
+			case "peak":
+				p.Peak, err = spec.Rate("peak", kv.Val)
+			case "victim":
+				p.Victim, err = spec.Int("victim", kv.Val)
+			case "period":
+				p.Period, err = spec.Duration(kv.Val)
+			case "duty":
+				p.Duty, err = spec.Float("duty", kv.Val)
+			default:
+				err = fmt.Errorf("unexpected %q for flood", kv.Key)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+// loadOpt handles the knobs shared by the load-envelope patterns.
+func loadOpt(o *loadOpts, kv spec.Pair) error {
+	switch kv.Key {
+	case "dist":
+		o.Dist = kv.Val
+	case "victim":
+		v, err := spec.Int("victim", kv.Val)
+		if err != nil {
+			return err
+		}
+		o.Victim = v
+	default:
+		return fmt.Errorf("unexpected %q", kv.Key)
+	}
+	return nil
+}

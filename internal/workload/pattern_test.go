@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"marlin/internal/sim"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"square:period=10ms,duty=0.2,peak=40G,base=1G",
+		"saw:period=10ms,peak=40G,base=1G",
+		"mmpp:rates=1G|40G,dwell=1ms|250us,seed=7",
+		"lognormal:rate=5G,sigma=1.5",
+		"incast:period=5ms,fanin=8,victim=4,size=150",
+		"flood:peak=20G,victim=0,period=4ms,duty=0.25",
+		"flood:peak=20G,victim=0",
+		"square:period=1ms,duty=0.5,peak=10G,base=0bps,dist=datamining,victim=2",
+		"incast:period=5ms,fanin=3,victim=1,size=100; flood:peak=20G,victim=1",
+	}
+	for _, src := range specs {
+		plan, err := ParseSpec(src)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", src, err)
+		}
+		again, err := ParseSpec(plan.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (rendered %q): %v", src, plan.String(), err)
+		}
+		if got := again.String(); got != plan.String() {
+			t.Errorf("round trip drift: %q -> %q", plan.String(), got)
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []string{
+		"",
+		";;",
+		"square",
+		"square:",
+		"bogus:period=1ms",
+		"square:period=1ms",                   // missing peak
+		"square:period=0ms,duty=0.2,peak=40G", // zero period
+		"square:period=1ms,duty=0,peak=40G",   // duty out of range
+		"square:period=1ms,duty=1.5,peak=40G", // duty out of range
+		"square:period=1ms,duty=0.2,peak=40G,base=80G",      // base above peak
+		"square:period=1ms,duty=0.2,peak=xG",                // bad rate
+		"square:period=1ms,duty=x,peak=40G",                 // bad float
+		"square:period=xs,duty=0.2,peak=40G",                // bad duration
+		"square:period=1ms,duty=0.2,peak=40G,frob=1",        // unknown key
+		"square:period=1ms,period=2ms,duty=0.2,peak=40G",    // duplicate key
+		"square:period=1ms,duty=0.2,peak=40G,dist=zipf",     // unknown dist
+		"square:period=1ms,duty=0.2,peak=40G,victim=-1",     // bad victim
+		"saw:period=1ms,peak=40G,base=40G",                  // base must be < peak
+		"saw:peak=40G",                                      // missing period
+		"mmpp:rates=1G,dwell=1ms",                           // one state
+		"mmpp:rates=1G|40G,dwell=1ms",                       // dwell count mismatch
+		"mmpp:rates=1G|40G,dwell=1ms|0s",                    // zero dwell
+		"mmpp:rates=0|0bps,dwell=1ms|1ms",                   // all states idle
+		"mmpp:rates=1G|40G,dwell=1ms|2ms,seed=x",            // bad seed
+		"lognormal:rate=5G",                                 // missing sigma
+		"lognormal:rate=5G,sigma=0",                         // sigma out of range
+		"lognormal:rate=5G,sigma=9",                         // sigma out of range
+		"lognormal:rate=0bps,sigma=1",                       // zero rate
+		"incast:period=5ms,fanin=0,victim=0,size=10",        // zero fanin
+		"incast:period=5ms,fanin=2,victim=0,size=0",         // zero size
+		"incast:period=5ms,fanin=2,victim=-1,size=10",       // bad victim
+		"incast:period=5ms,fanin=2,victim=0,size=10,prob=1", // unknown key
+		"flood:victim=0",                                    // missing peak
+		"flood:peak=20G,victim=0,duty=0.5",                  // duty without period
+		"flood:peak=20G,victim=0,period=1ms",                // period without duty
+		"flood:peak=20G,victim=0,period=1ms,duty=2",         // duty out of range
+	}
+	for _, src := range cases {
+		if _, err := ParseSpec(src); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", src)
+		}
+	}
+}
+
+func TestSquareEnvelope(t *testing.T) {
+	p := &Square{Period: sim.Millisecond, Duty: 0.25, Peak: 40 * sim.Gbps, Base: sim.Gbps}
+	for _, tc := range []struct {
+		at   sim.Duration
+		want sim.Rate
+	}{
+		{0, 40 * sim.Gbps},
+		{249 * sim.Microsecond, 40 * sim.Gbps},
+		{250 * sim.Microsecond, sim.Gbps},
+		{999 * sim.Microsecond, sim.Gbps},
+		{sim.Millisecond, 40 * sim.Gbps},
+		{1250 * sim.Microsecond, sim.Gbps},
+	} {
+		if got := p.RateAt(sim.Time(tc.at)); got != tc.want {
+			t.Errorf("RateAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestSawEnvelope(t *testing.T) {
+	p := &Saw{Period: sim.Millisecond, Peak: 41 * sim.Gbps, Base: sim.Gbps}
+	if got := p.RateAt(0); got != sim.Gbps {
+		t.Errorf("RateAt(0) = %v, want base", got)
+	}
+	if got := p.RateAt(sim.Time(500 * sim.Microsecond)); got != 21*sim.Gbps {
+		t.Errorf("RateAt(mid) = %v, want 21Gbps", got)
+	}
+	// Ramp resets each period.
+	if got := p.RateAt(sim.Time(sim.Millisecond)); got != sim.Gbps {
+		t.Errorf("RateAt(period) = %v, want base", got)
+	}
+}
+
+// TestMMPPSeedPurity is the regression test that MMPP state transitions
+// are a pure function of the seed: two instances with the same seed agree
+// at every instant even when queried in different orders, and a different
+// seed produces a different trajectory.
+func TestMMPPSeedPurity(t *testing.T) {
+	mk := func(seed uint64) *MMPP {
+		return &MMPP{
+			Rates:  []sim.Rate{sim.Gbps, 40 * sim.Gbps, 10 * sim.Gbps},
+			Dwells: []sim.Duration{sim.Millisecond, 250 * sim.Microsecond, 500 * sim.Microsecond},
+			Seed:   seed,
+		}
+	}
+	a, b := mk(7), mk(7)
+	const n = 2000
+	step := 17 * sim.Microsecond
+	// a queried forward, b queried backward: memoization must not leak
+	// query order into the trajectory.
+	got := make([]sim.Rate, n)
+	for i := 0; i < n; i++ {
+		got[i] = a.RateAt(sim.Time(sim.Duration(i) * step))
+	}
+	for i := n - 1; i >= 0; i-- {
+		if r := b.RateAt(sim.Time(sim.Duration(i) * step)); r != got[i] {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, got[i], r)
+		}
+	}
+	// Re-querying is stable.
+	for i := 0; i < n; i += 97 {
+		if r := a.RateAt(sim.Time(sim.Duration(i) * step)); r != got[i] {
+			t.Fatalf("re-query drifted at step %d", i)
+		}
+	}
+	// A different seed must actually modulate differently.
+	c := mk(8)
+	same := 0
+	for i := 0; i < n; i++ {
+		if c.RateAt(sim.Time(sim.Duration(i)*step)) == got[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed 8 produced seed 7's trajectory")
+	}
+	// And every state must eventually be visited.
+	seen := map[sim.Rate]bool{}
+	for _, r := range got {
+		seen[r] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("only %d of 3 states visited over %v", len(seen), sim.Duration(n)*step)
+	}
+}
+
+func TestLognormalGapMean(t *testing.T) {
+	p := &Lognormal{Rate: 5 * sim.Gbps, Sigma: 1.5}
+	rng := sim.NewRand(3)
+	mean := sim.Millisecond
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(p.nextGap(rng, mean))
+	}
+	got := sum / n / float64(sim.Millisecond)
+	if got < 0.93 || got > 1.07 {
+		t.Fatalf("empirical mean gap = %.3fms, want ~1ms", got)
+	}
+}
+
+func TestPlanVictim(t *testing.T) {
+	plan, err := ParseSpec("square:period=1ms,duty=0.5,peak=10G; flood:peak=20G,victim=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := plan.Victim(); !ok || v != 3 {
+		t.Fatalf("Victim() = %d, %v; want 3, true", v, ok)
+	}
+	plan, err = ParseSpec("square:period=1ms,duty=0.5,peak=10G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Victim(); ok {
+		t.Fatal("victimless plan reported a victim")
+	}
+	if !strings.Contains(plan.String(), "square:") {
+		t.Fatalf("plan string %q", plan.String())
+	}
+}

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"marlin/internal/sim"
@@ -21,16 +22,26 @@ type SizeDist struct {
 	cdf   []float64 // matching cumulative probabilities, ending at 1
 }
 
-// NewSizeDist builds a distribution from (size, cdf) knots. The final cdf
-// value must be 1 and both slices must ascend.
+// NewSizeDist builds a distribution from (size, cdf) knots. The cdf must
+// start at 0 and end at 1, both slices must ascend, and every knot must be
+// finite.
 func NewSizeDist(name string, sizes, cdf []float64) (*SizeDist, error) {
 	if len(sizes) == 0 || len(sizes) != len(cdf) {
 		return nil, fmt.Errorf("workload: need matching non-empty knots")
+	}
+	for i := range sizes {
+		if math.IsNaN(sizes[i]) || math.IsInf(sizes[i], 0) ||
+			math.IsNaN(cdf[i]) || math.IsInf(cdf[i], 0) {
+			return nil, fmt.Errorf("workload: non-finite knot at index %d", i)
+		}
 	}
 	for i := 1; i < len(sizes); i++ {
 		if sizes[i] <= sizes[i-1] || cdf[i] < cdf[i-1] {
 			return nil, fmt.Errorf("workload: knots must ascend at index %d", i)
 		}
+	}
+	if cdf[0] != 0 {
+		return nil, fmt.Errorf("workload: cdf must start at 0, got %v", cdf[0])
 	}
 	if cdf[len(cdf)-1] != 1 {
 		return nil, fmt.Errorf("workload: final cdf must be 1, got %v", cdf[len(cdf)-1])
@@ -57,9 +68,13 @@ func WebSearch() *SizeDist {
 // with half the flows a single packet and the top percent reaching
 // hundreds of thousands of packets.
 func DataMining() *SizeDist {
+	// The leading (0.5, 0) knot anchors the cdf at 0; every draw that
+	// lands on the [0.5, 1] segment still rounds up to the distribution's
+	// one-packet mode, so sampling is unchanged from the historical table
+	// that began at cdf 0.5.
 	d, err := NewSizeDist("datamining",
-		[]float64{1, 2, 3, 7, 267, 2107, 66667, 666667},
-		[]float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1})
+		[]float64{0.5, 1, 2, 3, 7, 267, 2107, 66667, 666667},
+		[]float64{0, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1})
 	if err != nil {
 		panic(err) // static table; cannot fail
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -41,17 +42,30 @@ func TestWebSearchShape(t *testing.T) {
 }
 
 func TestSizeDistValidation(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
 	bad := [][2][]float64{
 		{{}, {}},
 		{{1, 2}, {0}},
-		{{2, 1}, {0, 1}},     // sizes descend
-		{{1, 2}, {0.5, 0.4}}, // cdf descends
-		{{1, 2}, {0, 0.9}},   // cdf doesn't reach 1
+		{{2, 1}, {0, 1}},            // sizes descend
+		{{1, 2}, {0.5, 0.4}},        // cdf descends
+		{{1, 2}, {0, 0.9}},          // cdf doesn't reach 1
+		{{1, 2}, {0.5, 1}},          // cdf doesn't start at 0
+		{{1, 2}, {0.1, 1}},          // cdf doesn't start at 0
+		{{1, nan}, {0, 1}},          // NaN size knot
+		{{1, inf}, {0, 1}},          // +Inf size knot
+		{{1, 2}, {0, nan}},          // NaN cdf knot
+		{{1, 2}, {nan, 1}},          // NaN leading cdf knot
+		{{1, 2, 3}, {0, inf, 1}},    // +Inf cdf knot
+		{{math.Inf(-1), 2}, {0, 1}}, // -Inf size knot
 	}
 	for i, knots := range bad {
 		if _, err := NewSizeDist("x", knots[0], knots[1]); err == nil {
 			t.Errorf("bad knots %d accepted", i)
 		}
+	}
+	// The canonical tables still construct.
+	if _, err := NewSizeDist("ok", []float64{1, 10}, []float64{0, 1}); err != nil {
+		t.Fatalf("good knots rejected: %v", err)
 	}
 }
 
