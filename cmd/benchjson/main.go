@@ -25,6 +25,7 @@ import (
 	"testing"
 
 	"marlin"
+	"marlin/internal/lint"
 	"marlin/internal/netem"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
@@ -201,6 +202,66 @@ func benchTesterPacketRate(b *testing.B) {
 	}
 }
 
+// marlinvetBenchDirs is the fixed package set the analyzer benchmarks run
+// over — big enough to be representative, small enough for bench-smoke.
+func marlinvetBenchDirs() (string, []string) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	dirs, err := lint.ExpandPatterns(cwd, []string{"./internal/sim", "./internal/packet", "./internal/fpga"})
+	if err != nil {
+		panic(err)
+	}
+	return cwd, dirs
+}
+
+func loadMarlinvetPkgs(cwd string, dirs []string) []*lint.Package {
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		panic(err)
+	}
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			panic(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// benchMarlinvetOnePass measures the shared-driver architecture: one parse
+// and type-check of the package set, then every check over the one Program.
+func benchMarlinvetOnePass(b *testing.B) {
+	cwd, dirs := marlinvetBenchDirs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkgs := loadMarlinvetPkgs(cwd, dirs)
+		if diags := lint.Run(pkgs, lint.AllChecks()); len(diags) != 0 {
+			panic(fmt.Sprintf("marlinvet bench found %d diagnostics", len(diags)))
+		}
+	}
+}
+
+// benchMarlinvetPerCheckReload measures the pre-overhaul baseline shape:
+// each check re-parses and re-type-checks the package set for itself.
+func benchMarlinvetPerCheckReload(b *testing.B) {
+	cwd, dirs := marlinvetBenchDirs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range lint.AllChecks() {
+			pkgs := loadMarlinvetPkgs(cwd, dirs)
+			if diags := lint.Run(pkgs, []*lint.Check{c}); len(diags) != 0 {
+				panic(fmt.Sprintf("marlinvet bench found %d diagnostics", len(diags)))
+			}
+		}
+	}
+}
+
 var suite = []struct {
 	name string
 	fn   func(*testing.B)
@@ -213,6 +274,8 @@ var suite = []struct {
 	{"packet/clone", benchPacketClone},
 	{"tofino/fig6_pipeline", benchPipelineFig6},
 	{"tester/packet_rate", benchTesterPacketRate},
+	{"marlinvet/one_pass", benchMarlinvetOnePass},
+	{"marlinvet/per_check_reload", benchMarlinvetPerCheckReload},
 }
 
 // recordedPreOverhaul are the seed-commit measurements (Intel Xeon 2.10GHz,
@@ -251,6 +314,9 @@ func main() {
 		if before, after := perOp["refengine/"+mix], perOp["engine/"+mix]; after > 0 {
 			rep.Speedups["engine/"+mix] = before / after
 		}
+	}
+	if before, after := perOp["marlinvet/per_check_reload"], perOp["marlinvet/one_pass"]; after > 0 {
+		rep.Speedups["marlinvet/one_pass"] = before / after
 	}
 
 	enc := json.NewEncoder(os.Stdout)

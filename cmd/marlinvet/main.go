@@ -7,17 +7,22 @@
 //
 //	go run ./cmd/marlinvet ./...
 //	go run ./cmd/marlinvet -checks wallclock,maporder ./internal/sim
+//	go run ./cmd/marlinvet -checks -poolflow ./...   # all checks except poolflow
+//	go run ./cmd/marlinvet -json ./...
 //	go run ./cmd/marlinvet -list
 //
 // marlinvet prints one file:line:col diagnostic per finding and exits
-// non-zero if any survive. Intentional violations are suppressed in source
-// with a justified directive:
+// non-zero if any survive; -json renders the findings as a JSON array
+// (objects with check, file, line, column, msg) for CI and editor tooling.
+// The -checks list both enables ("wallclock,simunits") and disables
+// ("-poolflow" removes a check from the default set). Intentional
+// violations are suppressed in source with a justified directive:
 //
 //	//marlin:allow wallclock -- progress ETA is host-side UX, not model state
 //
 // An unjustified or unknown-check directive is itself reported, so every
 // suppression in the tree carries its why. See DESIGN.md ("The determinism
-// contract") for the full policy.
+// contract" and "Static analysis") for the full policy.
 package main
 
 import (
@@ -29,10 +34,11 @@ import (
 )
 
 func main() {
-	checksFlag := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	checksFlag := flag.String("checks", "", "comma-separated checks to run; prefix a name with - to disable it (default: all)")
+	jsonFlag := flag.Bool("json", false, "render diagnostics as a JSON array instead of file:line:col lines")
 	list := flag.Bool("list", false, "list available checks and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: marlinvet [-checks a,b] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: marlinvet [-checks a,b,-c] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,13 +54,13 @@ func main() {
 		return
 	}
 
-	if err := run(*checksFlag, flag.Args()); err != nil {
+	if err := run(*checksFlag, *jsonFlag, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "marlinvet:", err)
 		os.Exit(2)
 	}
 }
 
-func run(checkNames string, patterns []string) error {
+func run(checkNames string, asJSON bool, patterns []string) error {
 	checks, err := lint.SelectChecks(checkNames)
 	if err != nil {
 		return err
@@ -83,8 +89,14 @@ func run(checkNames string, patterns []string) error {
 		pkgs = append(pkgs, pkg)
 	}
 	diags := lint.Run(pkgs, checks)
-	for _, d := range diags {
-		fmt.Println(d)
+	if asJSON {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "marlinvet: %d diagnostic(s) in %d package(s)\n", n, len(pkgs))

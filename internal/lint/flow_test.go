@@ -1,0 +1,405 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// traceDomain is a toy transfers implementation that records every hook the
+// walker fires, independent of any concrete check. The abstract state of a
+// variable is the source text it was last assigned from, and joins render as
+// join(a,b), so the trace makes the walker's control-flow treatment —
+// branch cloning, terminator pruning, zero-iteration loop joins, scope exit
+// — directly assertable.
+type traceDomain struct {
+	info   *types.Info
+	events []string
+}
+
+func (d *traceDomain) logf(format string, args ...any) {
+	d.events = append(d.events, fmt.Sprintf(format, args...))
+}
+
+func (d *traceDomain) join(a, b string) string {
+	if a == b {
+		return a
+	}
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return "join(" + a + "," + b + ")"
+}
+
+// describe renders an expression compactly for states and trace lines.
+func describe(x ast.Expr) string {
+	switch v := x.(type) {
+	case nil:
+		return "<nil>"
+	case *ast.Ident:
+		return v.Name
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.CallExpr:
+		return describe(v.Fun) + "()"
+	case *ast.FuncLit:
+		return "func-lit"
+	}
+	return "expr"
+}
+
+func (d *traceDomain) assign(e env[string], lhs, rhs ast.Expr, define bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		d.logf("assign expr <- %s", describe(rhs))
+		return
+	}
+	d.logf("assign %s <- %s", id.Name, describe(rhs))
+	if id.Name == "_" {
+		return
+	}
+	var obj types.Object
+	if define {
+		obj = d.info.Defs[id]
+	} else {
+		obj = d.info.Uses[id]
+	}
+	if obj != nil && rhs != nil {
+		e[obj] = describe(rhs)
+	}
+}
+
+func (d *traceDomain) call(e env[string], call *ast.CallExpr) {
+	d.logf("call %s", describe(call.Fun))
+}
+
+func (d *traceDomain) ret(e env[string], ret *ast.ReturnStmt) {
+	d.logf("return")
+}
+
+func (d *traceDomain) rng(e env[string], rs *ast.RangeStmt) {
+	d.logf("range")
+	for _, ie := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := ie.(*ast.Ident); ok && id.Name != "_" {
+			if obj := d.info.Defs[id]; obj != nil {
+				e[obj] = "iter"
+			}
+		}
+	}
+}
+
+func (d *traceDomain) use(e env[string], id *ast.Ident) {
+	obj := d.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if st, tracked := e[obj]; tracked {
+		d.logf("use %s=%s", id.Name, st)
+	}
+}
+
+func (d *traceDomain) captured(e env[string], obj types.Object) {
+	d.logf("captured %s=%s", obj.Name(), e[obj])
+}
+
+func (d *traceDomain) exitScope(e env[string], objs []types.Object) {
+	for _, obj := range objs {
+		if st, tracked := e[obj]; tracked {
+			d.logf("exit %s=%s", obj.Name(), st)
+		}
+	}
+}
+
+// traceFunc type-checks src (a package clause plus declarations), walks the
+// body of the function named f with an empty initial environment, and
+// returns the recorded event trace.
+func traceFunc(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "trace.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("tracepkg", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var body *ast.BlockStmt
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		t.Fatal("no function f in source")
+	}
+	d := &traceDomain{info: info}
+	w := &flowWalker[string]{info: info, tr: d}
+	w.walk(body, make(env[string]))
+	return d.events
+}
+
+func TestFlowTransfers(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "assign and use",
+			src: `package p
+func f() {
+	x := 1
+	y := x
+	_ = y
+}`,
+			want: []string{
+				"assign x <- 1",
+				"use x=1",
+				"assign y <- x",
+				"use y=x",
+				"assign _ <- y",
+				"exit x=1", "exit y=x",
+			},
+		},
+		{
+			name: "branch join",
+			src: `package p
+func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+	}
+	_ = x
+}`,
+			want: []string{
+				"assign x <- 1",
+				"assign x <- 2",
+				"use x=join(2,1)",
+				"assign _ <- x",
+				"exit x=join(2,1)",
+			},
+		},
+		{
+			name: "return terminates its branch",
+			src: `package p
+func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+		return
+	}
+	_ = x
+}`,
+			want: []string{
+				"assign x <- 1",
+				"assign x <- 2",
+				"return",
+				"exit x=2",
+				// After the if, only the fall-through path survives: x is
+				// still 1, not a join.
+				"use x=1",
+				"assign _ <- x",
+				"exit x=1",
+			},
+		},
+		{
+			name: "both branches terminate",
+			src: `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		return x
+	} else {
+		return 0
+	}
+}`,
+			want: []string{
+				"assign x <- 1",
+				"use x=1",
+				"return",
+				"exit x=1",
+				"return",
+				"exit x=1",
+				// No fall-through exit: the if terminates the function.
+			},
+		},
+		{
+			name: "loop joins with zero iterations",
+			src: `package p
+func f(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = 2
+	}
+	_ = x
+}`,
+			want: []string{
+				"assign x <- 1",
+				"assign i <- 0",
+				"use i=0",
+				"assign x <- 2",
+				"use i=0",
+				"use x=join(2,1)",
+				"assign _ <- x",
+				"exit x=join(2,1)",
+			},
+		},
+		{
+			name: "range binds and unbinds iteration variables",
+			src: `package p
+func f(m map[string]int) {
+	t := 0
+	for k, v := range m {
+		t = v
+		_ = k
+	}
+	_ = t
+}`,
+			want: []string{
+				"assign t <- 0",
+				"range",
+				"use v=iter",
+				"assign t <- v",
+				"use k=iter",
+				"assign _ <- k",
+				"exit k=iter",
+				"exit v=iter",
+				"use t=join(v,0)",
+				"assign _ <- t",
+				"exit t=join(v,0)",
+			},
+		},
+		{
+			name: "call visits arguments first",
+			src: `package p
+func g(int) {}
+func f() {
+	x := 1
+	g(x)
+}`,
+			want: []string{
+				"assign x <- 1",
+				"use x=1",
+				"call g",
+				"exit x=1",
+			},
+		},
+		{
+			name: "tuple assignment shares the call",
+			src: `package p
+func g() (int, int) { return 1, 2 }
+func f() {
+	a, b := g()
+	_, _ = a, b
+}`,
+			want: []string{
+				"call g",
+				"assign a <- g()",
+				"assign b <- g()",
+				"use a=g()",
+				"use b=g()",
+				"assign _ <- a",
+				"assign _ <- b",
+				"exit a=g()", "exit b=g()",
+			},
+		},
+		{
+			name: "function literal reports captures",
+			src: `package p
+func f() {
+	x := 1
+	h := func() int { return x }
+	_ = h
+}`,
+			want: []string{
+				"assign x <- 1",
+				"captured x=1",
+				"assign h <- func-lit",
+				"use h=func-lit",
+				"assign _ <- h",
+				"exit x=1", "exit h=func-lit",
+			},
+		},
+		{
+			name: "panic terminates without scope exit",
+			src: `package p
+func f() {
+	x := 1
+	_ = x
+	panic("boom")
+}`,
+			want: []string{
+				"assign x <- 1",
+				"use x=1",
+				"assign _ <- x",
+				"call panic",
+				// No exit event: a panicking path owes no cleanup and must
+				// not count as a function exit in summaries.
+			},
+		},
+		{
+			name: "inner block closes its own scope",
+			src: `package p
+func f() {
+	x := 1
+	{
+		y := 2
+		_ = y
+	}
+	_ = x
+}`,
+			want: []string{
+				"assign x <- 1",
+				"assign y <- 2",
+				"use y=2",
+				"assign _ <- y",
+				"exit y=2",
+				"use x=1",
+				"assign _ <- x",
+				"exit x=1",
+			},
+		},
+		{
+			name: "switch without default keeps the fall-through path",
+			src: `package p
+func f(n int) {
+	x := 1
+	switch n {
+	case 0:
+		x = 2
+	}
+	_ = x
+}`,
+			want: []string{
+				"assign x <- 1",
+				"assign x <- 2",
+				"use x=join(2,1)",
+				"assign _ <- x",
+				"exit x=join(2,1)",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := traceFunc(t, tc.src)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("trace mismatch\n got: %q\nwant: %q", got, tc.want)
+			}
+		})
+	}
+}

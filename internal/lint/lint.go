@@ -18,6 +18,23 @@
 //     not time.Time/time.Duration.
 //   - poolmisuse: a pooled packet must not be used after Release returned
 //     it to the pool (block-local use-after-free on the packet pool).
+//   - poolflow: interprocedural ownership tracking for pooled packets —
+//     use-after-Release and leaks across call boundaries, driven by
+//     per-function ownership summaries (does the callee consume or borrow
+//     its packet arguments?).
+//   - simunits: unit-provenance tracking for time values — a nanosecond
+//     count (time.Duration, *.Nanoseconds()) converted or mixed into
+//     picosecond sim.Time/sim.Duration without visible scaling is a
+//     finding, and vice versa.
+//   - detflow: determinism dataflow — goroutines and selects in model code
+//     (annotated when reachable from an engine callback via the call
+//     graph), and map-iteration-order dataflow escaping the loop
+//     (last-writer-wins, plain-assign float accumulation).
+//
+// All checks run over one shared Program: each package is parsed and
+// type-checked once per invocation, and the dataflow checks share a function
+// index, a static call graph, and memoized per-function summaries, so adding
+// a check adds a syntax walk, never another type-check.
 //
 // Intentional violations are suppressed with a directive that must carry a
 // justification:
@@ -30,8 +47,10 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
+	"io"
 	"sort"
 	"strings"
 )
@@ -48,6 +67,34 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg, d.Check)
 }
 
+// jsonDiagnostic is the stable wire shape of one finding for -json output.
+type jsonDiagnostic struct {
+	Check  string `json:"check"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Msg    string `json:"msg"`
+}
+
+// WriteJSON renders the diagnostics as a JSON array (schema marlinvet/v1:
+// objects with check, file, line, column, msg), one stable shape for CI and
+// editor tooling to consume.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Check:  d.Check,
+			File:   d.Pos.Filename,
+			Line:   d.Pos.Line,
+			Column: d.Pos.Column,
+			Msg:    d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // Check is one marlinvet analysis, in the style of go/analysis: a name, a
 // one-line doc string, and a Run function that reports through the pass.
 type Check struct {
@@ -59,9 +106,11 @@ type Check struct {
 	Run       func(*Pass)
 }
 
-// Pass carries one check's execution over one package.
+// Pass carries one check's execution over one package, with access to the
+// whole-program context for interprocedural facts.
 type Pass struct {
 	Pkg   *Package
+	Prog  *Program
 	check *Check
 	diags *[]Diagnostic
 }
@@ -77,7 +126,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // AllChecks returns every registered check, in a stable order.
 func AllChecks() []*Check {
-	return []*Check{wallclockCheck, maporderCheck, rngsourceCheck, simtimeCheck, poolmisuseCheck}
+	return []*Check{
+		wallclockCheck, maporderCheck, rngsourceCheck, simtimeCheck, poolmisuseCheck,
+		poolflowCheck, simunitsCheck, detflowCheck,
+	}
 }
 
 // CheckNames returns the names of every registered check, sorted.
@@ -91,21 +143,43 @@ func CheckNames() []string {
 }
 
 // SelectChecks resolves a comma-separated name list ("" means all checks).
+// A name prefixed with "-" removes the check from the selection instead, so
+// "-poolflow" means every check except poolflow; additions and removals may
+// be mixed, with removals winning.
 func SelectChecks(names string) ([]*Check, error) {
+	all := AllChecks()
 	if names == "" {
-		return AllChecks(), nil
+		return all, nil
 	}
 	byName := make(map[string]*Check)
-	for _, c := range AllChecks() {
+	for _, c := range all {
 		byName[c.Name] = c
 	}
-	var out []*Check
+	var adds []*Check
+	removed := make(map[string]bool)
 	for _, n := range strings.Split(names, ",") {
-		c, ok := byName[strings.TrimSpace(n)]
+		n = strings.TrimSpace(n)
+		neg := strings.HasPrefix(n, "-")
+		name := strings.TrimPrefix(n, "-")
+		c, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("lint: unknown check %q (have %s)", n, strings.Join(CheckNames(), ", "))
+			return nil, fmt.Errorf("lint: unknown check %q (have %s)", name, strings.Join(CheckNames(), ", "))
 		}
-		out = append(out, c)
+		if neg {
+			removed[c.Name] = true
+		} else {
+			adds = append(adds, c)
+		}
+	}
+	if adds == nil {
+		// Pure-removal selection: start from all checks.
+		adds = all
+	}
+	var out []*Check
+	for _, c := range adds {
+		if !removed[c.Name] {
+			out = append(out, c)
+		}
 	}
 	return out, nil
 }
@@ -135,9 +209,13 @@ func HostSide(path string) bool {
 }
 
 // Run executes the checks over the packages and returns the surviving
-// diagnostics, sorted by position. Diagnostics covered by a justified
-// //marlin:allow directive are suppressed; malformed directives are reported.
+// diagnostics, sorted by position. All checks share one Program — one parse
+// and type-check per package, one function index and call graph, memoized
+// interprocedural summaries. Diagnostics covered by a justified
+// //marlin:allow directive are suppressed; malformed directives are
+// reported; identical findings from overlapping checks are deduplicated.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	prog := newProgram(pkgs)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		dirs := collectDirectives(pkg)
@@ -146,10 +224,15 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 			if c.ModelOnly && HostSide(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Pkg: pkg, check: c, diags: &raw}
+			pass := &Pass{Pkg: pkg, Prog: prog, check: c, diags: &raw}
 			c.Run(pass)
 		}
+		seen := make(map[Diagnostic]bool)
 		for _, d := range raw {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
 			if !dirs.allows(d) {
 				out = append(out, d)
 			}

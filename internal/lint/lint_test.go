@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -89,6 +90,34 @@ func TestFixtureDiagnostics(t *testing.T) {
 			"poolmisuse_bad.go:29 poolmisuse", // use after Release in branch
 		}},
 		{"poolmisuse_clean", "poolmisuse", nil},
+		// The acceptance case for the interprocedural analysis: every
+		// violation in poolflow_bad crosses a function boundary, so the
+		// block-local poolmisuse check provably finds nothing there...
+		{"poolflow_bad", "poolmisuse", nil},
+		// ...while poolflow's callee summaries catch all of them.
+		{"poolflow_bad", "poolflow", []string{
+			"poolflow_bad.go:21 poolflow", // use after consuming callee
+			"poolflow_bad.go:28 poolflow", // double Release across calls
+			"poolflow_bad.go:41 poolflow", // use after Receive handoff
+			"poolflow_bad.go:46 poolflow", // leak on early return
+		}},
+		{"poolflow_clean", "poolflow", nil},
+		{"simunits_bad", "simunits", []string{
+			"simunits_bad.go:15 simunits", // nanoseconds into sim.Time
+			"simunits_bad.go:20 simunits", // picoseconds into time.Duration
+			"simunits_bad.go:25 simunits", // picos compared against nanos
+			"simunits_bad.go:37 simunits", // nanos via helper return summary
+			"simunits_bad.go:43 simunits", // seconds into sim.Duration
+		}},
+		{"simunits_clean", "simunits", nil},
+		{"detflow_bad", "detflow", []string{
+			"detflow_bad.go:10 detflow", // goroutine in model code
+			"detflow_bad.go:15 detflow", // select in model code
+			"detflow_bad.go:40 detflow", // goroutine reachable from callback
+			"detflow_bad.go:48 detflow", // last-writer-wins map flow
+			"detflow_bad.go:58 detflow", // plain-assign float accumulation
+		}},
+		{"detflow_clean", "detflow", nil},
 		{"directive_bad", "wallclock", []string{
 			"directive_bad.go:11 wallclock", // unjustified allow must not suppress
 			"directive_bad.go:11 directive", // allow without justification
@@ -163,8 +192,8 @@ func TestExpandPatternsSkipsTestdata(t *testing.T) {
 
 func TestSelectChecks(t *testing.T) {
 	all, err := SelectChecks("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("SelectChecks(\"\") = %d checks, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("SelectChecks(\"\") = %d checks, err %v; want 8, nil", len(all), err)
 	}
 	two, err := SelectChecks("wallclock,simtime")
 	if err != nil || len(two) != 2 {
@@ -172,5 +201,47 @@ func TestSelectChecks(t *testing.T) {
 	}
 	if _, err := SelectChecks("bogus"); err == nil {
 		t.Fatal("SelectChecks(\"bogus\") did not error")
+	}
+	// A "-name" entry removes the check from the selection.
+	without, err := SelectChecks("-poolflow")
+	if err != nil || len(without) != 7 {
+		t.Fatalf("SelectChecks(\"-poolflow\") = %d checks, err %v; want 7, nil", len(without), err)
+	}
+	for _, c := range without {
+		if c.Name == "poolflow" {
+			t.Fatal("SelectChecks(\"-poolflow\") still contains poolflow")
+		}
+	}
+	mixed, err := SelectChecks("wallclock,simtime,-simtime")
+	if err != nil || len(mixed) != 1 || mixed[0].Name != "wallclock" {
+		t.Fatalf("SelectChecks mixed add/remove: got %v, err %v", mixed, err)
+	}
+	if _, err := SelectChecks("-bogus"); err == nil {
+		t.Fatal("SelectChecks(\"-bogus\") did not error")
+	}
+}
+
+// TestDetflowReachability pins the call-graph annotation: a goroutine inside
+// a helper reachable from a scheduled callback carries the reachability
+// note, and one in an unconnected function does not.
+func TestDetflowReachability(t *testing.T) {
+	pkg, err := loader(t).LoadDir(filepath.Join("testdata", "src", "detflow_bad"))
+	if err != nil {
+		t.Fatalf("loading detflow_bad: %v", err)
+	}
+	checks, err := SelectChecks("detflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLine := make(map[int]string)
+	for _, d := range Run([]*Package{pkg}, checks) {
+		byLine[d.Pos.Line] = d.Msg
+	}
+	const note = "reachable from an engine callback"
+	if msg := byLine[40]; !strings.Contains(msg, note) {
+		t.Errorf("goroutine in scheduled helper lacks reachability note: %q", msg)
+	}
+	if msg := byLine[10]; strings.Contains(msg, note) {
+		t.Errorf("goroutine in unconnected function has spurious reachability note: %q", msg)
 	}
 }

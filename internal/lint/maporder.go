@@ -24,22 +24,8 @@ var maporderCheck = &Check{
 }
 
 func runMapOrder(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
-			}
-			if body != nil {
-				checkFuncMapRanges(pass, body)
-			}
-			return true
-		})
+	for _, fb := range funcBodies(pass.Pkg) {
+		checkFuncMapRanges(pass, fb.body)
 	}
 }
 

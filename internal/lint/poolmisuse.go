@@ -24,22 +24,11 @@ var poolmisuseCheck = &Check{
 }
 
 func runPoolMisuse(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					scanStmts(pass, fn.Body.List, map[types.Object]bool{})
-				}
-			case *ast.FuncLit:
-				// Closures get their own fresh scope: whether they run
-				// before or after an enclosing Release is a scheduling
-				// question this local analysis does not answer.
-				scanStmts(pass, fn.Body.List, map[types.Object]bool{})
-				return false
-			}
-			return true
-		})
+	// funcBodies lists declarations and closures separately: each closure is
+	// a fresh scope, since whether it runs before or after an enclosing
+	// Release is a scheduling question this local analysis does not answer.
+	for _, fb := range funcBodies(pass.Pkg) {
+		scanStmts(pass, fb.body.List, map[types.Object]bool{})
 	}
 }
 

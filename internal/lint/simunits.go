@@ -1,0 +1,434 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// simunitsCheck is the unit-provenance analysis. simtime polices the static
+// types at API boundaries; simunits chases the values. sim.Time and
+// sim.Duration count picoseconds, time.Duration counts nanoseconds, and all
+// three are int64 underneath, so the type system cannot stop a nanosecond
+// count from being reinterpreted as picoseconds — the conversion compiles
+// and the result is silently wrong by 1000x (the class of bug behind the
+// sim.Interval rounding drift fixed in PR 5).
+//
+// The analysis tags every bare numeric value with the unit it was derived
+// from — nanoseconds (int64/float64 produced from a time.Duration or a
+// *.Nanoseconds() call), picoseconds (produced from a sim.Time or
+// sim.Duration) — and propagates the tag through assignments, arithmetic,
+// and the return values of module-local functions (a summary computed from
+// each callee's own body). It reports:
+//
+//   - a conversion to sim.Time/sim.Duration whose operand carries a
+//     nanosecond (or coarser) tag, unscaled;
+//   - a conversion to time.Duration whose operand carries a picosecond
+//     tag, unscaled;
+//   - addition/subtraction/comparison mixing nanosecond- and
+//     picosecond-tagged operands.
+//
+// The designated scaling idiom stays clean: a conversion that is an operand
+// of a multiplication or division by a constant (sim.Duration(ns) *
+// sim.Nanosecond, time.Duration(t) * time.Nanosecond / 1000) is the author
+// visibly changing units, which is the point of the boundary functions
+// sim.FromStd and sim.Time.Std.
+var simunitsCheck = &Check{
+	Name: "simunits",
+	Doc:  "no nanosecond-valued numerics flowing into picosecond sim types (or vice versa) without scaling",
+	Run:  runSimUnits,
+}
+
+// unitKind tags what a bare numeric value counts.
+type unitKind uint8
+
+const (
+	unitNone unitKind = iota
+	// unitNanos counts nanoseconds (from time.Duration or *.Nanoseconds()).
+	unitNanos
+	// unitMicros/unitMillis/unitSeconds are coarser wall-style units from
+	// the corresponding accessors; converting any of them straight into a
+	// sim type is as wrong as nanoseconds.
+	unitMicros
+	unitMillis
+	unitSeconds
+	// unitPicos counts picoseconds (from sim.Time/sim.Duration).
+	unitPicos
+)
+
+func (k unitKind) String() string {
+	switch k {
+	case unitNanos:
+		return "nanoseconds"
+	case unitMicros:
+		return "microseconds"
+	case unitMillis:
+		return "milliseconds"
+	case unitSeconds:
+		return "seconds"
+	case unitPicos:
+		return "picoseconds"
+	}
+	return "untagged"
+}
+
+// stdFamily reports whether k is a wall-style (non-picosecond) unit.
+func (k unitKind) stdFamily() bool {
+	return k == unitNanos || k == unitMicros || k == unitMillis || k == unitSeconds
+}
+
+func runSimUnits(pass *Pass) {
+	for _, fb := range funcBodies(pass.Pkg) {
+		su := &simUnits{pass: pass, prog: pass.Prog, info: pass.Pkg.Info, reported: make(map[token.Pos]bool)}
+		w := &flowWalker[unitKind]{info: pass.Pkg.Info, tr: su}
+		w.walk(fb.body, make(env[unitKind]))
+	}
+}
+
+// simUnits is the transfers domain. With pass == nil it runs in summary
+// mode, recording the unit tag of every value the function returns.
+type simUnits struct {
+	pass     *Pass
+	prog     *Program
+	info     *types.Info
+	reported map[token.Pos]bool
+
+	// Summary mode: join of the first return value's tags across returns.
+	retTag unitKind
+	retSet bool
+}
+
+func (su *simUnits) join(a, b unitKind) unitKind {
+	if a == b {
+		return a
+	}
+	return unitNone
+}
+
+func (su *simUnits) reportf(pos token.Pos, format string, args ...any) {
+	if su.pass == nil || su.reported[pos] {
+		return
+	}
+	su.reported[pos] = true
+	su.pass.Reportf(pos, format, args...)
+}
+
+func (su *simUnits) assign(e env[unitKind], lhs, rhs ast.Expr, define bool) {
+	var tag unitKind
+	if rhs != nil {
+		tag = su.eval(e, rhs, false)
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	var obj types.Object
+	if define {
+		obj = su.info.Defs[id]
+	} else {
+		obj = su.info.Uses[id]
+	}
+	if obj == nil || !isBareNumeric(obj.Type()) {
+		return
+	}
+	if tag == unitNone {
+		delete(e, obj)
+	} else {
+		e[obj] = tag
+	}
+}
+
+func (su *simUnits) call(e env[unitKind], call *ast.CallExpr) {
+	// Conversions are evaluated by their parent context (an assignment, a
+	// return, or an enclosing call's argument list), which knows whether a
+	// scaling operation wraps them; evaluating one here would misreport the
+	// scaled idiom.
+	if su.isConversion(call) {
+		return
+	}
+	for _, arg := range call.Args {
+		su.eval(e, arg, false)
+	}
+}
+
+func (su *simUnits) ret(e env[unitKind], ret *ast.ReturnStmt) {
+	for i, r := range ret.Results {
+		tag := su.eval(e, r, false)
+		if i == 0 && su.pass == nil {
+			if !su.retSet {
+				su.retTag, su.retSet = tag, true
+			} else {
+				su.retTag = su.join(su.retTag, tag)
+			}
+		}
+	}
+}
+
+func (su *simUnits) rng(env[unitKind], *ast.RangeStmt) {}
+
+func (su *simUnits) use(env[unitKind], *ast.Ident) {}
+
+func (su *simUnits) captured(e env[unitKind], obj types.Object) {
+	// A closure may rebind the variable; drop the tag.
+	delete(e, obj)
+}
+
+func (su *simUnits) exitScope(env[unitKind], []types.Object) {}
+
+// isConversion reports whether call is a type conversion.
+func (su *simUnits) isConversion(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	if tv, ok := su.info.Types[call.Fun]; ok {
+		return tv.IsType()
+	}
+	return false
+}
+
+// eval computes the unit tag of an expression, reporting misconversions and
+// mixed-unit arithmetic as it goes. scaled is true when the expression is an
+// operand of a multiplication/division by a constant — the visible-rescaling
+// idiom that legitimizes a unit-changing conversion.
+func (su *simUnits) eval(e env[unitKind], x ast.Expr, scaled bool) unitKind {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if t := staticUnitOf(su.info.TypeOf(v)); t != unitNone {
+			return t
+		}
+		if obj := su.info.Uses[v]; obj != nil {
+			return e[obj]
+		}
+		return unitNone
+
+	case *ast.UnaryExpr:
+		return su.eval(e, v.X, scaled)
+
+	case *ast.BinaryExpr:
+		return su.evalBinary(e, v, scaled)
+
+	case *ast.CallExpr:
+		return su.evalCall(e, v, scaled)
+
+	case *ast.SelectorExpr:
+		return staticUnitOf(su.info.TypeOf(v))
+
+	case *ast.IndexExpr:
+		return staticUnitOf(su.info.TypeOf(v))
+
+	default:
+		return staticUnitOf(su.info.TypeOf(x))
+	}
+}
+
+func (su *simUnits) evalBinary(e env[unitKind], b *ast.BinaryExpr, scaled bool) unitKind {
+	switch b.Op {
+	case token.MUL, token.QUO:
+		// Multiplying or dividing by a constant is how units are visibly
+		// rescaled; the scaling license extends to the operands.
+		xScaled := scaled || su.isConstant(b.Y)
+		yScaled := scaled || su.isConstant(b.X)
+		xt := su.eval(e, b.X, xScaled)
+		yt := su.eval(e, b.Y, yScaled)
+		if xt != unitNone && yt == unitNone {
+			return xt
+		}
+		if b.Op == token.MUL && yt != unitNone && xt == unitNone {
+			return yt
+		}
+		return unitNone
+
+	case token.ADD, token.SUB,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		xt := su.eval(e, b.X, false)
+		yt := su.eval(e, b.Y, false)
+		if xt.stdFamily() && yt == unitPicos || yt.stdFamily() && xt == unitPicos {
+			su.reportf(b.OpPos, "%s %s %s mixes wall-time and sim-time units; scale one side (sim.Nanosecond = 1000 ps)",
+				xt, b.Op, yt)
+			return unitNone
+		}
+		if xt == yt {
+			return xt
+		}
+		if xt == unitNone {
+			return yt
+		}
+		if yt == unitNone {
+			return xt
+		}
+		return unitNone
+
+	default:
+		su.eval(e, b.X, false)
+		su.eval(e, b.Y, false)
+		return unitNone
+	}
+}
+
+func (su *simUnits) evalCall(e env[unitKind], call *ast.CallExpr, scaled bool) unitKind {
+	// Type conversion: the place units are laundered.
+	if su.isConversion(call) {
+		dst := su.info.TypeOf(call)
+		src := call.Args[0]
+		srcTag := su.eval(e, src, false)
+		if srcTag == unitNone {
+			srcTag = staticUnitOf(su.info.TypeOf(src))
+		}
+		switch {
+		case isSimUnitType(dst):
+			if srcTag.stdFamily() && !scaled {
+				su.reportf(call.Pos(),
+					"%s-valued expression converted to %s, which counts picoseconds; multiply by sim.Nanosecond (or use sim.FromStd) to scale",
+					srcTag, typeName(dst))
+				return unitNone
+			}
+			return unitPicos
+		case isStdDuration(dst):
+			if srcTag == unitPicos && !scaled {
+				su.reportf(call.Pos(),
+					"picosecond-valued expression converted to time.Duration, which counts nanoseconds; use sim.Time.Std to scale")
+				return unitNone
+			}
+			return unitNanos
+		case isBareNumeric(dst):
+			// int64(d), float64(t): the tag rides through the conversion.
+			return srcTag
+		}
+		return unitNone
+	}
+
+	// Unit accessors on duration-like values.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && len(call.Args) == 0 {
+		recv := su.info.TypeOf(sel.X)
+		if isStdDuration(recv) || isSimUnitType(recv) || isStdTime(recv) {
+			switch sel.Sel.Name {
+			case "Nanoseconds", "UnixNano":
+				return unitNanos
+			case "Microseconds":
+				return unitMicros
+			case "Milliseconds":
+				return unitMillis
+			case "Seconds":
+				return unitSeconds
+			}
+		}
+	}
+
+	// Module-local callee: use its return-unit summary.
+	if fn := calleeFunc(su.info, call); fn != nil {
+		if tag := su.prog.unitSummaryOf(fn); tag != unitNone {
+			return tag
+		}
+	}
+	// Evaluate arguments for their own findings (deduplicated with the
+	// walker's call hook by position).
+	for _, arg := range call.Args {
+		su.eval(e, arg, false)
+	}
+	return unitNone
+}
+
+// isConstant reports whether the expression has a compile-time constant
+// value (typed or untyped).
+func (su *simUnits) isConstant(x ast.Expr) bool {
+	tv, ok := su.info.Types[x]
+	return ok && tv.Value != nil
+}
+
+// unitSummaryOf computes (and memoizes) the unit tag of fn's first return
+// value, derived from fn's own body. unitNone for multi-tag returns,
+// recursion, or bodies outside the analyzed packages.
+func (prog *Program) unitSummaryOf(fn *types.Func) unitKind {
+	if tag, ok := prog.unitSums[fn]; ok {
+		return tag
+	}
+	prog.unitSums[fn] = unitNone // in-progress marker; recursion degrades
+	fi := prog.FuncDeclOf(fn)
+	if fi == nil || fi.Decl.Body == nil {
+		return unitNone
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() == 0 || !isBareNumeric(sig.Results().At(0).Type()) {
+		return unitNone
+	}
+	su := &simUnits{prog: prog, info: fi.Pkg.Info, reported: make(map[token.Pos]bool)}
+	w := &flowWalker[unitKind]{info: fi.Pkg.Info, tr: su}
+	w.walk(fi.Decl.Body, make(env[unitKind]))
+	tag := unitNone
+	if su.retSet {
+		tag = su.retTag
+	}
+	prog.unitSums[fn] = tag
+	return tag
+}
+
+// staticUnitOf maps a static type to the unit its values count.
+func staticUnitOf(t types.Type) unitKind {
+	switch {
+	case t == nil:
+		return unitNone
+	case isSimUnitType(t):
+		return unitPicos
+	case isStdDuration(t):
+		return unitNanos
+	}
+	return unitNone
+}
+
+// isSimUnitType reports whether t is sim.Time or sim.Duration.
+func isSimUnitType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "marlin/internal/sim" {
+		return false
+	}
+	return obj.Name() == "Time" || obj.Name() == "Duration"
+}
+
+// isStdDuration reports whether t is time.Duration.
+func isStdDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// isStdTime reports whether t is time.Time.
+func isStdTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+// isBareNumeric reports whether t is an unnamed basic integer or float type
+// — the only values whose unit provenance the environment tracks.
+func isBareNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, named := t.(*types.Named); named {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// typeName renders a named type as pkg.Name for diagnostics.
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}

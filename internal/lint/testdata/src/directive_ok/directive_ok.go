@@ -1,0 +1,24 @@
+// Package directive_ok exercises justified //marlin:allow directives in
+// both placements; every violation here is suppressed, so the fixture test
+// expects zero diagnostics.
+package directive_ok
+
+import "time"
+
+// EndOfLine suppresses with a trailing comment on the offending line.
+func EndOfLine() time.Time {
+	return time.Now() //marlin:allow wallclock -- fixture: trailing-form suppression
+}
+
+// LineAbove suppresses with a comment on the preceding line.
+func LineAbove() time.Time {
+	//marlin:allow wallclock -- fixture: line-above-form suppression
+	return time.Now()
+}
+
+// MultiCheck names two checks in one directive; the wallclock finding on
+// the next line matches the first name.
+func MultiCheck() time.Time {
+	//marlin:allow wallclock,maporder -- fixture: one directive, two checks
+	return time.Now()
+}

@@ -1,0 +1,67 @@
+// Package poolflow_clean holds ownership patterns the poolflow check must
+// accept: borrow-then-consume, Clone before a handoff, ownership transfer by
+// return, and rebinding a released variable to a fresh packet.
+package poolflow_clean
+
+import "marlin/internal/packet"
+
+// consume Releases its argument on every path (summary: consumes).
+func consume(p *packet.Packet) {
+	p.Release()
+}
+
+// peek only reads its argument (summary: borrows).
+func peek(p *packet.Packet) int {
+	return p.Size
+}
+
+// OwnAndRelease borrows the packet to a helper, then meets the Release
+// obligation through a consuming helper.
+func OwnAndRelease() {
+	p := packet.Get()
+	_ = peek(p)
+	consume(p)
+}
+
+type sink struct{}
+
+func (s *sink) Receive(p *packet.Packet) {
+	p.Release()
+}
+
+// CloneBeforeHandoff retains a copy across a Receive handoff — the fix the
+// use-after-consume diagnostic suggests.
+func CloneBeforeHandoff(s *sink) uint32 {
+	p := packet.Get()
+	q := p.Clone()
+	s.Receive(p)
+	n := q.PSN
+	consume(q)
+	return n
+}
+
+// ReturnTransfers hands ownership to the caller; no leak.
+func ReturnTransfers() *packet.Packet {
+	p := packet.Get()
+	return p
+}
+
+// ReleaseThenRebind reuses the variable for a fresh packet; the rebinding
+// resets the ownership state.
+func ReleaseThenRebind() {
+	p := packet.Get()
+	consume(p)
+	p = packet.Get()
+	p.Release()
+}
+
+// MaybeConsumed is consumed on one path only; the join is "maybe" and the
+// check stays silent rather than guessing.
+func MaybeConsumed(drop bool) {
+	p := packet.Get()
+	if drop {
+		consume(p)
+	} else {
+		p.Release()
+	}
+}
