@@ -25,6 +25,7 @@ import (
 	"testing"
 
 	"marlin"
+	"marlin/internal/aqm"
 	"marlin/internal/lint"
 	"marlin/internal/netem"
 	"marlin/internal/packet"
@@ -155,6 +156,33 @@ func benchPacketClone(b *testing.B) {
 	p.Release()
 }
 
+// benchAQMEnqueue measures one discipline's admission decision under a
+// half-full queue with an advancing clock — the per-packet cost every
+// emulated egress port pays when an AQM is installed. The enqueue hook is
+// on the packet hot path, so the suite asserts 0 allocs/op in CI.
+func benchAQMEnqueue(spec string) func(*testing.B) {
+	return func(b *testing.B) {
+		s, err := aqm.ParseSpec(spec)
+		if err != nil {
+			panic(err)
+		}
+		const capacity = 256 << 10
+		a := s.Build(capacity, sim.NewRand(1))
+		p := packet.NewDataECT(1, 7, 1024, 0, packet.ECT1)
+		defer p.Release()
+		view := aqm.QueueView{Bytes: capacity / 2, Packets: 128, Capacity: capacity}
+		view.BandBytes[0] = capacity / 2
+		view.BandPackets[0] = 128
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := sim.Time(0).Add(sim.Duration(i) * sim.Microsecond)
+			view.HeadEnqAt[0] = now.Add(-20 * sim.Microsecond)
+			a.OnEnqueue(p, 0, view, now)
+		}
+	}
+}
+
 func benchPipelineFig6(b *testing.B) {
 	eng := sim.NewEngine()
 	plan, err := tofino.NewPlan(1024, 100*sim.Gbps)
@@ -272,6 +300,9 @@ var suite = []struct {
 	{"refengine/timer_churn", benchRefEngineChurn},
 	{"packet/lifecycle", benchPacketLifecycle},
 	{"packet/clone", benchPacketClone},
+	{"aqm/red_enqueue", benchAQMEnqueue("red:min=30000,max=90000")},
+	{"aqm/pi2_enqueue", benchAQMEnqueue("pi2:target=10us,tupdate=50us")},
+	{"aqm/dualpi2_enqueue", benchAQMEnqueue("dualpi2:target=10us,tupdate=50us,step=20us")},
 	{"tofino/fig6_pipeline", benchPipelineFig6},
 	{"tester/packet_rate", benchTesterPacketRate},
 	{"marlinvet/one_pass", benchMarlinvetOnePass},

@@ -82,6 +82,8 @@ test flags:    -algo NAME -ports N -flows N -duration D -ecn K -fanin
                -int -pfc -fpgarecv -topology SPEC -pcap FILE -seed N
                -faults "SPEC" -pattern "SPEC" (traffic patterns: square,
                saw, mmpp, lognormal, incast, flood)
+               -aqm "SPEC" (queue discipline: red, pie, codel, pi2,
+               dualpi2; replaces step ECN)
 bench flags:   -algo NAME -ports N -flows N -duration D -reps N
                -cpuprofile FILE -memprofile FILE -trace FILE
 dot flags:     -algo NAME -ports N -pfc -fpgarecv -topology SPEC
@@ -217,6 +219,7 @@ func cmdTest(args []string) error {
 	flows := fs.Int("flows", 1, "flows per sender port")
 	durStr := fs.String("duration", "5ms", "simulated duration (e.g. 5ms, 2s)")
 	ecn := fs.Int("ecn", 65, "ECN step-marking threshold in packets (0 = off)")
+	aqmSpec := fs.String("aqm", "", `AQM discipline for the tested network's queues, e.g. "pi2" or "dualpi2:target=25us,tupdate=100us,step=50us" (replaces step ECN)`)
 	fanin := fs.Bool("fanin", false, "route all flows to one destination port")
 	useINT := fs.Bool("int", false, "stamp in-band telemetry at every hop (for hpcc)")
 	usePFC := fs.Bool("pfc", false, "lossless fabric via PFC pause frames")
@@ -233,11 +236,23 @@ func cmdTest(args []string) error {
 	if err != nil {
 		return fmt.Errorf("test: bad -duration: %w", err)
 	}
+	if *aqmSpec != "" {
+		// AQM replaces step ECN; only reject the combination when the user
+		// explicitly asked for both (the -ecn default would otherwise make
+		// -aqm unusable on its own).
+		ecnSet := false
+		fs.Visit(func(f *flag.Flag) { ecnSet = ecnSet || f.Name == "ecn" })
+		if ecnSet && *ecn != 0 {
+			return fmt.Errorf("test: -aqm and -ecn are mutually exclusive marking policies")
+		}
+		*ecn = 0
+	}
 
 	cfg := marlin.TestConfig{
 		Algorithm:        *algo,
 		Ports:            *ports,
 		ECNThresholdPkts: *ecn,
+		AQM:              *aqmSpec,
 		EnableINT:        *useINT,
 		EnablePFC:        *usePFC,
 		ReceiverOnFPGA:   *fpgaRecv,
@@ -324,6 +339,24 @@ func cmdTest(args []string) error {
 				}
 			}
 			fmt.Printf("background fct inflation: %.3f\n", marlin.FCTInflation(bg, ov.Windows))
+		}
+	}
+	if *aqmSpec != "" {
+		for _, sw := range t.NetworkTelemetry() {
+			for pi, ps := range sw.Ports {
+				if ps.AQM == nil || ps.AQM.Marks+ps.AQM.Drops == 0 {
+					continue
+				}
+				fmt.Printf("aqm %s p%d %s: marks=%d drops=%d", sw.Name, pi, ps.AQM.Discipline,
+					ps.AQM.Marks, ps.AQM.Drops)
+				for b := 0; b < len(ps.AQM.BandDeqPackets); b++ {
+					if ps.AQM.BandDeqPackets[b] > 0 {
+						fmt.Printf(" band%d=%dpkts/p99=%.1fus", b,
+							ps.AQM.BandDeqPackets[b], ps.AQM.SojournP99Us[b])
+					}
+				}
+				fmt.Println()
+			}
 		}
 	}
 	if *topology != "" {

@@ -1,0 +1,111 @@
+// Package aqm implements pluggable active-queue-management disciplines for
+// Marlin's emulated egress queues: RED, PIE, CoDel, PI2, and the coupled
+// dual-queue DualPI2 (RFC 9332) that gives L4S traffic a low-latency queue.
+//
+// A discipline is pure decision logic: it never owns packets and never
+// touches the wire. The netem Queue calls OnEnqueue before admitting a
+// packet and OnDequeue after removing one, and the discipline answers
+// Pass, Mark, or Drop. Mark is a congestion *signal*, not a CE write: the
+// queue resolves it to a CE mark when the packet carries an ECT codepoint
+// and marking is not suppressed (the faults `ecnoff` case), and to a drop
+// otherwise — exactly how a real AQM degrades when ECN is disabled.
+//
+// Determinism rules: disciplines are driven entirely by the sim-time `now`
+// handed into each hook and by the pre-split *sim.Rand stream given to
+// Build. Sojourn time is measured from Packet.EnqAt, stamped by the queue
+// at admission. No wall clock, no global RNG, no allocation on the
+// enqueue/dequeue hot path.
+package aqm
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// Decision is an AQM verdict on one packet.
+type Decision uint8
+
+// Verdicts.
+const (
+	// Pass admits (or delivers) the packet untouched.
+	Pass Decision = iota
+	// Mark signals congestion: the queue CE-marks the packet if it is
+	// ECN-capable and marking is enabled, and drops it otherwise.
+	Mark
+	// Drop discards the packet unconditionally (tail-drop semantics on
+	// enqueue; CoDel-style head drop on dequeue).
+	Drop
+)
+
+// String names the verdict.
+func (d Decision) String() string {
+	switch d {
+	case Mark:
+		return "mark"
+	case Drop:
+		return "drop"
+	default:
+		return "pass"
+	}
+}
+
+// MaxBands is the most queue bands any discipline uses: DualPI2's classic
+// and L4S queues. Single-queue disciplines use band 0 only.
+const MaxBands = 2
+
+// Band indices for dual-queue disciplines.
+const (
+	BandClassic = 0
+	BandL4S     = 1
+)
+
+// QueueView is a read-only snapshot of the queue the discipline manages,
+// passed by value into every hook. For OnEnqueue it describes the backlog
+// before the candidate packet is admitted; for OnDequeue, the backlog after
+// the departing packet was removed.
+type QueueView struct {
+	// Bytes and Packets are the total backlog across all bands.
+	Bytes, Packets int
+	// Capacity is the queue's configured byte capacity.
+	Capacity int
+	// BandBytes and BandPackets split the backlog per band.
+	BandBytes   [MaxBands]int
+	BandPackets [MaxBands]int
+	// HeadEnqAt is the enqueue stamp of each band's head packet; it is
+	// meaningless when the band is empty (check BandPackets first, or use
+	// HeadDelay which does).
+	HeadEnqAt [MaxBands]sim.Time
+}
+
+// HeadDelay returns the standing delay of the band's head packet — the
+// sojourn it would observe if dequeued at `now` — or zero when the band is
+// empty. PI-type controllers sample this as the queue-delay input.
+func (v *QueueView) HeadDelay(band int, now sim.Time) sim.Duration {
+	if v.BandPackets[band] == 0 {
+		return 0
+	}
+	return now.Sub(v.HeadEnqAt[band])
+}
+
+// AQM is one discipline instance, bound to one queue. Instances are
+// stateful and single-queue: build one per managed queue via Spec.Build.
+type AQM interface {
+	// Name returns the discipline name ("red", "pi2", ...).
+	Name() string
+	// Bands returns how many queue bands the discipline schedules (1 for
+	// single-queue disciplines, 2 for DualPI2).
+	Bands() int
+	// Classify maps an arriving packet to a band. Single-queue
+	// disciplines return 0.
+	Classify(p *packet.Packet) int
+	// OnEnqueue decides the fate of a packet about to be admitted to the
+	// given band. The view excludes the candidate packet.
+	OnEnqueue(p *packet.Packet, band int, view QueueView, now sim.Time) Decision
+	// OnDequeue decides the fate of a packet just removed from the given
+	// band; sojourn is its queueing delay. Drop means the queue releases
+	// the packet and dequeues the next one (CoDel head drop).
+	OnDequeue(p *packet.Packet, band int, sojourn sim.Duration, view QueueView, now sim.Time) Decision
+	// PickBand selects which non-empty band dequeues next. Callers
+	// guarantee at least one band is non-empty.
+	PickBand(view QueueView, now sim.Time) int
+}

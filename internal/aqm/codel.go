@@ -1,0 +1,102 @@
+package aqm
+
+import (
+	"math"
+
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// CoDel is Controlled Delay (RFC 8289), the sojourn-based dequeue-side
+// discipline: once the standing delay has exceeded Target for a full
+// Interval, CoDel enters a dropping state and signals congestion on a
+// schedule that tightens with √count until the delay dips back under
+// Target. Signals are Mark verdicts, so ECT traffic is CE-marked and
+// Not-ECT traffic is head-dropped, per the RFC's ECN behaviour. CoDel
+// needs no RNG: the interval ladder is fully deterministic.
+type CoDel struct {
+	target   sim.Duration
+	interval sim.Duration
+
+	firstAbove sim.Time // when sojourn first stayed above target; 0 = not above
+	dropNext   sim.Time // next scheduled signal while dropping
+	count      int      // signals in the current dropping episode
+	lastCount  int      // count when the previous episode ended
+	dropping   bool
+}
+
+func newCoDel(s Spec) *CoDel {
+	return &CoDel{target: s.Target, interval: s.Interval}
+}
+
+// Name implements AQM.
+func (c *CoDel) Name() string { return "codel" }
+
+// Bands implements AQM.
+func (c *CoDel) Bands() int { return 1 }
+
+// Classify implements AQM.
+func (c *CoDel) Classify(*packet.Packet) int { return 0 }
+
+// PickBand implements AQM.
+func (c *CoDel) PickBand(QueueView, sim.Time) int { return 0 }
+
+// OnEnqueue implements AQM: CoDel acts at dequeue only.
+func (c *CoDel) OnEnqueue(*packet.Packet, int, QueueView, sim.Time) Decision { return Pass }
+
+// okToSignal tracks whether the sojourn has stayed above target for a full
+// interval (RFC 8289 §5.2's dodeque logic). The near-empty exit uses the
+// remaining backlog: with at most one MTU left there is no standing queue
+// worth controlling.
+func (c *CoDel) okToSignal(sojourn sim.Duration, view QueueView, now sim.Time) bool {
+	if sojourn < c.target || view.Bytes < 1500 {
+		c.firstAbove = 0
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now.Add(c.interval)
+		return false
+	}
+	return now >= c.firstAbove
+}
+
+// OnDequeue implements AQM.
+func (c *CoDel) OnDequeue(_ *packet.Packet, _ int, sojourn sim.Duration, view QueueView, now sim.Time) Decision {
+	ok := c.okToSignal(sojourn, view, now)
+	if c.dropping {
+		switch {
+		case !ok:
+			c.dropping = false
+		case now >= c.dropNext:
+			c.count++
+			c.dropNext = c.dropNext.Add(c.controlStep())
+			return Mark
+		}
+		return Pass
+	}
+	if !ok {
+		return Pass
+	}
+	// Enter dropping state. If we were signalling recently, resume the
+	// ladder near the previous rate instead of restarting from 1 (the
+	// RFC's count memory across short gaps).
+	c.dropping = true
+	delta := c.count - c.lastCount
+	if delta > 1 && now.Sub(c.dropNext) < 16*c.interval {
+		c.count = delta
+	} else {
+		c.count = 1
+	}
+	c.lastCount = c.count
+	c.dropNext = now.Add(c.controlStep())
+	return Mark
+}
+
+// controlStep is interval/√count, the control law that increases signal
+// frequency the longer the queue refuses to drain.
+func (c *CoDel) controlStep() sim.Duration {
+	return sim.Duration(float64(c.interval) / math.Sqrt(float64(c.count)))
+}
+
+// State exposes the ladder for tests.
+func (c *CoDel) State() (dropping bool, count int) { return c.dropping, c.count }

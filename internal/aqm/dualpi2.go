@@ -1,0 +1,117 @@
+package aqm
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// DualPI2 is the coupled dual-queue AQM of RFC 9332: ECT(1) traffic (the
+// L4S identifier) is classified into a low-latency queue, everything else
+// into the classic queue. One PI controller runs on the classic queue's
+// delay and produces the base probability p'; classic arrivals are
+// signalled with probability p'² (the square law a Reno/CUBIC response
+// expects) while L4S departures are marked with the coupled probability
+// k·p' plus an immediate step mark once their sojourn exceeds StepTh.
+// The coupling is what makes the two queues share capacity fairly even
+// though the scalable flows see marks far more often. Dequeue order is a
+// time-shifted FIFO: the L4S head gets a Shift head start, which bounds
+// its latency without starving the classic queue.
+type DualPI2 struct {
+	core   piCore
+	k      float64 // coupling factor
+	stepTh sim.Duration
+	shift  sim.Duration
+	rng    *sim.Rand
+}
+
+func newDualPI2(s Spec, rng *sim.Rand) *DualPI2 {
+	return &DualPI2{
+		core:   piCore{target: s.Target, tUpdate: s.TUpdate, alpha: s.Alpha, beta: s.Beta},
+		k:      s.Coupling,
+		stepTh: s.Step,
+		shift:  s.Shift,
+		rng:    rng,
+	}
+}
+
+// Name implements AQM.
+func (q *DualPI2) Name() string { return "dualpi2" }
+
+// Bands implements AQM.
+func (q *DualPI2) Bands() int { return 2 }
+
+// Classify implements AQM: ECT(1) — and anything already CE-marked, which
+// only an ECN-capable sender can have produced — goes to the L4S band.
+func (q *DualPI2) Classify(p *packet.Packet) int {
+	if p.ECT() == packet.ECT1 || p.Flags.Has(packet.FlagCE) {
+		return BandL4S
+	}
+	return BandClassic
+}
+
+// PickBand implements AQM: time-shifted FIFO. The L4S head competes with
+// its enqueue time shifted Shift earlier, so it wins whenever the classic
+// head is not already Shift older.
+func (q *DualPI2) PickBand(view QueueView, now sim.Time) int {
+	if view.BandPackets[BandL4S] == 0 {
+		return BandClassic
+	}
+	if view.BandPackets[BandClassic] == 0 {
+		return BandL4S
+	}
+	if view.HeadEnqAt[BandClassic].Add(q.shift) < view.HeadEnqAt[BandL4S] {
+		return BandClassic
+	}
+	return BandL4S
+}
+
+// classicDelay is the controller's queue-delay sample: the classic head's
+// standing delay, or the L4S head's when the classic band is empty so the
+// controller still sees load carried entirely by scalable flows.
+func (q *DualPI2) classicDelay(view QueueView, now sim.Time) sim.Duration {
+	if view.BandPackets[BandClassic] > 0 {
+		return view.HeadDelay(BandClassic, now)
+	}
+	return view.HeadDelay(BandL4S, now)
+}
+
+// OnEnqueue implements AQM: classic arrivals face the squared probability;
+// L4S arrivals are never dropped on admission (their signal happens at
+// dequeue, where sojourn is known).
+func (q *DualPI2) OnEnqueue(_ *packet.Packet, band int, view QueueView, now sim.Time) Decision {
+	q.core.step(q.classicDelay(view, now), now)
+	if band != BandClassic {
+		return Pass
+	}
+	prob := q.core.pPrime * q.core.pPrime
+	if prob <= 0 {
+		return Pass
+	}
+	if q.rng.Float64() < prob {
+		return Mark
+	}
+	return Pass
+}
+
+// OnDequeue implements AQM: L4S departures get the step mark past StepTh,
+// else the coupled probabilistic mark k·p'.
+func (q *DualPI2) OnDequeue(_ *packet.Packet, band int, sojourn sim.Duration, view QueueView, now sim.Time) Decision {
+	q.core.step(q.classicDelay(view, now), now)
+	if band != BandL4S {
+		return Pass
+	}
+	if sojourn > q.stepTh {
+		return Mark
+	}
+	coupled := q.k * q.core.pPrime
+	if coupled <= 0 {
+		return Pass
+	}
+	if coupled >= 1 || q.rng.Float64() < coupled {
+		return Mark
+	}
+	return Pass
+}
+
+// PPrime exposes the base probability for tests.
+func (q *DualPI2) PPrime() float64 { return q.core.pPrime }

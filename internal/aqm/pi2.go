@@ -1,0 +1,93 @@
+package aqm
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// piCore is the linearised PI controller shared by PI2 and DualPI2: every
+// TUpdate the base probability p' moves by alpha·(delay−target) +
+// beta·(delay−lastDelay). Unlike PIE there is no scaling ladder — the
+// whole point of PI2 is that squaring p' at application time makes the
+// plain linear controller stable across both classic and scalable CC.
+type piCore struct {
+	target  sim.Duration
+	tUpdate sim.Duration
+	alpha   float64 // 1/s
+	beta    float64 // 1/s
+
+	pPrime    float64
+	prevDelay sim.Duration
+	next      sim.Time
+	started   bool
+}
+
+// step advances the controller through every TUpdate boundary at or before
+// now, using delay as the queue-delay sample.
+func (c *piCore) step(delay sim.Duration, now sim.Time) {
+	if !c.started {
+		c.started = true
+		c.next = now.Add(c.tUpdate)
+		return
+	}
+	for now >= c.next {
+		delta := c.alpha*(delay-c.target).Seconds() + c.beta*(delay-c.prevDelay).Seconds()
+		c.pPrime = clamp01(c.pPrime + delta)
+		if delay == 0 && c.prevDelay == 0 {
+			c.pPrime *= 0.98
+		}
+		c.prevDelay = delay
+		c.next = c.next.Add(c.tUpdate)
+	}
+}
+
+// PI2 (PI improved with a square) runs the linear controller on the queue
+// delay and applies probability p'² to every arrival. The squared law is
+// what a Reno/CUBIC-style window response expects, so PI2 behaves like PIE
+// without its tuning ladder, and the same p' couples naturally into
+// DualPI2's L4S queue.
+type PI2 struct {
+	core piCore
+	rng  *sim.Rand
+}
+
+func newPI2(s Spec, rng *sim.Rand) *PI2 {
+	return &PI2{
+		core: piCore{target: s.Target, tUpdate: s.TUpdate, alpha: s.Alpha, beta: s.Beta},
+		rng:  rng,
+	}
+}
+
+// Name implements AQM.
+func (q *PI2) Name() string { return "pi2" }
+
+// Bands implements AQM.
+func (q *PI2) Bands() int { return 1 }
+
+// Classify implements AQM.
+func (q *PI2) Classify(*packet.Packet) int { return 0 }
+
+// PickBand implements AQM.
+func (q *PI2) PickBand(QueueView, sim.Time) int { return 0 }
+
+// OnEnqueue implements AQM.
+func (q *PI2) OnEnqueue(_ *packet.Packet, _ int, view QueueView, now sim.Time) Decision {
+	q.core.step(view.HeadDelay(0, now), now)
+	prob := q.core.pPrime * q.core.pPrime
+	if prob <= 0 {
+		return Pass
+	}
+	if q.rng.Float64() < prob {
+		return Mark
+	}
+	return Pass
+}
+
+// OnDequeue implements AQM: PI2 decides on arrivals only.
+func (q *PI2) OnDequeue(_ *packet.Packet, _ int, _ sim.Duration, view QueueView, now sim.Time) Decision {
+	q.core.step(view.HeadDelay(0, now), now)
+	return Pass
+}
+
+// PPrime exposes the base probability for tests.
+func (q *PI2) PPrime() float64 { return q.core.pPrime }

@@ -1,0 +1,129 @@
+package aqm
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// PIE is Proportional Integral controller Enhanced (RFC 8033): every
+// TUpdate the drop probability moves by alpha·(delay−target) +
+// beta·(delay−lastDelay), with the RFC's small-p scaling ladder so the
+// controller stays stable near zero. Queue delay is sampled as the standing
+// delay of the head packet. Arrivals are then marked with probability p —
+// or dropped outright once p exceeds the ECN safeguard threshold, the
+// RFC's defence against unresponsive ECN-capable flows.
+type PIE struct {
+	target  sim.Duration
+	tUpdate sim.Duration
+	alpha   float64 // 1/s
+	beta    float64 // 1/s
+	ecnTh   float64 // above this p, drop even ECN-capable packets
+
+	rng       *sim.Rand
+	p         float64
+	prevDelay sim.Duration
+	next      sim.Time
+	started   bool
+}
+
+func newPIE(s Spec, rng *sim.Rand) *PIE {
+	return &PIE{
+		target:  s.Target,
+		tUpdate: s.TUpdate,
+		alpha:   s.Alpha,
+		beta:    s.Beta,
+		ecnTh:   s.ECNTh,
+		rng:     rng,
+	}
+}
+
+// Name implements AQM.
+func (q *PIE) Name() string { return "pie" }
+
+// Bands implements AQM.
+func (q *PIE) Bands() int { return 1 }
+
+// Classify implements AQM.
+func (q *PIE) Classify(*packet.Packet) int { return 0 }
+
+// PickBand implements AQM.
+func (q *PIE) PickBand(QueueView, sim.Time) int { return 0 }
+
+// step advances the controller through every TUpdate boundary at or before
+// now. Running it from both hooks keeps the probability fresh without any
+// timer of its own, and the catch-up loop makes the state a pure function
+// of the event sequence.
+func (q *PIE) step(view QueueView, now sim.Time) {
+	if !q.started {
+		q.started = true
+		q.next = now.Add(q.tUpdate)
+		return
+	}
+	delay := view.HeadDelay(0, now)
+	for now >= q.next {
+		delta := q.alpha*(delay-q.target).Seconds() + q.beta*(delay-q.prevDelay).Seconds()
+		delta *= pieScale(q.p)
+		q.p = clamp01(q.p + delta)
+		// Exponential decay toward zero while the queue stays idle.
+		if delay == 0 && q.prevDelay == 0 {
+			q.p *= 0.98
+		}
+		q.prevDelay = delay
+		q.next = q.next.Add(q.tUpdate)
+	}
+}
+
+// pieScale is the RFC 8033 §4.2 auto-scaling ladder: shrink controller
+// steps while p is tiny so the probability cannot overshoot from zero.
+func pieScale(p float64) float64 {
+	switch {
+	case p < 0.000001:
+		return 1.0 / 2048
+	case p < 0.00001:
+		return 1.0 / 512
+	case p < 0.0001:
+		return 1.0 / 128
+	case p < 0.001:
+		return 1.0 / 32
+	case p < 0.01:
+		return 1.0 / 8
+	case p < 0.1:
+		return 1.0 / 2
+	default:
+		return 1
+	}
+}
+
+// OnEnqueue implements AQM.
+func (q *PIE) OnEnqueue(_ *packet.Packet, _ int, view QueueView, now sim.Time) Decision {
+	q.step(view, now)
+	if q.p <= 0 {
+		return Pass
+	}
+	if q.rng.Float64() >= q.p {
+		return Pass
+	}
+	if q.p >= q.ecnTh {
+		return Drop
+	}
+	return Mark
+}
+
+// OnDequeue implements AQM: PIE decides on arrivals only.
+func (q *PIE) OnDequeue(_ *packet.Packet, _ int, _ sim.Duration, view QueueView, now sim.Time) Decision {
+	q.step(view, now)
+	return Pass
+}
+
+// P exposes the drop probability for tests.
+func (q *PIE) P() float64 { return q.p }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

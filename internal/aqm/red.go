@@ -1,0 +1,109 @@
+package aqm
+
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// RED is Random Early Detection (Floyd & Jacobson '93): an EWMA of the
+// byte backlog drives a marking probability that ramps linearly from 0 at
+// MinTh to MaxP at MaxTh, with the classic uniform-spread correction so
+// marks are evenly spaced rather than geometrically clustered. At or above
+// MaxTh every arrival is marked.
+type RED struct {
+	minTh, maxTh int     // EWMA thresholds, bytes
+	maxP         float64 // mark probability at maxTh
+	weight       float64 // EWMA gain wq
+	idlePkt      sim.Duration
+
+	rng      *sim.Rand
+	avg      float64 // EWMA of queue bytes
+	count    int     // arrivals since last mark
+	idleFrom sim.Time
+	idle     bool
+}
+
+// newRED builds a RED instance; thresholds of zero default to capacity/6
+// and capacity/2.
+func newRED(s Spec, capacity int, rng *sim.Rand) *RED {
+	r := &RED{
+		minTh:   s.MinTh,
+		maxTh:   s.MaxTh,
+		maxP:    s.MaxP,
+		weight:  s.Weight,
+		idlePkt: s.IdlePkt,
+		rng:     rng,
+	}
+	if r.minTh == 0 {
+		r.minTh = capacity / 6
+	}
+	if r.maxTh == 0 {
+		r.maxTh = capacity / 2
+	}
+	return r
+}
+
+// Name implements AQM.
+func (r *RED) Name() string { return "red" }
+
+// Bands implements AQM.
+func (r *RED) Bands() int { return 1 }
+
+// Classify implements AQM.
+func (r *RED) Classify(*packet.Packet) int { return 0 }
+
+// PickBand implements AQM.
+func (r *RED) PickBand(QueueView, sim.Time) int { return 0 }
+
+// OnDequeue implements AQM: RED acts on arrivals only, but it notes when
+// the queue drains empty so the EWMA can decay across the idle period.
+func (r *RED) OnDequeue(_ *packet.Packet, _ int, _ sim.Duration, view QueueView, now sim.Time) Decision {
+	if view.Packets == 0 && !r.idle {
+		r.idle, r.idleFrom = true, now
+	}
+	return Pass
+}
+
+// OnEnqueue implements AQM.
+func (r *RED) OnEnqueue(_ *packet.Packet, _ int, view QueueView, now sim.Time) Decision {
+	if r.idle {
+		// Decay the average as if (idle time / typical packet time) empty
+		// samples had arrived, per the RED paper's idle handling.
+		if m := int(now.Sub(r.idleFrom) / r.idlePkt); m > 0 {
+			for i := 0; i < m && r.avg > 1; i++ {
+				r.avg *= 1 - r.weight
+			}
+			if r.avg <= 1 {
+				r.avg = 0
+			}
+		}
+		r.idle = false
+	}
+	r.avg += r.weight * (float64(view.Bytes) - r.avg)
+
+	switch {
+	case r.avg < float64(r.minTh):
+		r.count = 0
+		return Pass
+	case r.avg >= float64(r.maxTh):
+		r.count = 0
+		return Mark
+	}
+	pb := r.maxP * (r.avg - float64(r.minTh)) / float64(r.maxTh-r.minTh)
+	r.count++
+	// Uniform spread: pa = pb / (1 - count*pb), forced once the divisor
+	// would go non-positive.
+	div := 1 - float64(r.count)*pb
+	if div <= 0 {
+		r.count = 0
+		return Mark
+	}
+	if r.rng.Float64() < pb/div {
+		r.count = 0
+		return Mark
+	}
+	return Pass
+}
+
+// Avg exposes the EWMA for tests.
+func (r *RED) Avg() float64 { return r.avg }

@@ -242,6 +242,24 @@ type Algorithm interface {
 	OnSlowPath(code uint8, cust, slow *State, in *Input, out *Output)
 }
 
+// ECTPreferer is an optional Algorithm extension: modules that negotiate a
+// specific ECN codepoint implement it. Scalable (L4S-style) congestion
+// controls — DCTCP, DCQCN — prefer ECT(1), the RFC 9331 identifier that
+// steers their traffic into a dual-queue AQM's low-latency band; classic
+// controls stay on the ECT(0) default.
+type ECTPreferer interface {
+	PreferredECT() packet.ECT
+}
+
+// PreferredECT returns the codepoint a's flows should carry: the module's
+// declared preference when it implements ECTPreferer, ECT(0) otherwise.
+func PreferredECT(a Algorithm) packet.ECT {
+	if p, ok := a.(ECTPreferer); ok {
+		return p.PreferredECT()
+	}
+	return packet.ECT0
+}
+
 // registry maps algorithm names to constructors.
 var registry = map[string]func() Algorithm{}
 

@@ -576,6 +576,67 @@ func TestCubicGrowsAfterReduction(t *testing.T) {
 	}
 }
 
+func TestCubicECEReducesOncePerWindow(t *testing.T) {
+	h := newHarness(t, "cubic", func(p *Params) { p.InitCwnd = 64; p.Ssthresh = 8 })
+	h.send(64)
+	h.ack(1, packet.FlagECNEcho)
+	reduced := h.cwnd
+	// beta=0.7: expect ~44, and no retransmission — the mark was a
+	// delivered packet, not a loss.
+	if reduced < 40 || reduced > 48 {
+		t.Fatalf("cwnd after ECE = %d, want ~45", reduced)
+	}
+	if len(h.rtxes) != 0 {
+		t.Fatalf("ECE triggered retransmissions: %v", h.rtxes)
+	}
+	// A second ECE within the same window of data must not reduce again.
+	h.ack(2, packet.FlagECNEcho)
+	if h.cwnd < reduced {
+		t.Fatalf("second ECE in window reduced cwnd again: %d -> %d", reduced, h.cwnd)
+	}
+	// Once the reaction window is fully acked, a fresh ECE reduces anew.
+	h.ack(64, 0)
+	h.send(16)
+	h.ack(h.una+1, packet.FlagECNEcho)
+	if h.cwnd >= reduced {
+		t.Fatalf("ECE in a later window did not reduce: %d", h.cwnd)
+	}
+}
+
+func TestCubicECESetsWmaxAndK(t *testing.T) {
+	h := newHarness(t, "cubic", func(p *Params) { p.InitCwnd = 64; p.Ssthresh = 8 })
+	h.send(64)
+	h.ack(1, packet.FlagECNEcho)
+	r := RegsOf(&h.cust)
+	if wmax := r.U32(cuWmax); wmax != 64 {
+		t.Fatalf("Wmax = %d, want 64 (the pre-reduction window)", wmax)
+	}
+	if k := r.U32(cuKUs); k == 0 {
+		t.Fatal("slow path did not compute K for the ECE epoch")
+	}
+}
+
+func TestPreferredECT(t *testing.T) {
+	want := map[string]packet.ECT{
+		"cubic": packet.ECT0, "reno": packet.ECT0, "cbr": packet.ECT0,
+		"timely": packet.ECT0, "swift": packet.ECT0, "hpcc": packet.ECT0,
+		"dctcp": packet.ECT1, "dcqcn": packet.ECT1,
+	}
+	for _, name := range Names() {
+		alg, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok := want[name]
+		if !ok {
+			t.Fatalf("no expected codepoint recorded for %q", name)
+		}
+		if got := PreferredECT(alg); got != w {
+			t.Errorf("PreferredECT(%s) = %v, want %v", name, got, w)
+		}
+	}
+}
+
 func TestCubicSlowPathComputesK(t *testing.T) {
 	h := newHarness(t, "cubic", func(p *Params) { p.InitCwnd = 64; p.Ssthresh = 8 })
 	h.send(64)

@@ -3,6 +3,7 @@ package cc
 import (
 	"math"
 
+	"marlin/internal/packet"
 	"marlin/internal/sim"
 )
 
@@ -85,6 +86,9 @@ func (c Cubic) onAck(r Regs, in *Input, out *Output) {
 	case acked == 0 && SeqDiff(in.Nxt, in.Una) > 0:
 		c.dupAck(r, in, out)
 	}
+	if in.Flags.Has(packet.FlagECNEcho) {
+		c.ecnReact(r, in, out)
+	}
 	out.Schedule = true
 	updateSrtt(r, in)
 }
@@ -131,6 +135,26 @@ func (c Cubic) grow(r Regs, in *Input, acked uint32) {
 		cwnd = maxW
 	}
 	r.SetU32(rCwndQ16, uint32(cwnd*65536))
+}
+
+// ecnReact is the RFC 3168 response to an echoed CE mark: the same
+// CubicBetaQ10 multiplicative decrease a loss triggers, at most once per
+// window of data (the rCwrEnd gate renoECE uses) and without a
+// retransmission — the marked packet was delivered, not lost.
+func (c Cubic) ecnReact(r Regs, in *Input, out *Output) {
+	if r.U32(rState) == stateRecovery || SeqLT(in.Ack, r.U32(rCwrEnd)) {
+		return
+	}
+	cwnd := r.U32(rCwndQ16) >> 16
+	r.SetU32(cuWmax, cwnd)
+	beta := uint64(in.Params.CubicBetaQ10)
+	newW := maxU32(uint32(uint64(cwnd)*beta/1024), in.Params.MinCwnd)
+	r.SetU32(rSsthresh, maxU32(newW, 2))
+	r.SetU32(rCwndQ16, newW<<16)
+	r.SetU32(rCwrEnd, in.Nxt)
+	r.SetU64(cuEpochLo, 0)
+	// The cube root for the new epoch runs on the Slow Path.
+	out.SlowPath, out.SlowPathCode = true, slowCubicRoot
 }
 
 func (c Cubic) dupAck(r Regs, in *Input, out *Output) {

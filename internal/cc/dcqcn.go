@@ -57,6 +57,10 @@ func (DCQCN) Name() string { return "dcqcn" }
 // Mode implements Algorithm.
 func (DCQCN) Mode() Mode { return RateMode }
 
+// PreferredECT implements ECTPreferer: DCQCN reacts to per-packet CE like
+// DCTCP, so its flows carry the scalable-control ECT(1) codepoint.
+func (DCQCN) PreferredECT() packet.ECT { return packet.ECT1 }
+
 // FastPathCycles implements Algorithm (Table 4: DCQCN = 6 cycles).
 func (DCQCN) FastPathCycles() int { return 6 }
 

@@ -49,6 +49,10 @@ func (DCTCP) Name() string { return "dctcp" }
 // Mode implements Algorithm.
 func (DCTCP) Mode() Mode { return WindowMode }
 
+// PreferredECT implements ECTPreferer: DCTCP is a scalable control, so its
+// flows carry ECT(1) and land in a dual-queue AQM's low-latency band.
+func (DCTCP) PreferredECT() packet.ECT { return packet.ECT1 }
+
 // FastPathCycles implements Algorithm (Table 4: DCTCP = 24 cycles; the
 // critical path holds one 16-bit division and two 32-bit multiplications).
 func (DCTCP) FastPathCycles() int { return 24 }

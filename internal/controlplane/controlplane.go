@@ -8,6 +8,7 @@ package controlplane
 import (
 	"fmt"
 
+	"marlin/internal/aqm"
 	"marlin/internal/cc"
 	"marlin/internal/core"
 	"marlin/internal/fabric"
@@ -38,7 +39,13 @@ type Spec struct {
 	// Receiver forces the receiver logic: "", "tcp", or "roce".
 	Receiver string
 	// ECNThresholdPkts enables step marking at K packets (0 = off).
+	// Mutually exclusive with AQM.
 	ECNThresholdPkts int
+	// AQM deploys an active queue management discipline on every tested-
+	// network egress queue, in aqm.ParseSpec syntax: "red", "pie",
+	// "codel:target=5ms,interval=100ms", "pi2", "dualpi2:coupling=2".
+	// Empty (or "none") keeps drop-tail, optionally with step ECN.
+	AQM string
 	// NetQueueBytes sizes each tested-network egress buffer. RoCE tests
 	// set it deep (multi-MB) to stand in for PFC losslessness.
 	NetQueueBytes int
@@ -91,6 +98,15 @@ func (s *Spec) Validate() error {
 	case "", "tcp", "roce":
 	default:
 		return fmt.Errorf("controlplane: unknown receiver mode %q", s.Receiver)
+	}
+	if s.AQM != "" {
+		spec, err := aqm.ParseSpec(s.AQM)
+		if err != nil {
+			return err
+		}
+		if spec.Enabled() && s.ECNThresholdPkts > 0 {
+			return fmt.Errorf("controlplane: AQM %s and ECNThresholdPkts are mutually exclusive marking policies", spec.Kind)
+		}
 	}
 	if s.Topology != "" {
 		if _, err := fabric.ParseSpec(s.Topology); err != nil {
@@ -221,6 +237,13 @@ func (s *Spec) Deploy(eng *sim.Engine) (*core.Tester, error) {
 	if s.ECNThresholdPkts > 0 {
 		mtu := cfg.Params.MTU
 		cfg.ECN = netem.StepMarking(s.ECNThresholdPkts, mtu)
+	}
+	if s.AQM != "" {
+		spec, err := aqm.ParseSpec(s.AQM)
+		if err != nil {
+			return nil, err
+		}
+		cfg.AQM = spec
 	}
 	switch s.Receiver {
 	case "tcp":

@@ -19,6 +19,9 @@ func TestSpecValidate(t *testing.T) {
 		{Algorithm: "nope"},
 		{Algorithm: "reno", FlowsPerPort: -1},
 		{Algorithm: "reno", Receiver: "quic"},
+		{Algorithm: "reno", AQM: "bogus"},
+		{Algorithm: "reno", AQM: "pie:target=0s"},
+		{Algorithm: "dctcp", AQM: "pi2", ECNThresholdPkts: 65},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -79,6 +82,49 @@ func TestDeployECNAndRun(t *testing.T) {
 	losses := ReadLosses(tr)
 	if losses.FalseLosses != 0 {
 		t.Fatalf("false losses in correct operation: %+v", losses)
+	}
+}
+
+func TestDeployAQMAndRun(t *testing.T) {
+	eng := sim.NewEngine()
+	tr, err := (&Spec{
+		Algorithm: "dctcp",
+		Ports:     3,
+		// Targets scaled to this fabric: a 256 KB queue at 100 Gbps holds
+		// at most ~20 us of sojourn, so the RFC's ms-scale defaults would
+		// never engage here.
+		AQM:  "dualpi2:target=5us,tupdate=25us,step=10us",
+		Seed: 9,
+	}).Deploy(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.StartFlow(0, 0, 2, 0)
+	tr.StartFlow(1, 1, 2, 0)
+	tr.Run(sim.Time(2 * sim.Millisecond))
+	as := tr.Net.Port(2).Queue().AQMStats()
+	if as == nil || as.Discipline != "dualpi2" {
+		t.Fatalf("AQM not deployed on the victim egress: %+v", as)
+	}
+	if as.Marks == 0 {
+		t.Fatal("congested DualPI2 queue never marked")
+	}
+	// DCTCP prefers ECT(1), so its DATA rides the L4S band.
+	if as.BandDeqPackets[1] == 0 {
+		t.Fatalf("no L4S-band traffic from an ECT(1) control: %+v", as.BandDeqPackets)
+	}
+	// The discipline's counters surface through the network snapshot.
+	snap := ReadRegisters(tr)
+	found := false
+	for _, sw := range snap.Network {
+		for _, ps := range sw.Ports {
+			if ps.AQM != nil && ps.AQM.Marks > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("AQM stats missing from the control-plane snapshot")
 	}
 }
 

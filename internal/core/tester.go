@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"marlin/internal/aqm"
 	"marlin/internal/cc"
 	"marlin/internal/fabric"
 	"marlin/internal/faults"
@@ -49,8 +50,13 @@ type Config struct {
 	// LinkDelay is the one-way delay of each tested-network link
 	// (default 2 us).
 	LinkDelay sim.Duration
-	// ECN configures marking at the tested network's egress queues.
+	// ECN configures threshold marking at the tested network's egress
+	// queues. Mutually exclusive with AQM.
 	ECN netem.ECNConfig
+	// AQM deploys an active queue management discipline (RED, PIE, CoDel,
+	// PI2, DualPI2) on every tested-network egress queue instead of
+	// threshold marking. The zero value keeps drop-tail (+ ECN, if set).
+	AQM aqm.Spec
 	// NetQueueBytes bounds each tested-network egress queue
 	// (default 256 KiB).
 	NetQueueBytes int
@@ -143,6 +149,9 @@ func New(eng *sim.Engine, cfg Config) (*Tester, error) {
 	}
 	if !cfg.Topology.IsZero() && cfg.ExtraHops > 0 {
 		return nil, fmt.Errorf("core: ExtraHops applies only to the canonical single-switch network; the %s fabric has real hops", cfg.Topology)
+	}
+	if cfg.AQM.Enabled() && cfg.ECN.Enable {
+		return nil, fmt.Errorf("core: AQM %s and threshold ECN are mutually exclusive marking policies", cfg.AQM.Kind)
 	}
 	if cfg.MTU == 0 {
 		cfg.MTU = 1024
@@ -285,14 +294,14 @@ func New(eng *sim.Engine, cfg Config) (*Tester, error) {
 		for h := 0; h < cfg.ExtraHops; h++ {
 			dst = netem.NewLink(eng, netem.LinkConfig{
 				Rate: cfg.PortRate, Delay: cfg.LinkDelay,
-				QueueBytes: cfg.NetQueueBytes, ECN: cfg.ECN,
+				QueueBytes: cfg.NetQueueBytes, ECN: cfg.ECN, AQM: cfg.AQM,
 				EnableINT: cfg.EnableINT,
 				RNG:       t.rng.Split(),
 			}, dst)
 		}
 		t.Net.AddPort(eng, netem.LinkConfig{
 			Rate: cfg.PortRate, Delay: cfg.LinkDelay,
-			QueueBytes: cfg.NetQueueBytes, ECN: cfg.ECN,
+			QueueBytes: cfg.NetQueueBytes, ECN: cfg.ECN, AQM: cfg.AQM,
 			EnableINT: cfg.EnableINT,
 			Jitter:    cfg.ForwardJitter,
 			RNG:       t.rng.Split(),
@@ -345,6 +354,7 @@ func (t *Tester) wireFabric(eng *sim.Engine) error {
 		LinkDelay:    cfg.LinkDelay,
 		QueueBytes:   cfg.NetQueueBytes,
 		ECN:          cfg.ECN,
+		AQM:          cfg.AQM,
 		EnableINT:    cfg.EnableINT,
 		Jitter:       cfg.ForwardJitter,
 		EnablePFC:    cfg.EnablePFC,
@@ -529,10 +539,11 @@ func (t *Tester) BindExternalFlow(flow packet.FlowID, rx int) error {
 	return nil
 }
 
-// InjectData sends one raw DATA frame for a bound external flow into data
-// port tx's uplink, implementing workload.Target.
-func (t *Tester) InjectData(flow packet.FlowID, tx int, psn uint32, frameBytes int) {
-	t.txLinks[tx].Send(packet.NewData(flow, psn, frameBytes, t.Eng.Now()))
+// InjectData sends one raw DATA frame carrying the given ECN codepoint for
+// a bound external flow into data port tx's uplink, implementing
+// workload.Target.
+func (t *Tester) InjectData(flow packet.FlowID, tx int, psn uint32, frameBytes int, ect packet.ECT) {
+	t.txLinks[tx].Send(packet.NewDataECT(flow, psn, frameBytes, t.Eng.Now(), ect))
 }
 
 // InstallPatterns compiles a traffic-pattern plan onto this tester: a
@@ -632,6 +643,32 @@ func (t *Tester) StartFlow(flow packet.FlowID, tx, rx int, sizePkts uint32) erro
 	t.sizes[flow] = sizePkts
 	t.starts[flow] = t.Eng.Now()
 	return t.NIC.StartFlow(flow, tx, sizePkts)
+}
+
+// StartFlowCC launches a flow running a per-flow CC algorithm instead of
+// the deployed default — the mixed-control coexistence case (DCTCP beside
+// CUBIC through one AQM). The named algorithm must share the deployed
+// module's Mode; the flow carries the algorithm's preferred ECN codepoint
+// (ECT(1) for scalable controls, ECT(0) otherwise).
+func (t *Tester) StartFlowCC(flow packet.FlowID, tx, rx int, sizePkts uint32, algorithm string) error {
+	alg, err := cc.New(algorithm)
+	if err != nil {
+		return err
+	}
+	if rx < 0 || rx >= t.cfg.DataPorts {
+		return fmt.Errorf("core: rx port %d out of range [0,%d)", rx, t.cfg.DataPorts)
+	}
+	if err := t.Pipeline.BindFlow(flow, tx); err != nil {
+		return err
+	}
+	t.Pipeline.ResetFlow(flow)
+	if t.fpgaRecv != nil {
+		t.fpgaRecv.Reset(flow)
+	}
+	t.flowDst[flow] = rx
+	t.sizes[flow] = sizePkts
+	t.starts[flow] = t.Eng.Now()
+	return t.NIC.StartFlowWith(flow, tx, sizePkts, alg, cc.PreferredECT(alg))
 }
 
 // StopFlow terminates a flow immediately (§7.3's staggered termination).

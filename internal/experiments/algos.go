@@ -39,6 +39,13 @@ func ExtAlgos(opts Options) (*Result, error) {
 			Seed:             opts.Seed,
 		}
 		switch {
+		case name == "cubic" || name == "reno":
+			// The loss-based legs model classic senders that did not
+			// negotiate ECN: both now honour RFC 3168 ECE, so marking
+			// would park them at the threshold like DCTCP and erase the
+			// deep-queue/drop signature this comparison is after. The
+			// ECN-enabled coexistence case lives in examples/l4s.
+			spec.ECNThresholdPkts = 0
 		case name == "hpcc":
 			spec.EnableINT = true
 			spec.ECNThresholdPkts = 0

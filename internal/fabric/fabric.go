@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"marlin/internal/aqm"
 	"marlin/internal/netem"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
@@ -41,8 +42,11 @@ type Config struct {
 	LinkDelay sim.Duration
 	// QueueBytes bounds every switch egress queue (0 = netem default).
 	QueueBytes int
-	// ECN configures marking at every switch egress queue.
+	// ECN configures threshold marking at every switch egress queue.
 	ECN netem.ECNConfig
+	// AQM deploys an active queue management discipline on every switch
+	// egress queue (zero = drop-tail + ECN).
+	AQM aqm.Spec
 	// EnableINT stamps per-hop telemetry on DATA at every fabric link.
 	EnableINT bool
 	// Jitter adds uniform [0, Jitter] propagation jitter on the host
@@ -168,7 +172,7 @@ func (f *Fabric) addSwitch(name string) *sw {
 func (f *Fabric) trunkCfg() netem.LinkConfig {
 	return netem.LinkConfig{
 		Rate: f.cfg.PortRate, Delay: f.cfg.LinkDelay,
-		QueueBytes: f.cfg.QueueBytes, ECN: f.cfg.ECN,
+		QueueBytes: f.cfg.QueueBytes, ECN: f.cfg.ECN, AQM: f.cfg.AQM,
 		EnableINT: f.cfg.EnableINT, RNG: f.rng.Split(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"marlin/internal/aqm"
 	"marlin/internal/netem"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
@@ -226,6 +227,60 @@ func TestEcnOffSuppressesDuringWindow(t *testing.T) {
 	eng.RunAll()
 	if l.Queue().MarkingSuppressed() {
 		t.Fatal("marking still suppressed after window")
+	}
+}
+
+// TestEcnOffDegradesAQMToDrops is the AQM interplay regression: a PI2
+// discipline keeps deciding Mark during an ecnoff window, but the queue
+// must degrade those verdicts to drops (a real switch with ECN disabled
+// still runs its AQM — it just can't mark), and marking must resume
+// exactly when the window closes.
+func TestEcnOffDegradesAQMToDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := netem.NodeFunc(func(p *packet.Packet) { p.Release() })
+	aqmSpec, err := aqm.ParseSpec("pi2:target=10us,tupdate=100us,alpha=100,beta=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := netem.NewLink(eng, netem.LinkConfig{
+		Rate: sim.Gbps, AQM: aqmSpec, RNG: sim.NewRand(11),
+	}, sink)
+	tgt := &stub{links: map[string]*netem.Link{"a->b": l}}
+	at, dur := sim.Time(10*sim.Millisecond), 10*sim.Millisecond
+	if err := Apply(eng, tgt, Plan{Entries: []Entry{EcnOff("a->b", at, dur)}}); err != nil {
+		t.Fatal(err)
+	}
+	// Offered load 2.4x the line rate so the PI2 controller saturates.
+	for i := 0; i < 6000; i++ {
+		i := i
+		eng.ScheduleAt(sim.Time(i)*sim.Time(5*sim.Microsecond), func() {
+			l.Send(packet.NewData(1, uint32(i), 1500, eng.Now()))
+		})
+	}
+	type sample struct{ marks, aqmDrops uint64 }
+	snap := func() sample {
+		qs, as := l.Queue().Stats(), l.Queue().AQMStats()
+		return sample{qs.ECNMarks, as.Drops}
+	}
+	var atStart, atEnd sample
+	eng.ScheduleAt(at.Add(sim.Microsecond), func() { atStart = snap() })
+	eng.ScheduleAt(at.Add(dur).Add(-sim.Microsecond), func() { atEnd = snap() })
+	eng.RunAll()
+	final := snap()
+
+	if atStart.marks == 0 {
+		t.Fatal("PI2 never marked before the ecnoff window")
+	}
+	if atEnd.marks != atStart.marks {
+		t.Fatalf("CE marks advanced inside the ecnoff window: %d -> %d",
+			atStart.marks, atEnd.marks)
+	}
+	if atEnd.aqmDrops <= atStart.aqmDrops {
+		t.Fatalf("AQM verdicts did not degrade to drops in the window: %d -> %d",
+			atStart.aqmDrops, atEnd.aqmDrops)
+	}
+	if final.marks <= atEnd.marks {
+		t.Fatal("marking did not resume after the ecnoff window")
 	}
 }
 

@@ -121,8 +121,16 @@ type Stats struct {
 
 // flowState is the per-flow BRAM word plus model bookkeeping.
 type flowState struct {
-	active    bool
-	port      int
+	active bool
+	port   int
+	// alg is the flow's CC module override (nil = the NIC default). Real
+	// Marlin deploys one HLS module per build; the model relaxes that to
+	// per-flow selection within one Mode so mixed-control coexistence
+	// experiments (DCTCP vs CUBIC through one AQM) run on one NIC.
+	alg cc.Algorithm
+	// ect is the ECN codepoint stamped on the flow's SCHE packets and
+	// carried through to its DATA packets by the switch pipeline.
+	ect       packet.ECT
 	una, nxt  uint32
 	end       uint32 // flow length in packets; 0 = unbounded
 	cwnd      uint32
@@ -275,14 +283,28 @@ func (n *NIC) FlowProgress(flow packet.FlowID) (una, nxt uint32, active bool) {
 }
 
 // StartFlow activates a flow of sizePkts full-MTU packets bound to a
-// switch data port. Flow IDs index BRAM directly; a completed flow's ID
-// may be reused.
+// switch data port, running the NIC's deployed CC module and carrying its
+// preferred ECN codepoint. Flow IDs index BRAM directly; a completed
+// flow's ID may be reused.
 func (n *NIC) StartFlow(flow packet.FlowID, port int, sizePkts uint32) error {
+	return n.StartFlowWith(flow, port, sizePkts, nil, cc.PreferredECT(n.cfg.Algorithm))
+}
+
+// StartFlowWith activates a flow with a per-flow CC module and ECN
+// codepoint. alg nil means the NIC's deployed module; a non-nil alg must
+// match the deployed module's Mode, because the scheduler's eligibility
+// test (window occupancy vs rate pacing, §5.2) is a port-wide datapath
+// decision, not per-flow state.
+func (n *NIC) StartFlowWith(flow packet.FlowID, port int, sizePkts uint32, alg cc.Algorithm, ect packet.ECT) error {
 	if int(flow) >= len(n.flows) {
 		return fmt.Errorf("fpga: flow %d exceeds BRAM capacity %d", flow, len(n.flows))
 	}
 	if port < 0 || port >= n.cfg.Ports {
 		return fmt.Errorf("fpga: port %d out of range [0,%d)", port, n.cfg.Ports)
+	}
+	if alg != nil && alg.Mode() != n.cfg.Algorithm.Mode() {
+		return fmt.Errorf("fpga: flow algorithm %s is %s-mode, NIC schedules %s-mode",
+			alg.Name(), alg.Mode(), n.cfg.Algorithm.Mode())
 	}
 	f := &n.flows[flow]
 	if f.active {
@@ -291,15 +313,25 @@ func (n *NIC) StartFlow(flow packet.FlowID, port int, sizePkts uint32) error {
 	*f = flowState{
 		active:  true,
 		port:    port,
+		alg:     alg,
+		ect:     ect,
 		end:     sizePkts,
 		cwnd:    n.cfg.Params.InitCwnd,
 		rate:    n.cfg.Params.LineRate,
 		started: n.eng.Now(),
 	}
-	n.cfg.Algorithm.InitFlow(&f.cust, &f.slow, &n.cfg.Params)
+	n.algOf(f).InitFlow(&f.cust, &f.slow, &n.cfg.Params)
 	n.sched.register(flow, port)
 	n.deliver(flow, &cc.Input{Type: cc.EvStart})
 	return nil
+}
+
+// algOf resolves a flow's CC module: its override, or the NIC default.
+func (n *NIC) algOf(f *flowState) cc.Algorithm {
+	if f.alg != nil {
+		return f.alg
+	}
+	return n.cfg.Algorithm
 }
 
 // StopFlow deactivates a flow immediately (used when an experiment
@@ -472,7 +504,8 @@ func (n *NIC) deliver(flow packet.FlowID, in *cc.Input) {
 		n.stats.RMWConflicts++
 		return
 	}
-	cycles := n.cfg.Algorithm.FastPathCycles()
+	alg := n.algOf(f)
+	cycles := alg.FastPathCycles()
 	f.busyUntil = now.Add(sim.Duration(cycles) * CyclePeriod)
 
 	in.Una, in.Nxt = f.una, f.nxt
@@ -483,7 +516,7 @@ func (n *NIC) deliver(flow packet.FlowID, in *cc.Input) {
 	in.Timestamp = now
 
 	n.out.Reset()
-	n.cfg.Algorithm.OnEvent(in, &n.out)
+	alg.OnEvent(in, &n.out)
 	n.applyOutput(flow, f, in, &n.out)
 }
 
@@ -570,7 +603,7 @@ func (n *NIC) postSlowPath(flow packet.FlowID, code uint8, evType cc.EventType, 
 			Cust: &f.cust, Slow: &f.slow, Timestamp: n.eng.Now(),
 		}
 		var out cc.Output
-		n.cfg.Algorithm.OnSlowPath(code, &f.cust, &f.slow, &in, &out)
+		n.algOf(f).OnSlowPath(code, &f.cust, &f.slow, &in, &out)
 		if out.SetCwnd {
 			f.cwnd = out.Cwnd
 		}
@@ -593,12 +626,14 @@ func (n *NIC) checkComplete(flow packet.FlowID, f *flowState) {
 	}
 }
 
-// emitSche sends one SCHE packet toward the switch.
+// emitSche sends one SCHE packet toward the switch, stamped with the
+// flow's ECN codepoint so the pipeline's DATA generator can carry it.
 func (n *NIC) emitSche(flow packet.FlowID, psn uint32, port int, rtx bool) {
 	if n.scheOut == nil {
 		return
 	}
 	p := packet.NewSche(flow, psn, port, n.eng.Now())
+	p.Flags |= n.flows[flow].ect.Bits()
 	if rtx {
 		p.Flags |= packet.FlagRetransmit
 		n.stats.RtxTx++

@@ -68,6 +68,9 @@ func TestFixtureDiagnostics(t *testing.T) {
 		}},
 		{"maporder_clean", "maporder", nil},
 		{"rngsource_bad", "rngsource", []string{
+			"aqm_bad.go:7 rngsource",        // math/rand import in a discipline
+			"aqm_bad.go:18 rngsource",       // rand.New for a queue's mark stream
+			"aqm_bad.go:18 rngsource",       // rand.NewSource seeded off-config
 			"pattern_bad.go:6 rngsource",    // math/rand/v2 import
 			"pattern_bad.go:11 rngsource",   // randv2.New
 			"pattern_bad.go:11 rngsource",   // randv2.NewPCG
@@ -103,6 +106,8 @@ func TestFixtureDiagnostics(t *testing.T) {
 		}},
 		{"poolflow_clean", "poolflow", nil},
 		{"simunits_bad", "simunits", []string{
+			"aqm_bad.go:16 simunits",      // wall-clock sojourn into sim.Duration
+			"aqm_bad.go:22 simunits",      // wall sojourn compared to pico target
 			"simunits_bad.go:15 simunits", // nanoseconds into sim.Time
 			"simunits_bad.go:20 simunits", // picoseconds into time.Duration
 			"simunits_bad.go:25 simunits", // picos compared against nanos

@@ -1,0 +1,17 @@
+// aqm_clean draws AQM marking randomness the sanctioned way: each queue's
+// discipline receives a pre-split sim.Rand stream derived from the run
+// seed, so marks are a pure function of configuration.
+package rngsource_clean
+
+import "marlin/internal/sim"
+
+// ShouldMark draws the probabilistic marking decision from the queue's
+// own stream.
+func ShouldMark(r *sim.Rand, p float64) bool {
+	return r.Float64() < p
+}
+
+// QueueStream splits a per-queue stream off the link's seeded parent.
+func QueueStream(parent *sim.Rand) *sim.Rand {
+	return parent.Split()
+}

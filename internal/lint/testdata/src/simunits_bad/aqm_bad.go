@@ -1,0 +1,23 @@
+// aqm_bad mimics wall-clock sojourn math in a queue discipline — the
+// class of bug the AQM determinism contract forbids: sojourn must be
+// sim-time (now − EnqAt, picoseconds), never the host clock.
+package simunits_bad
+
+import (
+	"time"
+
+	"marlin/internal/sim"
+)
+
+// SojournFromWall measures a packet's queueing delay with the wall clock
+// and stuffs the nanosecond count into the picosecond sim type.
+func SojournFromWall(enq time.Time) sim.Duration {
+	soj := time.Since(enq)
+	return sim.Duration(soj)
+}
+
+// TargetExceeded compares a wall-clock sojourn directly against the
+// discipline's picosecond delay target.
+func TargetExceeded(soj time.Duration, target sim.Duration) bool {
+	return int64(soj) > int64(target)
+}

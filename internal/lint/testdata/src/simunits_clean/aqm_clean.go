@@ -1,0 +1,17 @@
+// aqm_clean holds the sanctioned sojourn idiom of a queue discipline:
+// delay is computed entirely in sim time from the enqueue stamp the queue
+// recorded, so no wall-clock value ever meets a picosecond type.
+package simunits_clean
+
+import "marlin/internal/sim"
+
+// Sojourn is the discipline's delay input: now − EnqAt, picoseconds end
+// to end.
+func Sojourn(enqAt, now sim.Time) sim.Duration {
+	return now.Sub(enqAt)
+}
+
+// TargetExceeded compares within the picosecond family only.
+func TargetExceeded(enqAt, now sim.Time, target sim.Duration) bool {
+	return now.Sub(enqAt) > target
+}

@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"marlin/internal/aqm"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
 )
@@ -81,6 +82,11 @@ type LinkConfig struct {
 	Jitter sim.Duration
 	// RNG seeds probabilistic marking; nil uses a fixed-seed stream.
 	RNG *sim.Rand
+	// AQM attaches an active-queue-management discipline to the ingress
+	// queue, superseding the threshold-ECN config. The discipline's RNG
+	// is split off RNG at build time so its marking stream is independent
+	// of jitter and legacy-marking draws.
+	AQM aqm.Spec
 }
 
 // NewLink builds a link that delivers to dst.
@@ -101,6 +107,13 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst Node) *Link {
 		enableINT: cfg.EnableINT,
 		jitter:    cfg.Jitter,
 		jrng:      jrng,
+	}
+	if cfg.AQM.Enabled() {
+		src := cfg.RNG
+		if src == nil {
+			src = sim.NewRand(0xa97)
+		}
+		l.queue.SetAQM(cfg.AQM.Build(l.queue.Capacity(), src.Split()), eng.Now)
 	}
 	l.drainFn = l.drain
 	l.deliverFn = func(arg any) { l.dst.Receive(arg.(*packet.Packet)) }

@@ -1,6 +1,9 @@
 package netem
 
 import (
+	"math/bits"
+
+	"marlin/internal/aqm"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
 )
@@ -43,21 +46,153 @@ type QueueStats struct {
 	MaxBacklogB int
 }
 
-// Queue is a byte-bounded FIFO with optional ECN marking. It is the
-// buffering stage in front of every emulated link.
+// AQMStats are the extra counters an AQM-managed queue maintains on top of
+// QueueStats. AQM marks and drops are also folded into QueueStats.ECNMarks
+// and QueueStats.Drops so existing aggregations keep working; these break
+// out the discipline's share and the per-band sojourn distribution.
+type AQMStats struct {
+	// Discipline is the managing discipline's name.
+	Discipline string
+	// Marks counts CE marks applied on the discipline's verdict.
+	Marks uint64
+	// Drops counts packets the discipline discarded, including Mark
+	// verdicts that fell back to drops because the packet was Not-ECT or
+	// marking was suppressed (the ecnoff fault).
+	Drops uint64
+	// BandDeqPackets counts delivered packets per band (band 1 is only
+	// used by dual-queue disciplines).
+	BandDeqPackets [aqm.MaxBands]uint64
+	// SojournP99Us is the per-band 99th-percentile queueing delay of
+	// delivered packets, in microseconds.
+	SojournP99Us [aqm.MaxBands]float64
+}
+
+// pktFIFO is one queue band: a pointer FIFO with amortized-O(1) compaction.
+type pktFIFO struct {
+	head  int
+	buf   []*packet.Packet
+	bytes int
+}
+
+func (f *pktFIFO) push(p *packet.Packet) {
+	f.buf = append(f.buf, p)
+	f.bytes += p.Size
+}
+
+func (f *pktFIFO) pop() *packet.Packet {
+	if f.head >= len(f.buf) {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	f.bytes -= p.Size
+	return p
+}
+
+func (f *pktFIFO) peek() *packet.Packet {
+	if f.head >= len(f.buf) {
+		return nil
+	}
+	return f.buf[f.head]
+}
+
+func (f *pktFIFO) length() int { return len(f.buf) - f.head }
+
+// sojournHist is a fixed-size quarter-octave log histogram of sojourn
+// times: no allocation on the record path, deterministic percentile
+// readout. Buckets hold raw sim.Duration (picosecond) samples.
+type sojournHist struct {
+	counts [256]uint64
+	total  uint64
+}
+
+// bucketOf maps a non-negative value to its quarter-octave bucket: the
+// exponent of the leading bit plus the next two mantissa bits, so adjacent
+// buckets are 25% apart.
+func bucketOf(x uint64) int {
+	if x < 4 {
+		return int(x)
+	}
+	exp := bits.Len64(x) - 1
+	frac := (x >> (exp - 2)) & 3
+	return exp<<2 | int(frac)
+}
+
+// lowerBound inverts bucketOf: the smallest value in the bucket.
+func lowerBound(idx int) uint64 {
+	if idx < 4 {
+		return uint64(idx)
+	}
+	exp := idx >> 2
+	frac := uint64(idx & 3)
+	return (4 | frac) << (exp - 2)
+}
+
+func (h *sojournHist) add(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(uint64(d))]++
+	h.total++
+}
+
+// quantile returns the lower bound of the bucket holding the q-quantile
+// sample, or zero when empty.
+func (h *sojournHist) quantile(q float64) sim.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, n := range h.counts {
+		seen += n
+		if seen > rank {
+			return sim.Duration(lowerBound(i))
+		}
+	}
+	return 0
+}
+
+// Queue is a byte-bounded FIFO with optional ECN marking and an optional
+// AQM discipline. It is the buffering stage in front of every emulated
+// link. Without a discipline it is a plain drop-tail queue with threshold
+// ECN; with one, admission and delivery run through the discipline's
+// OnEnqueue/OnDequeue verdicts and dual-queue disciplines split the
+// backlog into per-band FIFOs.
 type Queue struct {
-	// CapacityBytes bounds the backlog; zero means a 256 KiB default.
+	// capacity bounds the backlog; zero means a 256 KiB default.
 	capacity int
 	ecn      ECNConfig
 	rng      *sim.Rand
 	// suppressMark disables ECN marking without touching the configured
-	// thresholds — an "ecnoff" fault that is exactly reversible.
+	// thresholds — an "ecnoff" fault that is exactly reversible. It
+	// applies to AQM verdicts too: a Mark from the discipline degrades to
+	// a drop, like a real AQM on a switch with ECN disabled.
 	suppressMark bool
 
-	head  int
-	buf   []*packet.Packet
+	// disc, when non-nil, replaces threshold ECN with an AQM discipline;
+	// clock supplies sim time for sojourn stamping and controller steps.
+	disc   aqm.AQM
+	clock  func() sim.Time
+	nbands int
+
+	bands [aqm.MaxBands]pktFIFO
 	bytes int
 	stats QueueStats
+
+	aqmMarks, aqmDrops uint64
+	bandDeq            [aqm.MaxBands]uint64
+	soj                [aqm.MaxBands]sojournHist
 
 	// onChange is invoked with the new backlog after every enqueue and
 	// dequeue; the PFC controller uses it to watch watermarks.
@@ -81,22 +216,73 @@ func NewQueue(capacityBytes int, ecn ECNConfig, rng *sim.Rand) *Queue {
 	if rng == nil {
 		rng = sim.NewRand(0x51ed)
 	}
-	return &Queue{capacity: capacityBytes, ecn: ecn, rng: rng}
+	return &Queue{capacity: capacityBytes, ecn: ecn, rng: rng, nbands: 1}
 }
 
-// Enqueue appends p, applying drop-tail admission and ECN marking against
-// the backlog at arrival. It reports whether the packet was admitted.
+// SetAQM attaches an AQM discipline and the sim clock that drives it.
+// The discipline supersedes the queue's threshold-ECN config; passing nil
+// restores plain drop-tail behaviour.
+func (q *Queue) SetAQM(disc aqm.AQM, clock func() sim.Time) {
+	q.disc, q.clock = disc, clock
+	q.nbands = 1
+	if disc != nil {
+		q.nbands = disc.Bands()
+	}
+}
+
+// AQM returns the attached discipline, or nil.
+func (q *Queue) AQM() aqm.AQM { return q.disc }
+
+// view snapshots the backlog for the discipline.
+func (q *Queue) view() aqm.QueueView {
+	v := aqm.QueueView{Bytes: q.bytes, Packets: q.Len(), Capacity: q.capacity}
+	for b := 0; b < q.nbands; b++ {
+		v.BandBytes[b] = q.bands[b].bytes
+		v.BandPackets[b] = q.bands[b].length()
+		if p := q.bands[b].peek(); p != nil {
+			v.HeadEnqAt[b] = p.EnqAt
+		}
+	}
+	return v
+}
+
+// Enqueue appends p, applying drop-tail admission and either threshold ECN
+// or the attached discipline's verdict. It reports whether the packet was
+// admitted; the caller keeps ownership (and must Release) when it was not.
 func (q *Queue) Enqueue(p *packet.Packet) bool {
 	if q.bytes+p.Size > q.capacity {
-		q.stats.Drops++
-		q.stats.DropBytes += uint64(p.Size)
+		q.dropStats(p)
 		return false
 	}
-	if q.shouldMark(p) {
-		p.Flags |= packet.FlagCE
-		q.stats.ECNMarks++
+	if q.disc == nil {
+		if q.shouldMark(p) {
+			p.Flags |= packet.FlagCE
+			q.stats.ECNMarks++
+		}
+		q.admit(p, 0)
+		return true
 	}
-	q.buf = append(q.buf, p)
+	band := q.disc.Classify(p)
+	now := q.clock()
+	switch q.disc.OnEnqueue(p, band, q.view(), now) {
+	case aqm.Drop:
+		q.dropStats(p)
+		q.aqmDrops++
+		return false
+	case aqm.Mark:
+		if !q.applyMark(p) {
+			q.dropStats(p)
+			q.aqmDrops++
+			return false
+		}
+	}
+	p.EnqAt = now
+	q.admit(p, band)
+	return true
+}
+
+func (q *Queue) admit(p *packet.Packet, band int) {
+	q.bands[band].push(p)
 	q.bytes += p.Size
 	q.stats.EnqPackets++
 	q.stats.EnqBytes += uint64(p.Size)
@@ -106,6 +292,23 @@ func (q *Queue) Enqueue(p *packet.Packet) bool {
 	if q.onChange != nil {
 		q.onChange(q.bytes)
 	}
+}
+
+func (q *Queue) dropStats(p *packet.Packet) {
+	q.stats.Drops++
+	q.stats.DropBytes += uint64(p.Size)
+}
+
+// applyMark resolves a discipline Mark verdict: CE when the packet is
+// ECN-capable and marking is not suppressed, otherwise the caller must
+// drop. This is the ecnoff degradation path.
+func (q *Queue) applyMark(p *packet.Packet) bool {
+	if q.suppressMark || !p.Flags.Has(packet.FlagECNCapable) {
+		return false
+	}
+	p.Flags |= packet.FlagCE
+	q.stats.ECNMarks++
+	q.aqmMarks++
 	return true
 }
 
@@ -133,31 +336,65 @@ func (q *Queue) shouldMark(p *packet.Packet) bool {
 	}
 }
 
-// Dequeue removes and returns the oldest packet, or nil if empty.
+// Dequeue removes and returns the oldest packet (per the discipline's band
+// scheduler, if any), or nil if empty. Discipline head drops (CoDel's
+// Drop verdict, or a Mark that cannot be honoured) release the victim and
+// continue with the next packet, so a non-nil return is always deliverable.
 func (q *Queue) Dequeue() *packet.Packet {
-	if q.head >= len(q.buf) {
-		return nil
+	if q.disc == nil {
+		p := q.bands[0].pop()
+		if p == nil {
+			return nil
+		}
+		q.bytes -= p.Size
+		q.deliverStats(p)
+		return p
 	}
-	p := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head++
-	// Compact once the dead prefix dominates, keeping amortized O(1).
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
+	now := q.clock()
+	for {
+		band := 0
+		if q.nbands > 1 {
+			band = q.disc.PickBand(q.view(), now)
+			if q.bands[band].length() == 0 {
+				band = 1 - band
+			}
+		}
+		p := q.bands[band].pop()
+		if p == nil {
+			return nil
+		}
+		q.bytes -= p.Size
+		sojourn := now.Sub(p.EnqAt)
+		verdict := q.disc.OnDequeue(p, band, sojourn, q.view(), now)
+		if verdict == aqm.Mark && !q.applyMark(p) {
+			verdict = aqm.Drop
+		}
+		if verdict == aqm.Drop {
+			q.dropStats(p)
+			q.aqmDrops++
+			if q.onChange != nil {
+				q.onChange(q.bytes)
+			}
+			p.Release()
+			continue
+		}
+		q.soj[band].add(sojourn)
+		q.bandDeq[band]++
+		q.deliverStats(p)
+		return p
 	}
-	q.bytes -= p.Size
+}
+
+func (q *Queue) deliverStats(p *packet.Packet) {
 	q.stats.DeqPackets++
 	q.stats.DeqBytes += uint64(p.Size)
 	if q.onChange != nil {
 		q.onChange(q.bytes)
 	}
-	return p
 }
 
 // Len returns the number of queued packets.
-func (q *Queue) Len() int { return len(q.buf) - q.head }
+func (q *Queue) Len() int { return q.bands[0].length() + q.bands[1].length() }
 
 // Bytes returns the queued backlog in bytes.
 func (q *Queue) Bytes() int { return q.bytes }
@@ -167,3 +404,21 @@ func (q *Queue) Capacity() int { return q.capacity }
 
 // Stats returns a snapshot of the queue counters.
 func (q *Queue) Stats() QueueStats { return q.stats }
+
+// AQMStats returns the discipline counters, or nil when the queue has no
+// attached discipline.
+func (q *Queue) AQMStats() *AQMStats {
+	if q.disc == nil {
+		return nil
+	}
+	s := &AQMStats{
+		Discipline:     q.disc.Name(),
+		Marks:          q.aqmMarks,
+		Drops:          q.aqmDrops,
+		BandDeqPackets: q.bandDeq,
+	}
+	for b := 0; b < q.nbands; b++ {
+		s.SojournP99Us[b] = q.soj[b].quantile(0.99).Microseconds()
+	}
+	return s
+}

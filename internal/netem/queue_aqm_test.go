@@ -1,0 +1,283 @@
+package netem
+
+import (
+	"testing"
+
+	"marlin/internal/aqm"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// aqmQueue builds a queue managed by the given discipline spec, driven by
+// a test-controlled clock.
+func aqmQueue(t *testing.T, specSrc string, capacity int, now *sim.Time) *Queue {
+	t.Helper()
+	s, err := aqm.ParseSpec(specSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(capacity, ECNConfig{}, sim.NewRand(1))
+	q.SetAQM(s.Build(q.Capacity(), sim.NewRand(7)), func() sim.Time { return *now })
+	return q
+}
+
+func drainAll(q *Queue) int {
+	n := 0
+	for {
+		p := q.Dequeue()
+		if p == nil {
+			return n
+		}
+		p.Release()
+		n++
+	}
+}
+
+// forcePI2 saturates a PI2 discipline's controller so every arrival is
+// marked: hold a large standing delay across many update intervals.
+func forcePI2(q *Queue, now *sim.Time) {
+	for i := 0; i < 400; i++ {
+		*now = now.Add(16 * sim.Millisecond)
+		p := packet.NewData(1, uint32(i), 1500, *now)
+		if !q.Enqueue(p) {
+			p.Release()
+		}
+		if q.Len() > 8 {
+			if d := q.Dequeue(); d != nil {
+				d.Release()
+			}
+		}
+		// Hold packets long enough that head delay stays far above target.
+	}
+}
+
+// TestAQMMarkResolvesToCE: a discipline Mark verdict CE-marks ECN-capable
+// packets and counts in both QueueStats.ECNMarks and AQMStats.Marks.
+func TestAQMMarkResolvesToCE(t *testing.T) {
+	var now sim.Time
+	q := aqmQueue(t, "pi2", 1<<20, &now)
+	forcePI2(q, &now)
+	st := q.Stats()
+	as := q.AQMStats()
+	if as == nil || as.Discipline != "pi2" {
+		t.Fatalf("AQMStats = %+v", as)
+	}
+	if as.Marks == 0 {
+		t.Fatal("saturated PI2 queue produced no CE marks")
+	}
+	if st.ECNMarks != as.Marks {
+		t.Fatalf("ECNMarks %d != AQM marks %d", st.ECNMarks, as.Marks)
+	}
+	drainAll(q)
+}
+
+// TestAQMMarkFallsBackToDrop is the ecnoff-interplay regression at the
+// queue level: with marking suppressed, a PI2 Mark verdict must become a
+// drop (no CE anywhere), and lifting the suppression restores marking.
+func TestAQMMarkFallsBackToDrop(t *testing.T) {
+	packet.SetAccounting(true)
+	defer packet.SetAccounting(false)
+	var now sim.Time
+	q := aqmQueue(t, "pi2", 1<<20, &now)
+	forcePI2(q, &now)
+	drainAll(q)
+	base := q.Stats()
+
+	q.SuppressMarking(true)
+	for i := 0; i < 50; i++ {
+		now = now.Add(16 * sim.Millisecond)
+		p := packet.NewData(9, uint32(i), 1500, now)
+		if q.Enqueue(p) {
+			if p.Flags.Has(packet.FlagCE) {
+				t.Fatal("CE mark applied while marking suppressed")
+			}
+		} else {
+			p.Release()
+		}
+	}
+	mid := q.Stats()
+	if mid.ECNMarks != base.ECNMarks {
+		t.Fatalf("marks advanced under ecnoff: %d -> %d", base.ECNMarks, mid.ECNMarks)
+	}
+	if mid.Drops == base.Drops {
+		t.Fatal("suppressed marks did not degrade to drops")
+	}
+
+	q.SuppressMarking(false)
+	sawCE := false
+	for i := 0; i < 50 && !sawCE; i++ {
+		now = now.Add(16 * sim.Millisecond)
+		p := packet.NewData(9, uint32(100+i), 1500, now)
+		if q.Enqueue(p) {
+			sawCE = p.Flags.Has(packet.FlagCE)
+		} else {
+			p.Release()
+		}
+	}
+	if !sawCE {
+		t.Fatal("marking did not resume after the ecnoff window closed")
+	}
+	drainAll(q)
+	if live := packet.Live(); live != 0 {
+		t.Fatalf("leaked %d packets through AQM drop paths", live)
+	}
+}
+
+// TestAQMNotECTDegradesToDrop: Not-ECT traffic can never be CE-marked, so
+// discipline marks become drops — the classic "ECN-incapable flows take
+// the losses" behaviour.
+func TestAQMNotECTDegradesToDrop(t *testing.T) {
+	var now sim.Time
+	q := aqmQueue(t, "pi2", 1<<20, &now)
+	forcePI2(q, &now)
+	drainAll(q)
+	base := q.Stats()
+	for i := 0; i < 50; i++ {
+		now = now.Add(16 * sim.Millisecond)
+		p := packet.NewDataECT(3, uint32(i), 1500, now, packet.NotECT)
+		if !q.Enqueue(p) {
+			p.Release()
+		}
+	}
+	st := q.Stats()
+	if st.ECNMarks != base.ECNMarks {
+		t.Fatal("Not-ECT packet was CE-marked")
+	}
+	if st.Drops == base.Drops {
+		t.Fatal("Not-ECT arrivals under congestion were not dropped")
+	}
+	drainAll(q)
+}
+
+// TestAQMDualQueueBands: DualPI2 splits ECT(1) into the L4S band, keeps
+// per-band accounting, and the time-shifted FIFO prefers the L4S head.
+func TestAQMDualQueueBands(t *testing.T) {
+	var now sim.Time
+	q := aqmQueue(t, "dualpi2:shift=1ms", 1<<20, &now)
+
+	classic := packet.NewDataECT(1, 0, 1000, 0, packet.ECT0)
+	if !q.Enqueue(classic) {
+		t.Fatal("classic enqueue refused")
+	}
+	now = now.Add(500 * sim.Microsecond) // within the shift
+	l4s := packet.NewDataECT(2, 0, 1000, 0, packet.ECT1)
+	if !q.Enqueue(l4s) {
+		t.Fatal("l4s enqueue refused")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	now = now.Add(100 * sim.Microsecond)
+	first := q.Dequeue()
+	if first == nil || first.ECT() != packet.ECT1 {
+		t.Fatalf("time-shifted FIFO served %v first, want the ECT(1) packet", first.ECT())
+	}
+	second := q.Dequeue()
+	if second == nil || second.ECT() != packet.ECT0 {
+		t.Fatal("classic packet lost")
+	}
+	first.Release()
+	second.Release()
+
+	as := q.AQMStats()
+	if as.BandDeqPackets[aqm.BandClassic] != 1 || as.BandDeqPackets[aqm.BandL4S] != 1 {
+		t.Fatalf("band accounting = %v", as.BandDeqPackets)
+	}
+}
+
+// TestAQMSojournPercentile: the per-band sojourn histogram reports a p99
+// in the right magnitude for a known standing delay.
+func TestAQMSojournPercentile(t *testing.T) {
+	var now sim.Time
+	q := aqmQueue(t, "codel:target=5ms,interval=100ms", 1<<20, &now)
+	for i := 0; i < 100; i++ {
+		p := packet.NewData(1, uint32(i), 1000, now)
+		if !q.Enqueue(p) {
+			t.Fatal("enqueue refused")
+		}
+		now = now.Add(10 * sim.Microsecond)
+	}
+	// Every packet waits ~2ms before delivery.
+	now = now.Add(2 * sim.Millisecond)
+	drainAll(q)
+	p99 := q.AQMStats().SojournP99Us[0]
+	if p99 < 1500 || p99 > 4500 {
+		t.Fatalf("sojourn p99 = %vus, want ~2000-3000us", p99)
+	}
+}
+
+// TestAQMCoDelHeadDrop: Not-ECT traffic under a persistently standing
+// CoDel queue is head-dropped inside Dequeue, and the next deliverable
+// packet comes out instead.
+func TestAQMCoDelHeadDrop(t *testing.T) {
+	packet.SetAccounting(true)
+	defer packet.SetAccounting(false)
+	var now sim.Time
+	q := aqmQueue(t, "codel:target=1ms,interval=10ms", 1<<20, &now)
+	for i := 0; i < 200; i++ {
+		p := packet.NewDataECT(1, uint32(i), 1000, now, packet.NotECT)
+		if !q.Enqueue(p) {
+			p.Release()
+		}
+	}
+	// Dequeue slowly with a standing 50ms+ sojourn: CoDel enters its
+	// dropping state and sheds heads.
+	delivered := 0
+	for i := 0; i < 200; i++ {
+		now = now.Add(5 * sim.Millisecond)
+		p := q.Dequeue()
+		if p == nil {
+			break
+		}
+		if p.Flags.Has(packet.FlagCE) {
+			t.Fatal("Not-ECT packet came out CE-marked")
+		}
+		delivered++
+		p.Release()
+	}
+	st := q.Stats()
+	if as := q.AQMStats(); as.Drops == 0 || st.Drops != as.Drops {
+		t.Fatalf("head drops = %d (queue %d), want > 0 and equal", as.Drops, st.Drops)
+	}
+	if delivered+int(st.Drops) != 200 {
+		t.Fatalf("conservation: delivered %d + drops %d != 200", delivered, st.Drops)
+	}
+	if live := packet.Live(); live != 0 {
+		t.Fatalf("leaked %d packets in head-drop path", live)
+	}
+}
+
+// TestAQMEnqueueZeroAlloc is the hot-path gate at the queue level: steady
+// state enqueue+dequeue through a discipline must not allocate.
+func TestAQMEnqueueZeroAlloc(t *testing.T) {
+	for _, spec := range []string{"red", "pi2", "dualpi2"} {
+		var now sim.Time
+		q := aqmQueue(t, spec, 1<<20, &now)
+		// Warm the band buffers past any append growth.
+		for i := 0; i < 256; i++ {
+			p := packet.NewDataECT(1, uint32(i), 1000, now, packet.ECT(i%3))
+			if !q.Enqueue(p) {
+				p.Release()
+			}
+		}
+		drainAll(q)
+		// One recycled packet, so the pool itself stays out of the
+		// measurement: under no congestion every verdict is Pass and the
+		// packet round-trips enqueue -> dequeue each iteration.
+		p := packet.NewDataECT(1, 0, 1000, 0, packet.ECT0)
+		i := 0
+		allocs := testing.AllocsPerRun(500, func() {
+			now = now.Add(10 * sim.Microsecond)
+			p.SetECT(packet.ECT(i % 3))
+			p.Flags &^= packet.FlagCE
+			i++
+			if q.Enqueue(p) {
+				q.Dequeue()
+			}
+		})
+		p.Release()
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op through the AQM queue, want 0", spec, allocs)
+		}
+	}
+}

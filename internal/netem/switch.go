@@ -39,6 +39,9 @@ type PortStats struct {
 	DownDrops uint64
 	// Paused reports whether the egress link is PFC-paused right now.
 	Paused bool
+	// AQM holds the egress queue's discipline counters, nil when the
+	// queue runs plain drop-tail.
+	AQM *AQMStats
 }
 
 // Stats is a whole-switch telemetry snapshot.
@@ -162,6 +165,7 @@ func (s *Switch) Stats() Stats {
 			InjectedDrops: ls.InjectedDrops,
 			DownDrops:     ls.DownDrops,
 			Paused:        l.Paused(),
+			AQM:           q.AQMStats(),
 		})
 	}
 	return st

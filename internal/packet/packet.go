@@ -81,10 +81,74 @@ const (
 	FlagFIN
 	// FlagRetransmit marks a retransmitted DATA packet (diagnostics only).
 	FlagRetransmit
+	// FlagECT1 distinguishes ECT(1) from ECT(0) on ECN-capable packets:
+	// FlagECNCapable alone is ECT(0), FlagECNCapable|FlagECT1 is ECT(1) —
+	// the L4S identifier (RFC 9331) that dual-queue AQMs classify on.
+	FlagECT1
 )
 
 // Has reports whether all bits in mask are set.
 func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// ECT is an ECN codepoint: whether a packet advertises ECN capability and,
+// if so, which ECT identifier it carries. CE is not an ECT value — it is
+// the FlagCE mark a congested queue adds on top of an ECT codepoint.
+type ECT uint8
+
+// ECN codepoints.
+const (
+	// NotECT opts the packet out of ECN: congested queues drop it.
+	NotECT ECT = iota
+	// ECT0 is the classic RFC 3168 codepoint.
+	ECT0
+	// ECT1 is the L4S codepoint (RFC 9331): scalable CC traffic that a
+	// dual-queue AQM steers into its low-latency queue.
+	ECT1
+)
+
+// String returns the conventional codepoint name.
+func (e ECT) String() string {
+	switch e {
+	case ECT0:
+		return "ect0"
+	case ECT1:
+		return "ect1"
+	default:
+		return "not-ect"
+	}
+}
+
+// ECTMask selects the flag bits that encode the ECT codepoint.
+const ECTMask = FlagECNCapable | FlagECT1
+
+// Bits returns the flag encoding of the codepoint.
+func (e ECT) Bits() Flags {
+	switch e {
+	case ECT0:
+		return FlagECNCapable
+	case ECT1:
+		return FlagECNCapable | FlagECT1
+	default:
+		return 0
+	}
+}
+
+// ECT decodes the packet's ECN codepoint from its flag bits.
+func (p *Packet) ECT() ECT {
+	if !p.Flags.Has(FlagECNCapable) {
+		return NotECT
+	}
+	if p.Flags.Has(FlagECT1) {
+		return ECT1
+	}
+	return ECT0
+}
+
+// SetECT rewrites the packet's ECN codepoint in place, leaving every other
+// flag (including an existing CE mark) untouched.
+func (p *Packet) SetECT(e ECT) {
+	p.Flags = (p.Flags &^ ECTMask) | e.Bits()
+}
 
 // ControlSize is the wire size of every TEMP-derived control packet
 // (ACK, INFO, SCHE, CNP): 64 bytes, the Ethernet minimum frame.
@@ -134,6 +198,11 @@ type Packet struct {
 	// RxTime is the timestamp the receiver logic observed the packet;
 	// used when deriving one-way metrics in measurements.
 	RxTime sim.Time
+	// EnqAt is the instant the packet entered its current queue, stamped
+	// by AQM-managed queues so sojourn-based disciplines (CoDel, PIE,
+	// DualPI2's L4S step) can measure standing delay at dequeue. It is
+	// queue-local state, not wire data: each enqueue restamps it.
+	EnqAt sim.Time
 	// INT carries in-band network telemetry stamped by traversed hops
 	// (for INT-based CC such as HPCC); receivers echo it onto ACKs and
 	// the switch forwards it inside INFO packets.
@@ -222,10 +291,19 @@ func (p *Packet) Release() {
 	}
 }
 
-// NewData returns a DATA packet of the given frame size.
+// NewData returns a DATA packet of the given frame size, carrying the
+// default ECT(0) codepoint.
 func NewData(flow FlowID, psn uint32, size int, sentAt sim.Time) *Packet {
 	p := Get()
 	p.Type, p.Flow, p.PSN, p.Size, p.SentAt, p.Flags = DATA, flow, psn, size, sentAt, FlagECNCapable
+	return p
+}
+
+// NewDataECT returns a DATA packet with an explicit ECN codepoint — the
+// constructor flood injectors use to compare Not-ECT against ECT(1) abuse.
+func NewDataECT(flow FlowID, psn uint32, size int, sentAt sim.Time, ect ECT) *Packet {
+	p := Get()
+	p.Type, p.Flow, p.PSN, p.Size, p.SentAt, p.Flags = DATA, flow, psn, size, sentAt, ect.Bits()
 	return p
 }
 

@@ -41,6 +41,115 @@ func TestNewDataDefaults(t *testing.T) {
 	}
 }
 
+func TestECTCodepoints(t *testing.T) {
+	cases := []struct {
+		ect  ECT
+		bits Flags
+		name string
+	}{
+		{NotECT, 0, "not-ect"},
+		{ECT0, FlagECNCapable, "ect0"},
+		{ECT1, FlagECNCapable | FlagECT1, "ect1"},
+	}
+	for _, tc := range cases {
+		if got := tc.ect.Bits(); got != tc.bits {
+			t.Errorf("%v.Bits() = %#x, want %#x", tc.ect, got, tc.bits)
+		}
+		if got := tc.ect.String(); got != tc.name {
+			t.Errorf("ECT(%d).String() = %q, want %q", tc.ect, got, tc.name)
+		}
+		p := NewDataECT(1, 0, 1024, 0, tc.ect)
+		if got := p.ECT(); got != tc.ect {
+			t.Errorf("NewDataECT(%v).ECT() = %v", tc.ect, got)
+		}
+		p.Release()
+	}
+	// A bare FlagECT1 without FlagECNCapable is not a valid codepoint and
+	// must decode as Not-ECT, so stray bits cannot smuggle ECN capability.
+	p := &Packet{Flags: FlagECT1}
+	if p.ECT() != NotECT {
+		t.Error("FlagECT1 without FlagECNCapable decoded as ECN-capable")
+	}
+}
+
+func TestSetECTPreservesOtherFlags(t *testing.T) {
+	p := NewDataECT(1, 0, 1024, 0, ECT1)
+	p.Flags |= FlagCE | FlagRetransmit
+	p.SetECT(ECT0)
+	if p.ECT() != ECT0 {
+		t.Fatalf("SetECT(ECT0): codepoint = %v", p.ECT())
+	}
+	if !p.Flags.Has(FlagCE | FlagRetransmit) {
+		t.Fatal("SetECT clobbered non-codepoint flags")
+	}
+	p.SetECT(NotECT)
+	if p.Flags&ECTMask != 0 || !p.Flags.Has(FlagCE) {
+		t.Fatalf("SetECT(NotECT): flags = %#x", p.Flags)
+	}
+	p.Release()
+}
+
+// TestECTSurvivesCloneAndPool is the satellite round-trip: ECT bits and the
+// queue-local EnqAt stamp must ride through Clone, and a Release/Get cycle
+// must hand back a packet with no stale codepoint.
+func TestECTSurvivesCloneAndPool(t *testing.T) {
+	p := NewDataECT(3, 7, 1024, sim.Time(55), ECT1)
+	p.EnqAt = sim.Time(1234)
+	q := p.Clone()
+	if q.ECT() != ECT1 || q.EnqAt != sim.Time(1234) {
+		t.Fatalf("Clone lost ECT/EnqAt: ect=%v enqAt=%d", q.ECT(), q.EnqAt)
+	}
+	p.Release()
+	q.Release()
+	fresh := Get()
+	if fresh.ECT() != NotECT || fresh.EnqAt != 0 || fresh.Flags != 0 {
+		t.Fatalf("pooled packet not zeroed: %+v", fresh)
+	}
+	fresh.Release()
+}
+
+// TestECTSurvivesAckTransform mirrors the switch's in-place DATA→ACK rewrite
+// (truncate, clear signal flags, keep the codepoint): after masking with
+// ECTMask the codepoint must decode unchanged while CE/ECE are gone.
+func TestECTSurvivesAckTransform(t *testing.T) {
+	for _, ect := range []ECT{NotECT, ECT0, ECT1} {
+		d := NewDataECT(1, 9, 1024, 0, ect)
+		d.Flags |= FlagCE
+		d.Type = ACK
+		d.Size = ControlSize
+		d.Flags &= ECTMask
+		d.Flags |= FlagECNEcho
+		if d.ECT() != ect {
+			t.Errorf("ACK transform changed codepoint %v -> %v", ect, d.ECT())
+		}
+		if d.Flags.Has(FlagCE) {
+			t.Error("ACK transform kept the CE mark")
+		}
+		d.Release()
+	}
+}
+
+func TestECTWireRoundTrip(t *testing.T) {
+	for _, ect := range []ECT{NotECT, ECT0, ECT1} {
+		in := &Packet{
+			Type: ACK, Flow: 5, PSN: 10, Ack: 10,
+			Flags: ect.Bits() | FlagECNEcho, Size: ControlSize,
+		}
+		var buf [ControlSize]byte
+		if err := MarshalControl(in, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		out, err := Unmarshal(buf[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ECT() != ect {
+			t.Errorf("wire round trip changed codepoint %v -> %v", ect, out.ECT())
+		}
+		out.Release()
+	}
+}
+
 func TestNewScheIs64Bytes(t *testing.T) {
 	p := NewSche(3, 10, 5, 0)
 	if p.Size != ControlSize {

@@ -22,6 +22,10 @@ func FuzzParse(f *testing.F) {
 	f.Add("set ports 4\nset pattern flood:peak=20G,victim=2,period=2ms,duty=0.5\nset pattern square:period=1ms,duty=0.2,peak=10G,base=1G\nat 0ms start 0 tx 0 rx 1\nrun 4ms\nexpect overload_us >= 0\nexpect peak_queue_bytes > 0")
 	f.Add("set pattern mmpp:rates=1G|40G,dwell=1ms|250us,seed=7,dist=datamining\nrun 2ms\nexpect bg_fct_inflation > 0")
 	f.Add("set pattern lognormal:rate=5G,sigma=1.5,victim=0\nset pattern saw:period=2ms,peak=20G,base=1G\nrun 1ms")
+	f.Add("set algo dctcp\nset aqm dualpi2:target=5us,tupdate=25us,step=10us\nat 0ms start 0 tx 0 rx 1\nrun 2ms\nexpect ecn_mark_rate > 0\nexpect sojourn_p99_us < 100")
+	f.Add("set aqm red:min=30000,max=90000,pmax=0.02\nrun 1ms")
+	f.Add("set aqm codel:target=50us,interval=1ms\nset algo cubic\nrun 1ms\nexpect sojourn_p99_us >= 0")
+	f.Add("set aqm pie:target=20us,tupdate=50us\nset aqm pi2:target=20us\nrun 1ms")
 	f.Fuzz(func(t *testing.T, src string) {
 		s1, err := Parse(src)
 		if err != nil {

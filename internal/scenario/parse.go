@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"marlin/internal/aqm"
 	"marlin/internal/faults"
 	"marlin/internal/packet"
 	"marlin/internal/sim"
@@ -82,6 +83,13 @@ func (s *Scenario) parseSet(args []string) error {
 		return setInt(&s.spec.ECNThresholdPkts, val)
 	case "queue":
 		return setInt(&s.spec.NetQueueBytes, val)
+	case "aqm":
+		// "set aqm dualpi2:target=1ms,coupling=2" — aqm.ParseSpec syntax;
+		// validated here so a typo fails at parse time, not deploy time.
+		if _, err := aqm.ParseSpec(val); err != nil {
+			return err
+		}
+		s.spec.AQM = val
 	case "seed":
 		n, err := strconv.ParseUint(val, 10, 64)
 		if err != nil {

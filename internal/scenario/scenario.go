@@ -28,6 +28,10 @@
 // layer deterministic traffic patterns — bursts, incast storms, floods —
 // over the test; the burst_absorption, peak_queue_bytes, overload_us, and
 // bg_fct_inflation metrics read the victim port's overload telemetry.
+// "set aqm NAME:key=value,..." (aqm.ParseSpec syntax) replaces drop-tail
+// queues with an AQM discipline — red, pie, codel, pi2, or dualpi2 — and
+// the ecn_mark_rate and sojourn_p99_us metrics read the marking rate and
+// worst per-band p99 queueing delay it produced.
 package scenario
 
 import (
@@ -247,6 +251,41 @@ func (s *Scenario) measure(tr *core.Tester, e *expectation, elapsed sim.Duration
 			return ewma, nil
 		}
 		return measure.NewCDF(samples).Percentile(0.5), nil
+	case "ecn_mark_rate":
+		// CE marks per forwarded packet across the tested network —
+		// step-ECN and AQM marks both fold into the queues' ECNMarks.
+		var marks, tx uint64
+		for _, sw := range snap.Network {
+			for _, ps := range sw.Ports {
+				marks += ps.ECNMarks
+				tx += ps.TxPackets
+			}
+		}
+		if tx == 0 {
+			return 0, nil
+		}
+		return float64(marks) / float64(tx), nil
+	case "sojourn_p99_us":
+		// Worst per-band p99 queueing delay over the AQM-managed ports.
+		found := false
+		worst := 0.0
+		for _, sw := range snap.Network {
+			for _, ps := range sw.Ports {
+				if ps.AQM == nil {
+					continue
+				}
+				found = true
+				for _, v := range ps.AQM.SojournP99Us {
+					if v > worst {
+						worst = v
+					}
+				}
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("no AQM discipline installed for %s", e.metric)
+		}
+		return worst, nil
 	case "faults_recovered":
 		n := 0.0
 		for _, r := range tr.FaultRecoveries() {

@@ -373,6 +373,62 @@ run 2ms
 	}
 }
 
+func TestScenarioSetAQM(t *testing.T) {
+	rep := mustRun(t, `
+set algo dctcp
+set ports 3
+set aqm dualpi2:target=5us,tupdate=25us,step=10us
+set seed 9
+at 0ms start 0 tx 0 rx 2
+at 0ms start 1 tx 1 rx 2
+run 2ms
+expect ecn_mark_rate > 0
+expect sojourn_p99_us > 0
+expect sojourn_p99_us < 1000
+expect false_losses == 0
+`)
+	if !rep.Passed() {
+		t.Fatalf("AQM scenario failed:\n%s", rep.Summary())
+	}
+	found := false
+	for _, sw := range rep.Snapshot.Network {
+		for _, ps := range sw.Ports {
+			if ps.AQM != nil && ps.AQM.Discipline == "dualpi2" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("snapshot missing the deployed discipline")
+	}
+}
+
+func TestScenarioSetAQMValidates(t *testing.T) {
+	bad := []struct{ name, src, want string }{
+		{"bad discipline", "set aqm tailspin\nrun 1ms", "unknown discipline"},
+		{"bad param", "set aqm pie:target=0s\nrun 1ms", "target"},
+		{"aqm after run", "run 1ms\nset aqm pi2", "set after run"},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+	// AQM and step-ECN are mutually exclusive marking policies; the clash
+	// surfaces when the spec is validated at deploy time.
+	s := mustParse(t, "set algo dctcp\nset ecn 65\nset aqm pi2\nrun 1ms")
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want mutual-exclusion error", err)
+	}
+}
+
+func TestScenarioSojournMetricWithoutAQM(t *testing.T) {
+	_, err := mustParse(t, "set algo dctcp\nrun 1ms\nexpect sojourn_p99_us < 10").Run()
+	if err == nil || !strings.Contains(err.Error(), "no AQM") {
+		t.Fatalf("err = %v, want no-AQM error", err)
+	}
+}
+
 func TestScenarioOverloadMetricWithoutPlan(t *testing.T) {
 	_, err := mustParse(t, "set algo dctcp\nrun 1ms\nexpect burst_absorption > 0").Run()
 	if err == nil || !strings.Contains(err.Error(), "no pattern plan") {

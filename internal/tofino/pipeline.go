@@ -304,6 +304,9 @@ func (pl *Pipeline) sendData(port int, m scheMeta) {
 	}
 	d := packet.NewData(m.flow, m.psn, pl.cfg.Plan.MTU, sim.Time(m.sentAt))
 	d.Flags |= m.flags & packet.FlagRetransmit
+	// Carry the flow's ECN codepoint from the SCHE header onto the DATA
+	// packet it generates (NewData defaults to ECT(0)).
+	d.Flags = d.Flags&^packet.ECTMask | m.flags&packet.ECTMask
 	d.Port = port
 	pl.c.DataTx++
 	pl.c.DataTxBytes += uint64(d.Size)

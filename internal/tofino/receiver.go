@@ -133,8 +133,12 @@ func (r *receiver) onData(port int, p *packet.Packet) {
 }
 
 // sendAck emits the acknowledgement by truncating and rewriting the DATA
-// frame in place (§3.2 step 4), consuming it: Flow, PSN, SentAt, and the
-// INT telemetry stack are echoed verbatim, everything else is rewritten.
+// frame in place (§3.2 step 4), consuming it: Flow, PSN, SentAt, the ECT
+// codepoint bits, and the INT telemetry stack are echoed verbatim,
+// everything else is rewritten. Keeping the ECT bits matters: the sender's
+// CC module reads the echoed codepoint to confirm what the flow negotiated,
+// and wiping them here would silently downgrade ECT(1) flows to Not-ECT on
+// the return path.
 func (r *receiver) sendAck(port int, d *packet.Packet, cumAck uint32, ce bool) {
 	out := r.out(port)
 	if out == nil {
@@ -146,9 +150,9 @@ func (r *receiver) sendAck(port int, d *packet.Packet, cumAck uint32, ce bool) {
 	d.Size = packet.ControlSize
 	d.Port = 0
 	d.RxTime = r.eng.Now()
-	d.Flags = 0
+	d.Flags &= packet.ECTMask
 	if ce && r.mode == TCPReceiver {
-		d.Flags = packet.FlagECNEcho
+		d.Flags |= packet.FlagECNEcho
 	}
 	r.ackTx++
 	out.Receive(d)
@@ -164,7 +168,7 @@ func (r *receiver) sendNack(port int, d *packet.Packet, expected uint32) {
 	n.Flow = d.Flow
 	n.PSN = d.PSN
 	n.Ack = expected
-	n.Flags = packet.FlagNACK
+	n.Flags = packet.FlagNACK | d.Flags&packet.ECTMask
 	n.Size = packet.ControlSize
 	n.SentAt = d.SentAt
 	n.RxTime = r.eng.Now()

@@ -1,6 +1,9 @@
 package workload
 
-import "marlin/internal/sim"
+import (
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
 
 // LoadOption tunes a load-envelope pattern built with NewSquare, NewSaw,
 // NewMMPP, or NewLognormal. Only the options below exist; the type's
@@ -57,11 +60,11 @@ func NewIncast(period sim.Duration, fanin, victim int, sizePkts uint32) *Incast 
 
 // NewFlood builds a continuous victim-targeted flood of raw DATA at peak.
 func NewFlood(peak sim.Rate, victim int) *Flood {
-	return &Flood{Peak: peak, Victim: victim}
+	return &Flood{Peak: peak, Victim: victim, ECT: packet.ECT0}
 }
 
 // NewPulsedFlood builds a flood that pulses: peak for duty of each period,
 // silent otherwise.
 func NewPulsedFlood(peak sim.Rate, victim int, period sim.Duration, duty float64) *Flood {
-	return &Flood{Peak: peak, Victim: victim, Period: period, Duty: duty}
+	return &Flood{Peak: peak, Victim: victim, Period: period, Duty: duty, ECT: packet.ECT0}
 }

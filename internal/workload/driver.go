@@ -21,8 +21,9 @@ type Target interface {
 	// BindExternalFlow routes a tester-external flow ID (flood traffic
 	// that bypasses the NIC) toward receiver port rx.
 	BindExternalFlow(flow packet.FlowID, rx int) error
-	// InjectData sends one raw DATA frame for the flow into tx's uplink.
-	InjectData(flow packet.FlowID, tx int, psn uint32, frameBytes int)
+	// InjectData sends one raw DATA frame carrying the given ECN
+	// codepoint for the flow into tx's uplink.
+	InjectData(flow packet.FlowID, tx int, psn uint32, frameBytes int, ect packet.ECT)
 }
 
 // DriverConfig sizes a Driver to its tester.
@@ -230,7 +231,7 @@ func (d *Driver) armFlood(p *Flood) error {
 	tick = func() {
 		now := d.eng.Now()
 		if r := p.RateAt(now); r > 0 {
-			d.target.InjectData(flow, attacker, psn, d.cfg.MTU)
+			d.target.InjectData(flow, attacker, psn, d.cfg.MTU, p.ECT)
 			psn++
 			d.injected++
 			d.eng.Schedule(r.Serialize(wire), tick)

@@ -17,6 +17,7 @@ type event struct {
 	tx, rx int
 	size   uint32
 	psn    uint32
+	ect    packet.ECT
 }
 
 // fakeTarget records every driver action.
@@ -43,8 +44,8 @@ func (f *fakeTarget) BindExternalFlow(flow packet.FlowID, rx int) error {
 	return nil
 }
 
-func (f *fakeTarget) InjectData(flow packet.FlowID, tx int, psn uint32, frameBytes int) {
-	f.events = append(f.events, event{at: f.eng.Now(), kind: "inject", flow: flow, tx: tx, psn: psn})
+func (f *fakeTarget) InjectData(flow packet.FlowID, tx int, psn uint32, frameBytes int, ect packet.ECT) {
+	f.events = append(f.events, event{at: f.eng.Now(), kind: "inject", flow: flow, tx: tx, psn: psn, ect: ect})
 }
 
 func applyPlan(t *testing.T, eng *sim.Engine, tgt *fakeTarget, src string, seed uint64) *Driver {
@@ -109,6 +110,30 @@ func TestDriverFloodPacing(t *testing.T) {
 		}
 		if ev.tx != 1 {
 			t.Fatalf("injection %d from port %d, want attacker 1", i, ev.tx)
+		}
+	}
+}
+
+func TestDriverFloodECTVariants(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want packet.ECT
+	}{
+		{"flood:peak=20G,victim=0", packet.ECT0}, // default: marking-eligible
+		{"flood:peak=20G,victim=0,ect=not", packet.NotECT},
+		{"flood:peak=20G,victim=0,ect=ect1", packet.ECT1},
+	} {
+		eng := sim.NewEngine()
+		tgt := &fakeTarget{eng: eng}
+		applyPlan(t, eng, tgt, tc.spec, 1)
+		eng.Run(sim.Time(10 * sim.Microsecond))
+		if len(tgt.events) == 0 {
+			t.Fatalf("%q injected nothing", tc.spec)
+		}
+		for _, ev := range tgt.events {
+			if ev.ect != tc.want {
+				t.Fatalf("%q injected %v frames, want %v", tc.spec, ev.ect, tc.want)
+			}
 		}
 	}
 }

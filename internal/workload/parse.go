@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"marlin/internal/packet"
 	"marlin/internal/sim"
 	"marlin/internal/spec"
 )
@@ -164,7 +165,7 @@ func parsePattern(src string) (Pattern, error) {
 		}
 		return p, nil
 	case "flood":
-		p := &Flood{}
+		p := &Flood{ECT: packet.ECT0}
 		for _, kv := range pairs {
 			switch kv.Key {
 			case "peak":
@@ -175,6 +176,8 @@ func parsePattern(src string) (Pattern, error) {
 				p.Period, err = spec.Duration(kv.Val)
 			case "duty":
 				p.Duty, err = spec.Float("duty", kv.Val)
+			case "ect":
+				p.ECT, err = parseECT(kv.Val)
 			default:
 				err = fmt.Errorf("unexpected %q for flood", kv.Key)
 			}
@@ -185,6 +188,21 @@ func parsePattern(src string) (Pattern, error) {
 		return p, nil
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+// parseECT reads an ECN codepoint name: "not" (alias "notect", "none"),
+// "ect0", or "ect1".
+func parseECT(val string) (packet.ECT, error) {
+	switch val {
+	case "not", "notect", "none":
+		return packet.NotECT, nil
+	case "ect0":
+		return packet.ECT0, nil
+	case "ect1":
+		return packet.ECT1, nil
+	default:
+		return 0, fmt.Errorf("unknown ect codepoint %q (want not, ect0, or ect1)", val)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"marlin/internal/packet"
 	"marlin/internal/sim"
 	"marlin/internal/spec"
 )
@@ -385,13 +386,18 @@ func (p *Incast) validate() error {
 // pulses (Peak for Duty of each Period, silent otherwise); without one
 // it runs flat out. Spec form:
 //
-//	flood:peak=20G,victim=0,period=4ms,duty=0.25
+//	flood:peak=20G,victim=0,period=4ms,duty=0.25,ect=not
 type Flood struct {
 	Peak   sim.Rate
 	Victim int
 	// Period/Duty pulse the flood; Period == 0 floods continuously.
 	Period sim.Duration
 	Duty   float64
+	// ECT is the ECN codepoint stamped on the flood's frames (default
+	// ECT(0)). Not-ECT models a plain UDP blast that AQMs can only drop;
+	// ECT(1) models an abuser squatting in a dual-queue AQM's low-latency
+	// band.
+	ECT packet.ECT
 }
 
 // Name implements Pattern.
@@ -418,7 +424,22 @@ func (p *Flood) Spec() string {
 	if p.Period > 0 {
 		s += fmt.Sprintf(",period=%s,duty=%g", p.Period, p.Duty)
 	}
+	if p.ECT != packet.ECT0 {
+		s += ",ect=" + ectSpec(p.ECT)
+	}
 	return s
+}
+
+// ectSpec renders an ECN codepoint in flood-spec syntax.
+func ectSpec(e packet.ECT) string {
+	switch e {
+	case packet.NotECT:
+		return "not"
+	case packet.ECT1:
+		return "ect1"
+	default:
+		return "ect0"
+	}
 }
 
 func (p *Flood) validate() error {

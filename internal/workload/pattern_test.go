@@ -16,6 +16,8 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"incast:period=5ms,fanin=8,victim=4,size=150",
 		"flood:peak=20G,victim=0,period=4ms,duty=0.25",
 		"flood:peak=20G,victim=0",
+		"flood:peak=20G,victim=0,ect=not",
+		"flood:peak=20G,victim=0,period=4ms,duty=0.25,ect=ect1",
 		"square:period=1ms,duty=0.5,peak=10G,base=0bps,dist=datamining,victim=2",
 		"incast:period=5ms,fanin=3,victim=1,size=100; flood:peak=20G,victim=1",
 	}
@@ -58,6 +60,7 @@ func TestParseSpecRejects(t *testing.T) {
 		"mmpp:rates=1G,dwell=1ms",                           // one state
 		"mmpp:rates=1G|40G,dwell=1ms",                       // dwell count mismatch
 		"mmpp:rates=1G|40G,dwell=1ms|0s",                    // zero dwell
+		"flood:peak=20G,victim=0,ect=ce",                    // unknown codepoint
 		"mmpp:rates=0|0bps,dwell=1ms|1ms",                   // all states idle
 		"mmpp:rates=1G|40G,dwell=1ms|2ms,seed=x",            // bad seed
 		"lognormal:rate=5G",                                 // missing sigma

@@ -2,6 +2,7 @@ package marlin_test
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -274,6 +275,153 @@ expect false_losses == 0
 	}
 	if _, err := marlin.RunScenario("nonsense"); err == nil {
 		t.Fatal("bad scenario parsed")
+	}
+}
+
+// TestAQMSpecConstructors checks the functional-option surface renders
+// specs ParseAQMSpec accepts, with overrides applied.
+func TestAQMSpecConstructors(t *testing.T) {
+	s := marlin.AQMDualPI2(
+		marlin.AQMTarget(10*marlin.Microsecond),
+		marlin.AQMTUpdate(50*marlin.Microsecond),
+		marlin.AQMGains(250, 2500),
+		marlin.AQMCoupling(4),
+		marlin.AQMStep(20*marlin.Microsecond),
+		marlin.AQMShift(20*marlin.Microsecond),
+	)
+	back, err := marlin.ParseAQMSpec(s.String())
+	if err != nil {
+		t.Fatalf("constructor output %q does not re-parse: %v", s.String(), err)
+	}
+	if back != s {
+		t.Fatalf("round trip drifted: %+v vs %+v", back, s)
+	}
+	if back.Target != 10*marlin.Microsecond || back.Coupling != 4 || back.Alpha != 250 {
+		t.Fatalf("options not applied: %+v", back)
+	}
+	for _, s := range []marlin.AQMSpec{
+		marlin.AQMRed(marlin.AQMThresholds(30000, 90000), marlin.AQMMaxP(0.05)),
+		marlin.AQMPIE(), marlin.AQMCoDel(marlin.AQMInterval(marlin.Millisecond)), marlin.AQMPI2(),
+	} {
+		if _, err := marlin.ParseAQMSpec(s.String()); err != nil {
+			t.Errorf("%q does not re-parse: %v", s.String(), err)
+		}
+	}
+}
+
+// TestAQMMixedCCEndToEnd drives the public AQM path: a DualPI2 spec built
+// from options, a per-flow CUBIC override sharing the port with DCTCP, and
+// the per-band telemetry split.
+func TestAQMMixedCCEndToEnd(t *testing.T) {
+	tr, err := marlin.NewTester(marlin.TestConfig{
+		Algorithm: "dctcp",
+		Ports:     3,
+		AQM: marlin.AQMDualPI2(
+			marlin.AQMTarget(5*marlin.Microsecond),
+			marlin.AQMTUpdate(25*marlin.Microsecond),
+			marlin.AQMGains(250, 2500),
+			marlin.AQMStep(10*marlin.Microsecond),
+			marlin.AQMShift(10*marlin.Microsecond),
+		).String(),
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.StartFlow(0, 0, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.StartFlowCC(1, 1, 2, 0, "cubic"); err != nil {
+		t.Fatal(err)
+	}
+	// A rate-mode override on a window-mode deployment must be refused.
+	if err := tr.StartFlowCC(2, 0, 2, 0, "dcqcn"); err == nil {
+		t.Fatal("cross-mode CC override accepted")
+	}
+	tr.RunFor(2 * marlin.Millisecond)
+	ps := tr.NetworkTelemetry()[0].Ports[2]
+	if ps.AQM == nil || ps.AQM.Discipline != "dualpi2" {
+		t.Fatalf("no discipline on the victim port: %+v", ps.AQM)
+	}
+	// DCTCP rides the L4S band, the CUBIC override the classic band.
+	if ps.AQM.BandDeqPackets[0] == 0 || ps.AQM.BandDeqPackets[1] == 0 {
+		t.Fatalf("bands not split by codepoint: %+v", ps.AQM.BandDeqPackets)
+	}
+	if ps.AQM.Marks == 0 {
+		t.Fatal("congested DualPI2 port never marked")
+	}
+}
+
+// TestAQMDifferentialWorkers is the determinism gate for the probabilistic
+// disciplines: the same cc × AQM campaign must produce byte-identical
+// marks, drops, and sojourn percentiles at -j 1 vs -j N and across two
+// GOMAXPROCS settings, because every queue draws from its own pre-split
+// RNG stream.
+func TestAQMDifferentialWorkers(t *testing.T) {
+	cells := []string{
+		"red:min=30000,max=90000",
+		"pie:target=10us,tupdate=50us,alpha=250,beta=2500",
+		"dualpi2:target=10us,tupdate=50us,step=20us,shift=20us,alpha=250,beta=2500",
+	}
+	campaign := func(workers int) []marlin.FleetJobResult {
+		t.Helper()
+		jobs := make([]marlin.FleetJob, len(cells))
+		for i, spec := range cells {
+			spec := spec
+			jobs[i] = marlin.FleetJob{ID: spec, Run: func() (*marlin.FleetOutput, error) {
+				tester, err := marlin.NewTester(marlin.TestConfig{
+					Algorithm: "dctcp", Ports: 3, AQM: spec, Seed: 23,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := tester.StartFlow(0, 0, 2, 0); err != nil {
+					return nil, err
+				}
+				if err := tester.StartFlowCC(1, 1, 2, 0, "cubic"); err != nil {
+					return nil, err
+				}
+				tester.RunFor(2 * marlin.Millisecond)
+				ps := tester.NetworkTelemetry()[0].Ports[2]
+				return &marlin.FleetOutput{Metrics: map[string]float64{
+					"marks":       float64(ps.AQM.Marks),
+					"drops":       float64(ps.AQM.Drops),
+					"classic_p99": ps.AQM.SojournP99Us[0],
+					"l4s_p99":     ps.AQM.SojournP99Us[1],
+					"tx":          float64(ps.TxPackets),
+				}}, nil
+			}}
+		}
+		results, err := marlin.RunFleet(jobs, marlin.FleetOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	baseline := campaign(1)
+	for _, procs := range []int{1, prev} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 4} {
+			got := campaign(workers)
+			for i := range baseline {
+				if !baseline[i].OK() || !got[i].OK() {
+					t.Fatalf("cell %s failed: %q / %q", cells[i], baseline[i].Err, got[i].Err)
+				}
+				want, have := baseline[i].Output.Metrics, got[i].Output.Metrics
+				for k, v := range want {
+					if have[k] != v {
+						t.Errorf("GOMAXPROCS=%d workers=%d cell %s: %s = %g, want %g",
+							procs, workers, cells[i], k, have[k], v)
+					}
+				}
+				if want["marks"] == 0 {
+					t.Errorf("cell %s never marked; differential test is vacuous", cells[i])
+				}
+			}
+		}
 	}
 }
 
