@@ -47,6 +47,10 @@ type Report struct {
 	Schema    string `json:"schema"`
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
+	// CPUs is runtime.NumCPU() on the measuring machine. The shard/scaling_*
+	// speedups are only meaningful when CPUs covers the worker count — CI
+	// gates its >=2x assertion on this field.
+	CPUs int `json:"cpus"`
 	// Results holds the live measurements from this run. engine/* and
 	// refengine/* pairs are the after/before of the scheduler overhaul.
 	Results []Result `json:"results"`
@@ -230,6 +234,42 @@ func benchTesterPacketRate(b *testing.B) {
 	}
 }
 
+// benchShardScaling measures end-to-end sharded execution of one fat-tree
+// simulation at a given worker budget: 12 cross-pod flows over fattree:4
+// (4 partitions, one per pod), advancing sim time in fixed windows.
+// shard/fattree_shards_1 is the single-worker baseline the scaling ratios
+// divide by, so shard/scaling_{2,4} isolate the parallel win from the
+// partitioned build's fixed overhead. The numbers are only meaningful when
+// the machine has at least `shards` cores — see Report.CPUs.
+func benchShardScaling(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		const ports = 12
+		tr, err := marlin.NewTester(marlin.TestConfig{
+			Algorithm:        "dctcp",
+			Ports:            ports,
+			ECNThresholdPkts: 65,
+			Topology:         "fattree:4",
+			Shards:           shards,
+			DCQCNTimeScale:   30,
+			Seed:             1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for p := 0; p < ports; p++ {
+			if err := tr.StartFlow(marlin.FlowID(p), p, (p+ports/2)%ports, 0); err != nil {
+				panic(err)
+			}
+		}
+		tr.RunFor(100 * marlin.Microsecond) // fill queues, warm wheel slots
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.RunFor(20 * marlin.Microsecond)
+		}
+	}
+}
+
 // marlinvetBenchDirs is the fixed package set the analyzer benchmarks run
 // over — big enough to be representative, small enough for bench-smoke.
 func marlinvetBenchDirs() (string, []string) {
@@ -305,6 +345,9 @@ var suite = []struct {
 	{"aqm/dualpi2_enqueue", benchAQMEnqueue("dualpi2:target=10us,tupdate=50us,step=20us")},
 	{"tofino/fig6_pipeline", benchPipelineFig6},
 	{"tester/packet_rate", benchTesterPacketRate},
+	{"shard/fattree_shards_1", benchShardScaling(1)},
+	{"shard/fattree_shards_2", benchShardScaling(2)},
+	{"shard/fattree_shards_4", benchShardScaling(4)},
 	{"marlinvet/one_pass", benchMarlinvetOnePass},
 	{"marlinvet/per_check_reload", benchMarlinvetPerCheckReload},
 }
@@ -324,6 +367,7 @@ func main() {
 		Schema:              "marlin-bench/v1",
 		GoVersion:           runtime.Version(),
 		GOARCH:              runtime.GOARCH,
+		CPUs:                runtime.NumCPU(),
 		Speedups:            map[string]float64{},
 		RecordedPreOverhaul: recordedPreOverhaul,
 	}
@@ -348,6 +392,11 @@ func main() {
 	}
 	if before, after := perOp["marlinvet/per_check_reload"], perOp["marlinvet/one_pass"]; after > 0 {
 		rep.Speedups["marlinvet/one_pass"] = before / after
+	}
+	for _, n := range []string{"2", "4"} {
+		if base, par := perOp["shard/fattree_shards_1"], perOp["shard/fattree_shards_"+n]; par > 0 {
+			rep.Speedups["shard/scaling_"+n] = base / par
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -80,11 +80,13 @@ sweep flags:   -axis key=v1,v2,... (repeatable) -reps N -j N -seed N
                -timeout D -retries N -journal FILE -format text|json|csv
 test flags:    -algo NAME -ports N -flows N -duration D -ecn K -fanin
                -int -pfc -fpgarecv -topology SPEC -pcap FILE -seed N
+               -shards N (parallel build on up to N cores; needs -topology;
+               results byte-identical for any N >= 1)
                -faults "SPEC" -pattern "SPEC" (traffic patterns: square,
                saw, mmpp, lognormal, incast, flood)
                -aqm "SPEC" (queue discipline: red, pie, codel, pi2,
                dualpi2; replaces step ECN)
-bench flags:   -algo NAME -ports N -flows N -duration D -reps N
+bench flags:   -algo NAME -ports N -flows N -duration D -reps N -shards N
                -cpuprofile FILE -memprofile FILE -trace FILE
 dot flags:     -algo NAME -ports N -pfc -fpgarecv -topology SPEC
 topologies:    dumbbell, leafspine:LxS, fattree:K, parkinglot:N
@@ -225,6 +227,7 @@ func cmdTest(args []string) error {
 	usePFC := fs.Bool("pfc", false, "lossless fabric via PFC pause frames")
 	fpgaRecv := fs.Bool("fpgarecv", false, "run receiver logic on the FPGA (reserved port)")
 	topology := fs.String("topology", "", "tested-network fabric (dumbbell, leafspine:LxS, fattree:K, parkinglot:N; empty = single switch)")
+	shards := fs.Int("shards", 0, "conservative parallel build on up to N worker cores (needs -topology; 0 = classic single-engine; results byte-identical for any N >= 1)")
 	pcapPath := fs.String("pcap", "", "capture the first forward link to this pcap file")
 	faultSpec := fs.String("faults", "", `time-domain fault plan, e.g. "linkdown fwd1 at 2ms for 300us; nicstall at 4ms for 100us"`)
 	patternSpec := fs.String("pattern", "", `traffic-pattern plan, e.g. "incast:period=5ms,fanin=8,victim=1,size=150; flood:peak=20G,victim=1"`)
@@ -257,6 +260,7 @@ func cmdTest(args []string) error {
 		EnablePFC:        *usePFC,
 		ReceiverOnFPGA:   *fpgaRecv,
 		Topology:         *topology,
+		Shards:           *shards,
 		Faults:           *faultSpec,
 		Pattern:          *patternSpec,
 		DCQCNTimeScale:   30,

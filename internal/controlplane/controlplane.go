@@ -79,6 +79,13 @@ type Spec struct {
 	Pattern string
 	// Params fully overrides the parameter block when non-nil.
 	Params *cc.Params
+	// Shards > 0 executes the simulation as a conservative parallel
+	// build: the Topology is partitioned along its natural fault domains
+	// and up to Shards worker goroutines run the partitions in lookahead-
+	// bounded rounds. Results are byte-identical for every Shards >= 1
+	// and any GOMAXPROCS; 0 keeps the classic single-engine execution.
+	// Requires Topology; incompatible with EnablePFC and ReceiverOnFPGA.
+	Shards int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -114,6 +121,20 @@ func (s *Spec) Validate() error {
 		}
 		if s.ExtraHops > 0 {
 			return fmt.Errorf("controlplane: ExtraHops applies only to the canonical single-switch network, not topology %q", s.Topology)
+		}
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("controlplane: negative shard count %d", s.Shards)
+	}
+	if s.Shards > 0 {
+		if s.Topology == "" {
+			return fmt.Errorf("controlplane: Shards requires a multi-switch Topology")
+		}
+		if s.EnablePFC {
+			return fmt.Errorf("controlplane: Shards and EnablePFC are incompatible (pause frames would act across partitions)")
+		}
+		if s.ReceiverOnFPGA {
+			return fmt.Errorf("controlplane: Shards and ReceiverOnFPGA are incompatible (the reserved-port path is not partitioned)")
 		}
 	}
 	if s.Faults != "" {
@@ -209,6 +230,7 @@ func (s *Spec) Deploy(eng *sim.Engine) (*core.Tester, error) {
 		EnablePFC:      s.EnablePFC,
 		ReceiverOnFPGA: s.ReceiverOnFPGA,
 		ExtraHops:      s.ExtraHops,
+		Shards:         s.Shards,
 		Seed:           s.Seed,
 	}
 	if s.Topology != "" {
@@ -302,14 +324,14 @@ type Snapshot struct {
 func ReadRegisters(t *core.Tester) Snapshot {
 	snap := Snapshot{
 		At:       t.Eng.Now(),
-		Switch:   t.Pipeline.Counters(),
-		NIC:      t.NIC.Stats(),
+		Switch:   t.PipelineCounters(),
+		NIC:      t.NICStats(),
 		FCTCount: t.FCTs.Len(),
 		Network:  t.NetworkStats(),
 		Faults:   t.FaultRecoveries(),
 	}
 	for i := 0; i < t.Plan().DataPorts; i++ {
-		snap.Ports = append(snap.Ports, t.Pipeline.PortCounters(i))
+		snap.Ports = append(snap.Ports, t.PipelinePortCounters(i))
 	}
 	if mon := t.OverloadMonitor(); mon != nil {
 		r := mon.Report()
@@ -367,7 +389,7 @@ func ReadLosses(t *core.Tester) LossReport {
 			r.DownDrops += ls.DownDrops
 		}
 	}
-	r.FalseLosses = t.Pipeline.Counters().ScheDrops
-	r.RXDrops = t.NIC.Stats().InfoDrops
+	r.FalseLosses = t.PipelineCounters().ScheDrops
+	r.RXDrops = t.NICStats().InfoDrops
 	return r
 }

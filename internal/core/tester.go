@@ -23,6 +23,7 @@ import (
 	"marlin/internal/measure"
 	"marlin/internal/netem"
 	"marlin/internal/packet"
+	"marlin/internal/shard"
 	"marlin/internal/sim"
 	"marlin/internal/tofino"
 	"marlin/internal/workload"
@@ -103,8 +104,25 @@ type Config struct {
 	// byte. Mutually exclusive with ExtraHops (the fabric has real
 	// hops).
 	Topology fabric.Spec
+	// Shards > 0 runs the simulation as a conservative parallel build:
+	// the Topology is partitioned along its natural fault domains
+	// (fabric.PartitionSpec), each partition gets its own engine and
+	// slice of the tester hardware, and up to Shards worker goroutines
+	// execute rounds bounded by the fabric's minimum inter-partition
+	// propagation delay. Outputs are byte-identical for every Shards >= 1
+	// value and any GOMAXPROCS; 0 keeps the classic single-engine build.
+	// Requires a Topology; incompatible with EnablePFC and
+	// ReceiverOnFPGA.
+	Shards int
 	// Seed drives all randomness.
 	Seed uint64
+}
+
+// ccOverride carries StartFlowCC's per-flow algorithm selection into the
+// sharded start path (zero value: the deployed default module).
+type ccOverride struct {
+	alg cc.Algorithm
+	ect packet.ECT
 }
 
 // Tester is an assembled Marlin instance plus its tested network.
@@ -140,18 +158,34 @@ type Tester struct {
 	patternPlan workload.Plan
 	patternDrv  *workload.Driver
 	overloadMon *measure.OverloadMonitor
+
+	// Sharded-build state (nil/empty on the classic single-engine build).
+	// Eng is then the control engine: it carries user schedules, fault and
+	// pattern plans, and monitor probes, all executing at round barriers
+	// while every partition clock sits exactly at the event's timestamp.
+	runner    *shard.Runner
+	partEngs  []*sim.Engine
+	partPlan  fabric.PartitionPlan
+	subs      []*subTester // by partition; nil where no hosts live
+	subList   []*subTester // non-nil subs, ascending partition
+	portSub   []int        // global data port -> owning partition
+	portLocal []int        // global data port -> local index in its sub
+	flowGroup map[packet.FlowID]int
 }
 
-// New builds and wires a tester.
-func New(eng *sim.Engine, cfg Config) (*Tester, error) {
+// prepare validates cfg, fills in the paper's defaults, and shrinks the
+// port plan to the ports actually used so validation and throughput
+// accounting stay honest. Both the classic and the sharded assembly build
+// from its output.
+func prepare(cfg Config) (Config, tofino.Plan, error) {
 	if cfg.Algorithm == nil {
-		return nil, fmt.Errorf("core: no CC algorithm configured")
+		return cfg, tofino.Plan{}, fmt.Errorf("core: no CC algorithm configured")
 	}
 	if !cfg.Topology.IsZero() && cfg.ExtraHops > 0 {
-		return nil, fmt.Errorf("core: ExtraHops applies only to the canonical single-switch network; the %s fabric has real hops", cfg.Topology)
+		return cfg, tofino.Plan{}, fmt.Errorf("core: ExtraHops applies only to the canonical single-switch network; the %s fabric has real hops", cfg.Topology)
 	}
 	if cfg.AQM.Enabled() && cfg.ECN.Enable {
-		return nil, fmt.Errorf("core: AQM %s and threshold ECN are mutually exclusive marking policies", cfg.AQM.Kind)
+		return cfg, tofino.Plan{}, fmt.Errorf("core: AQM %s and threshold ECN are mutually exclusive marking policies", cfg.AQM.Kind)
 	}
 	if cfg.MTU == 0 {
 		cfg.MTU = 1024
@@ -171,15 +205,38 @@ func New(eng *sim.Engine, cfg Config) (*Tester, error) {
 
 	plan, err := tofino.NewPlan(cfg.MTU, cfg.PortRate)
 	if err != nil {
-		return nil, err
+		return cfg, tofino.Plan{}, err
 	}
 	if cfg.DataPorts == 0 || cfg.DataPorts > plan.DataPorts {
 		cfg.DataPorts = plan.DataPorts
 	}
-	// Shrink the plan to the ports actually used so validation and
-	// throughput accounting stay honest.
 	plan.DataPorts = cfg.DataPorts
 	plan.Throughput = sim.Rate(int64(cfg.PortRate) * int64(cfg.DataPorts))
+	return cfg, plan, nil
+}
+
+// timerPPS derives the FPGA pacing rates from the config and plan.
+func timerPPS(cfg Config, plan tofino.Plan) (tx, rx float64) {
+	tx = cfg.TXTimerPPS
+	if tx == 0 {
+		tx = plan.DataPPSPerPort
+	}
+	rx = plan.DataPPSPerPort
+	if rx > tx {
+		rx = tx
+	}
+	return tx, rx
+}
+
+// New builds and wires a tester.
+func New(eng *sim.Engine, cfg Config) (*Tester, error) {
+	cfg, plan, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shards > 0 {
+		return newSharded(eng, cfg, plan)
+	}
 
 	pl, err := tofino.NewPipeline(eng, tofino.Config{
 		Plan:           plan,
@@ -193,14 +250,7 @@ func New(eng *sim.Engine, cfg Config) (*Tester, error) {
 		return nil, err
 	}
 
-	txPPS := cfg.TXTimerPPS
-	if txPPS == 0 {
-		txPPS = plan.DataPPSPerPort
-	}
-	rxPPS := plan.DataPPSPerPort
-	if rxPPS > txPPS {
-		rxPPS = txPPS
-	}
+	txPPS, rxPPS := timerPPS(cfg, plan)
 	nic, err := fpga.NewNIC(eng, fpga.Config{
 		Ports:          cfg.DataPorts,
 		MaxFlows:       cfg.MaxFlows,
@@ -490,8 +540,16 @@ func portAlias(name, prefix string) (int, bool) {
 }
 
 // StallNIC gates the FPGA NIC's pacing timers (implementing
-// faults.Target).
-func (t *Tester) StallNIC(stalled bool) { t.NIC.SetStall(stalled) }
+// faults.Target). A sharded build stalls every partition's NIC.
+func (t *Tester) StallNIC(stalled bool) {
+	if t.runner != nil {
+		for _, sub := range t.subList {
+			sub.nic.SetStall(stalled)
+		}
+		return
+	}
+	t.NIC.SetStall(stalled)
+}
 
 // InstallFaults schedules a fault plan against this tester and arms the
 // recovery monitor. Call once, before running; recoveries surface in
@@ -506,7 +564,7 @@ func (t *Tester) InstallFaults(plan faults.Plan) (*faults.Monitor, error) {
 	t.faultPlan = plan
 	t.faultMon = faults.NewMonitor(t.Eng, faults.MonitorConfig{}, plan,
 		t.deliveredBytes,
-		func() uint64 { return t.NIC.Stats().RtxTx },
+		func() uint64 { return t.NICStats().RtxTx },
 		t.ecnMarks)
 	return t.faultMon, nil
 }
@@ -629,6 +687,9 @@ func (t *Tester) OnComplete(fn func(flow packet.FlowID, fct sim.Duration)) {
 // StartFlow launches a flow of sizePkts MTU-sized packets from tx port to
 // rx port. sizePkts == 0 runs an unbounded flow (stopped via StopFlow).
 func (t *Tester) StartFlow(flow packet.FlowID, tx, rx int, sizePkts uint32) error {
+	if t.runner != nil {
+		return t.startFlowSharded(flow, tx, rx, sizePkts, ccOverride{})
+	}
 	if rx < 0 || rx >= t.cfg.DataPorts {
 		return fmt.Errorf("core: rx port %d out of range [0,%d)", rx, t.cfg.DataPorts)
 	}
@@ -655,6 +716,9 @@ func (t *Tester) StartFlowCC(flow packet.FlowID, tx, rx int, sizePkts uint32, al
 	if err != nil {
 		return err
 	}
+	if t.runner != nil {
+		return t.startFlowSharded(flow, tx, rx, sizePkts, ccOverride{alg: alg, ect: cc.PreferredECT(alg)})
+	}
 	if rx < 0 || rx >= t.cfg.DataPorts {
 		return fmt.Errorf("core: rx port %d out of range [0,%d)", rx, t.cfg.DataPorts)
 	}
@@ -672,7 +736,15 @@ func (t *Tester) StartFlowCC(flow packet.FlowID, tx, rx int, sizePkts uint32, al
 }
 
 // StopFlow terminates a flow immediately (§7.3's staggered termination).
-func (t *Tester) StopFlow(flow packet.FlowID) { t.NIC.StopFlow(flow) }
+func (t *Tester) StopFlow(flow packet.FlowID) {
+	if t.runner != nil {
+		if g, ok := t.flowGroup[flow]; ok {
+			t.subs[g].nic.StopFlow(flow)
+		}
+		return
+	}
+	t.NIC.StopFlow(flow)
+}
 
 func (t *Tester) flowDone(flow packet.FlowID, fct sim.Duration) {
 	t.FCTs.Add(measure.FCTRecord{
@@ -686,12 +758,19 @@ func (t *Tester) flowDone(flow packet.FlowID, fct sim.Duration) {
 	}
 }
 
-// Run advances the simulation to the given absolute time.
-func (t *Tester) Run(until sim.Time) { t.Eng.Run(until) }
+// Run advances the simulation to the given absolute time: the single
+// engine directly, or every partition engine in conservative rounds.
+func (t *Tester) Run(until sim.Time) {
+	if t.runner != nil {
+		t.runner.Run(until)
+		return
+	}
+	t.Eng.Run(until)
+}
 
 // GoodputBits returns the DATA bits the switch emitted for a flow.
 func (t *Tester) GoodputBits(flow packet.FlowID) uint64 {
-	return t.Pipeline.FlowTxBytes(flow) * 8
+	return t.FlowTxBytes(flow) * 8
 }
 
 // TopologyDOT renders the wired test setup as a Graphviz digraph: the

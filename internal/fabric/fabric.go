@@ -65,6 +65,17 @@ type Config struct {
 	// Sinks receive delivered packets: Sinks[h] is host h's receiver
 	// (required, len >= Hosts).
 	Sinks []netem.Node
+	// Engines maps a switch build index to the engine it runs on; nil
+	// means every switch runs on the engine passed to Build. Sharded
+	// builds provide it from a PartitionPlan. Host endpoints (uplink,
+	// downlink, sink) always live on their leaf-tier switch's engine, so
+	// Sinks[h] must be driven by the engine of the switch owning host h.
+	Engines func(swIdx int) *sim.Engine
+	// Remote builds the cross-partition endpoint for a trunk whose two
+	// ends map to different engines: the returned Remote carries drained
+	// packets from srcEng's goroutine to dst, which runs on dstEng.
+	// Required whenever Engines splits connected switches.
+	Remote func(srcEng, dstEng *sim.Engine, dst netem.Node) netem.Remote
 }
 
 // sw is one fabric switch plus the bookkeeping the builder needs: the
@@ -73,6 +84,7 @@ type Config struct {
 type sw struct {
 	s         *netem.Switch
 	name      string
+	idx       int
 	route     netem.RouteFunc
 	peers     []string
 	ecmpPorts []int
@@ -139,6 +151,11 @@ func Build(eng *sim.Engine, cfg Config) (*Fabric, error) {
 		return nil, err
 	}
 	if cfg.EnablePFC {
+		if cfg.Engines != nil {
+			// A pause frame from one partition's queue acting on another
+			// partition's link would be a cross-shard write mid-round.
+			return nil, fmt.Errorf("fabric: PFC is not supported on a partitioned build")
+		}
 		if err := f.wirePFC(eng); err != nil {
 			return nil, err
 		}
@@ -162,10 +179,19 @@ func ecmpPick(seed uint64, flow packet.FlowID, hop uint64, n int) int {
 // addSwitch creates a switch whose routing defers to n.route, set by the
 // topology builder after the graph is wired.
 func (f *Fabric) addSwitch(name string) *sw {
-	n := &sw{name: name}
+	n := &sw{name: name, idx: len(f.switches)}
 	n.s = netem.NewSwitch(name, func(p *packet.Packet) int { return n.route(p) })
 	f.switches = append(f.switches, n)
 	return n
+}
+
+// engineOf resolves the engine a switch runs on: the per-partition mapping
+// when one is configured, else the build engine.
+func (f *Fabric) engineOf(eng *sim.Engine, n *sw) *sim.Engine {
+	if f.cfg.Engines == nil {
+		return eng
+	}
+	return f.cfg.Engines(n.idx)
 }
 
 // trunkCfg is the link config for inter-switch links.
@@ -179,9 +205,23 @@ func (f *Fabric) trunkCfg() netem.LinkConfig {
 
 // connect adds an output port on a toward b, attributing RX at b to port
 // bPort (the port pair facing a), and registers the link in b's PFC
-// upstream set. It returns a's new port index.
+// upstream set. When a and b live on different engines the link is built
+// in remote mode: queueing, serialization, and INT stay on a's engine, and
+// the drained packet crosses to b through the configured Remote endpoint.
+// It returns a's new port index.
 func (f *Fabric) connect(eng *sim.Engine, a, b *sw, bPort int) int {
-	i := a.s.AddPort(eng, f.trunkCfg(), b.s.PortIn(bPort))
+	aEng, bEng := f.engineOf(eng, a), f.engineOf(eng, b)
+	in := b.s.PortIn(bPort)
+	var i int
+	if aEng == bEng {
+		i = a.s.AddPort(aEng, f.trunkCfg(), in)
+	} else {
+		if f.cfg.Remote == nil {
+			panic(fmt.Sprintf("fabric: %s and %s split across engines with no Remote factory", a.name, b.name))
+		}
+		i = a.s.AddPort(aEng, f.trunkCfg(), nil)
+		a.s.Port(i).SetRemote(f.cfg.Remote(aEng, bEng, in))
+	}
 	a.peers = append(a.peers, b.name)
 	b.inLinks = append(b.inLinks, a.s.Port(i))
 	return i
@@ -191,6 +231,7 @@ func (f *Fabric) connect(eng *sim.Engine, a, b *sw, bPort int) int {
 // host's sink) and its uplink (a standalone link from the tester into the
 // leaf, attributed to the same port).
 func (f *Fabric) attachHost(eng *sim.Engine, leaf *sw, leafIdx, h int) {
+	eng = f.engineOf(eng, leaf)
 	cfg := f.trunkCfg()
 	cfg.Jitter = f.cfg.Jitter
 	port := leaf.s.AddPort(eng, cfg, f.cfg.Sinks[h])

@@ -119,6 +119,23 @@ type Stats struct {
 	EventsHandled uint64
 }
 
+// Plus returns the field-wise sum of two stats snapshots; sharded testers
+// merge their per-partition NICs with it.
+func (s Stats) Plus(o Stats) Stats {
+	s.InfoRx += o.InfoRx
+	s.InfoDrops += o.InfoDrops
+	s.ScheTx += o.ScheTx
+	s.RtxTx += o.RtxTx
+	s.Timeouts += o.Timeouts
+	s.RMWConflicts += o.RMWConflicts
+	s.SlowPathRuns += o.SlowPathRuns
+	s.Completions += o.Completions
+	s.SchedWasted += o.SchedWasted
+	s.ScanGiveUps += o.ScanGiveUps
+	s.EventsHandled += o.EventsHandled
+	return s
+}
+
 // flowState is the per-flow BRAM word plus model bookkeeping.
 type flowState struct {
 	active bool

@@ -16,7 +16,12 @@ import (
 //     (anything scheduled via Schedule/ScheduleAt/ScheduleArg*/NewTicker, any
 //     sim.Func or sim.ArgFunc value, any Receive method) poisons replay. The
 //     diagnostic says when the enclosing function is reachable from such a
-//     root, via the program call graph.
+//     root, via the program call graph. One shape is exempt: a fork-join
+//     barrier, where the spawned function literal defers Done on a
+//     sync.WaitGroup and the enclosing function Waits on that same WaitGroup
+//     after the spawn. The join publishes every write the goroutine made
+//     before the spawner continues, so nothing the host scheduler chose can
+//     leak into replayed state — the shard runner's round primitive.
 //
 //   - last-writer-wins flows out of a map range: a plain `=` assignment
 //     inside a range-over-map whose right-hand side depends on the iteration
@@ -45,6 +50,9 @@ func runDetFlow(pass *Pass) {
 		inspectOwn(fb.body, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.GoStmt:
+				if barrierJoined(pass.Pkg.Info, s, fb.body) {
+					break
+				}
 				pass.Reportf(s.Go, "model code spawns a goroutine%s; host-scheduler interleaving breaks byte-identical replay — schedule an event instead", reachNote(reach, encl))
 			case *ast.SelectStmt:
 				pass.Reportf(s.Select, "model code selects over channels%s; ready-case choice is nondeterministic — drive state from engine events instead", reachNote(reach, encl))
@@ -155,6 +163,93 @@ func isSimCallbackType(t types.Type) bool {
 		return false
 	}
 	return obj.Name() == "Func" || obj.Name() == "ArgFunc"
+}
+
+// barrierJoined reports whether the go statement is a fork-join barrier: the
+// spawned function literal signals a sync.WaitGroup through a deferred Done,
+// and the spawning function Waits on the same WaitGroup after the spawn. The
+// Wait is a happens-before edge that publishes all the goroutine's writes
+// back to the spawner, so the goroutine cannot outlive the statement sequence
+// that forked it and no scheduling choice escapes into replayed state.
+// Free-running goroutines — no Done, no Wait, or a Wait that precedes the
+// spawn — stay findings.
+func barrierJoined(info *types.Info, gs *ast.GoStmt, funcBody *ast.BlockStmt) bool {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	wg := deferredDoneTarget(info, lit.Body)
+	if wg == nil {
+		return false
+	}
+	return waitedAfter(info, funcBody, gs.End(), wg)
+}
+
+// deferredDoneTarget finds a `defer wg.Done()` in the goroutine body and
+// returns the WaitGroup object it signals, or nil. The defer matters: a plain
+// Done can be skipped by an early return or a panic, leaving the barrier
+// counting forever.
+func deferredDoneTarget(info *types.Info, body *ast.BlockStmt) types.Object {
+	var wg types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if wg != nil {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if obj := waitGroupCallTarget(info, ds.Call, "Done"); obj != nil {
+			wg = obj
+		}
+		return true
+	})
+	return wg
+}
+
+// waitedAfter reports whether wg.Wait() is called after pos inside the
+// spawning function's own statements (not a nested literal's).
+func waitedAfter(info *types.Info, funcBody *ast.BlockStmt, pos token.Pos, wg types.Object) bool {
+	found := false
+	inspectOwn(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() > pos {
+			if waitGroupCallTarget(info, call, "Wait") == wg {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// waitGroupCallTarget resolves a call of the form x.NAME() where x is a
+// sync.WaitGroup (or a pointer to one) to x's object, or nil.
+func waitGroupCallTarget(info *types.Info, call *ast.CallExpr, name string) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	obj := rootObj(info, sel.X)
+	if obj == nil || !isWaitGroup(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
 }
 
 // checkMapRangeFlow reports iteration-order-dependent dataflow escaping a map

@@ -1,0 +1,37 @@
+// Package shardsync_bad exercises the boundaries of detflow's fork-join
+// exemption: goroutines that touch cross-shard state without a join that
+// orders their writes must stay findings.
+package shardsync_bad
+
+import "sync"
+
+var shared int
+
+// FreeRunning mutates shared state on a goroutine nobody joins; the write
+// races whatever the next round reads.
+func FreeRunning() {
+	go func() {
+		shared++
+	}()
+}
+
+// DoneWithoutWait signals a WaitGroup the spawner never waits on, so the
+// goroutine can still be running when the caller moves on.
+func DoneWithoutWait(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		shared++
+	}()
+}
+
+// WaitBeforeSpawn waits first and forks after; nothing joins the goroutine,
+// the Wait is not a barrier for it.
+func WaitBeforeSpawn() {
+	var wg sync.WaitGroup
+	wg.Wait()
+	go func() {
+		defer wg.Done()
+		shared++
+	}()
+}

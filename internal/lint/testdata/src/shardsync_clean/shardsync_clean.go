@@ -1,0 +1,34 @@
+// Package shardsync_clean holds the fork-join barrier shape detflow must
+// accept: workers spawned onto goroutines, each deferring Done on a
+// sync.WaitGroup the spawner Waits on after the spawn. The join publishes
+// every worker write before the spawner reads, so no scheduling choice
+// escapes into replayed state.
+package shardsync_clean
+
+import "sync"
+
+// Round fans partition work out across goroutines and joins before
+// returning — the shard runner's round primitive.
+func Round(parts []func()) {
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[i]()
+		}()
+	}
+	wg.Wait()
+}
+
+// RoundPtr runs the same barrier through a WaitGroup pointer.
+func RoundPtr(parts []func(), wg *sync.WaitGroup) {
+	for i := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[i]()
+		}()
+	}
+	wg.Wait()
+}

@@ -25,6 +25,19 @@ const (
 // packet loss events and modified ECN markings at specific points".
 type Hook func(p *packet.Packet) HookAction
 
+// Remote is the far end of a link whose destination node lives on another
+// partition's engine (a cross-shard cut). Carry is called on the source
+// partition's goroutine, at drain time, with the packet and its absolute
+// arrival timestamp; the implementation owns the packet from that point and
+// must not touch destination-partition state until the next barrier. The
+// conservative-synchronization invariant that makes this sound: a packet
+// drained during a round arrives no earlier than drain time plus the link's
+// propagation delay, which is at least the round horizon by the lookahead
+// rule, so the destination engine's clock has not reached it yet.
+type Remote interface {
+	Carry(p *packet.Packet, deliverAt sim.Time)
+}
+
 // LinkStats are the per-link counters.
 type LinkStats struct {
 	TxPackets     uint64
@@ -46,6 +59,7 @@ type Link struct {
 	delay     sim.Duration
 	queue     *Queue
 	dst       Node
+	remote    Remote
 	hooks     []Hook
 	enableINT bool
 	jitter    sim.Duration
@@ -123,6 +137,14 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst Node) *Link {
 // AddHook registers a packet hook. Hooks run in registration order; the
 // first non-Pass verdict wins.
 func (l *Link) AddHook(h Hook) { l.hooks = append(l.hooks, h) }
+
+// SetRemote turns the link into a cross-shard egress: queueing,
+// serialization, INT stamping, and the jitter draw all stay on the local
+// engine exactly as in the in-partition path, but instead of scheduling a
+// local delivery the drained packet is handed to r with its computed
+// arrival time. A link built with a nil dst must have a Remote installed
+// before its first Send.
+func (l *Link) SetRemote(r Remote) { l.remote = r }
 
 // Rate returns the configured line rate.
 func (l *Link) Rate() sim.Rate { return l.rate }
@@ -251,6 +273,10 @@ func (l *Link) drain() {
 		prop += sim.Duration(l.jrng.Float64() * float64(l.jitter))
 	}
 	// Last bit leaves at now+ser; arrival is the propagation later.
-	l.eng.ScheduleArg(ser+prop, l.deliverFn, p)
+	if l.remote != nil {
+		l.remote.Carry(p, l.eng.Now().Add(ser+prop))
+	} else {
+		l.eng.ScheduleArg(ser+prop, l.deliverFn, p)
+	}
 	l.eng.Schedule(ser, l.drainFn)
 }

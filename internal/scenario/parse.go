@@ -106,6 +106,8 @@ func (s *Scenario) parseSet(args []string) error {
 		s.spec.Receiver = val
 	case "topology":
 		s.spec.Topology = val
+	case "shards":
+		return setInt(&s.spec.Shards, val)
 	case "pfc":
 		return setBool(&s.spec.EnablePFC, val)
 	case "int":

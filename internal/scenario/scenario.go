@@ -31,7 +31,9 @@
 // "set aqm NAME:key=value,..." (aqm.ParseSpec syntax) replaces drop-tail
 // queues with an AQM discipline — red, pie, codel, pi2, or dualpi2 — and
 // the ecn_mark_rate and sojourn_p99_us metrics read the marking rate and
-// worst per-band p99 queueing delay it produced.
+// worst per-band p99 queueing delay it produced. "set shards N" executes
+// a topology scenario as a conservative parallel build on up to N worker
+// cores; every metric is byte-identical for any N >= 1.
 package scenario
 
 import (
@@ -243,7 +245,7 @@ func (s *Scenario) measure(tr *core.Tester, e *expectation, elapsed sim.Duration
 		}
 		return cdf.Percentile(p), nil
 	case "rtt_p50_us", "rtt_ewma_us":
-		samples, count, ewma := tr.NIC.RTTSamples()
+		samples, count, ewma := tr.RTTSamples()
 		if count == 0 {
 			return 0, fmt.Errorf("no RTT probes for %s", e.metric)
 		}

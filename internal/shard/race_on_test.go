@@ -1,0 +1,7 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports that the race runtime is active; its shadow-memory
+// bookkeeping allocates, so allocation-count assertions are skipped.
+const raceEnabled = true

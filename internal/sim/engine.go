@@ -498,6 +498,38 @@ func (e *Engine) Run(until Time) uint64 {
 // RunAll executes events until the queue drains or Stop is called.
 func (e *Engine) RunAll() uint64 { return e.Run(Forever) }
 
+// NextEventAt reports the timestamp of the earliest pending event without
+// running it, and whether one exists. Priming may slide the wheel window
+// forward, but that is invisible to callers: firing order and the clock are
+// unchanged. Conservative parallel runs use this to compute the global
+// synchronization horizon before each round.
+func (e *Engine) NextEventAt() (Time, bool) {
+	ev := e.prime()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// AdvanceTo moves the clock forward to t without running anything. It is
+// the barrier primitive of conservative parallel runs: after a round every
+// partition engine is advanced to the common horizon so that cross-shard
+// deliveries and barrier-time control actions schedule against lockstep
+// clocks. Advancing past a pending event, or backward, panics — either
+// would reorder time.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v before now %v", t, e.now))
+	}
+	if ev := e.prime(); ev != nil && ev.at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo %v past pending event at %v", t, ev.at))
+	}
+	e.now = t
+	if e.maxDeadAt <= t {
+		e.maxDeadAt = 0
+	}
+}
+
 // Step executes the single next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
 	ev := e.prime()

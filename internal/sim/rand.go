@@ -63,3 +63,24 @@ func (r *Rand) Perm(n int) []int {
 func (r *Rand) Split() *Rand {
 	return NewRand(r.Uint64())
 }
+
+// DeriveRand builds a partition-local stream from (seed, partition,
+// purpose) without consuming draws from any other stream. Sharded runs use
+// it so that a partition's generators are a pure function of the
+// configuration seed and the partition's identity: adding or removing
+// partitions elsewhere in the topology cannot perturb this partition's
+// draws, and no stream is ever shared across shards.
+func DeriveRand(seed, partition uint64, purpose string) *Rand {
+	// FNV-1a over the purpose tag, folded with distinct odd constants for
+	// each identity component, then one splitmix64 finalization round so
+	// nearby (seed, partition) pairs land in unrelated states.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(purpose); i++ {
+		h ^= uint64(purpose[i])
+		h *= 1099511628211
+	}
+	z := seed ^ h*0x9e3779b97f4a7c15 ^ (partition+1)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewRand(z ^ (z >> 31))
+}

@@ -175,6 +175,25 @@ func (pl *Pipeline) Counters() Counters {
 	return c
 }
 
+// Plus returns the field-wise sum of two register snapshots; sharded
+// testers merge their per-partition pipelines with it.
+func (c Counters) Plus(o Counters) Counters {
+	c.ScheRx += o.ScheRx
+	c.ScheDrops += o.ScheDrops
+	c.DataTx += o.DataTx
+	c.DataTxBytes += o.DataTxBytes
+	c.DataRx += o.DataRx
+	c.AckTx += o.AckTx
+	c.CnpTx += o.CnpTx
+	c.NackTx += o.NackTx
+	c.AckRx += o.AckRx
+	c.InfoTx += o.InfoTx
+	c.Misdelivered += o.Misdelivered
+	c.OutOfOrderRx += o.OutOfOrderRx
+	c.DuplicateRx += o.DuplicateRx
+	return c
+}
+
 // PortCounters returns the registers of data port i.
 func (pl *Pipeline) PortCounters(i int) PortCounters {
 	pc := pl.ports[i]
