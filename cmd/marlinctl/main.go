@@ -11,6 +11,7 @@
 //	               [-j N] [-journal FILE] [-timeout D] [-retries N]
 //	marlinctl test [-algo dctcp] [-ports N] [-flows N] [-duration 5ms]
 //	               [-ecn K] [-fanin] [-seed N]
+//	marlinctl fuzz [-n N] [-seed S] [-j N] [-minimize] [-repro DIR]
 package main
 
 import (
@@ -45,6 +46,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "script":
 		err = cmdScript(os.Args[2:])
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:])
 	case "dot":
 		err = cmdDot(os.Args[2:])
 	case "-h", "--help", "help":
@@ -71,6 +74,7 @@ commands:
   test [flags]              run an ad-hoc CC test
   bench [flags]             run a fixed workload under the Go profilers
   script <file>...          run packetdrill-style scenario scripts
+  fuzz [flags]              run an invariant-fuzzing campaign
   dot [flags]               print the wired topology as Graphviz DOT
 
 run/all flags: -scale N (stretch toward paper scale), -seed N, -format text|json|csv
@@ -86,6 +90,8 @@ test flags:    -algo NAME -ports N -flows N -duration D -ecn K -fanin
                saw, mmpp, lognormal, incast, flood)
                -aqm "SPEC" (queue discipline: red, pie, codel, pi2,
                dualpi2; replaces step ECN)
+fuzz flags:    -n N (configs) -seed S -j N -minimize -repro DIR -poolaudit N
+               report is byte-identical for a given (-n, -seed) at any -j
 bench flags:   -algo NAME -ports N -flows N -duration D -reps N -shards N
                -cpuprofile FILE -memprofile FILE -trace FILE
 dot flags:     -algo NAME -ports N -pfc -fpgarecv -topology SPEC

@@ -167,6 +167,14 @@ func renoOnTimeout(r Regs, in *Input, out *Output) {
 	}
 	r.SetU32(rSsthresh, maxU32(flight/2, 2))
 	r.SetU32(rCwndQ16, in.Params.MinCwnd<<16)
+	if legacyRTOStall {
+		// Mutation-test hook (see testhook.go): the historical stall.
+		r.SetU32(rState, stateOpen)
+		r.SetU32(rDupAcks, 0)
+		out.Rtx, out.RtxPSN = true, in.Una
+		out.Schedule = true
+		return
+	}
 	// Everything in flight is presumed lost: enter loss recovery with the
 	// exit point at Nxt so each partial ACK retransmits the next hole
 	// (NewReno). Returning to stateOpen here would strand the flow after a

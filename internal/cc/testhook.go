@@ -1,0 +1,19 @@
+package cc
+
+// legacyRTOStall reverts renoOnTimeout to its pre-fix behavior: returning
+// to stateOpen after a retransmission timeout instead of entering NewReno
+// loss recovery. That was a real bug (fixed alongside the fault-injection
+// work): after a multi-packet loss the flow would repair one hole per RTO —
+// ~110 ms for a burst that proper recovery repairs in ~2 ms.
+//
+// The hook exists so the fuzzing campaign can prove its liveness oracle
+// detects this bug class end-to-end (mutation testing): the fuzzer's
+// regression suite flips it on, watches the oracle fire, and verifies the
+// minimizer reduces the failure to a small checked-in scenario. It must
+// never be set outside tests.
+var legacyRTOStall bool
+
+// SetLegacyRTOStall enables or disables the reintroduced RTO-stall bug in
+// every window-based module that shares renoOnTimeout (reno, cubic, dctcp,
+// swift). Test-only; not safe to flip while simulations run concurrently.
+func SetLegacyRTOStall(on bool) { legacyRTOStall = on }

@@ -143,8 +143,21 @@ func (s *Spec) Validate() error {
 		}
 	}
 	if s.Pattern != "" {
-		if _, err := workload.ParseSpec(s.Pattern); err != nil {
+		plan, err := workload.ParseSpec(s.Pattern)
+		if err != nil {
 			return err
+		}
+		// An explicit victim must name a real data port. Deployment would
+		// reject it too, but only after the tester is half-built; failing
+		// here gives the operator the error at validation time. Only
+		// checkable when Ports is explicit — 0 defers to the device plan's
+		// maximum, which Deploy still enforces.
+		if s.Ports > 0 {
+			for _, v := range plan.Victims() {
+				if v >= s.Ports {
+					return fmt.Errorf("controlplane: pattern victim port %d outside [0,%d)", v, s.Ports)
+				}
+			}
 		}
 	}
 	if s.Params != nil {

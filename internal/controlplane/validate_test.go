@@ -1,0 +1,92 @@
+package controlplane
+
+import "testing"
+
+// TestValidateErrorPaths pins the exact error text of every mutual-exclusion
+// and range rule Validate enforces. Exact strings matter here: operators
+// grep logs for them, and a refactor that merges two rules into one vague
+// message would silently degrade the diagnostics without failing any
+// looser Contains-style check.
+func TestValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // exact Error() text; "" means the spec must validate
+	}{
+		{
+			name: "shards with PFC",
+			spec: Spec{Algorithm: "dctcp", Topology: "dumbbell", Shards: 2, EnablePFC: true},
+			want: "controlplane: Shards and EnablePFC are incompatible (pause frames would act across partitions)",
+		},
+		{
+			name: "shards with FPGA receiver",
+			spec: Spec{Algorithm: "dctcp", Topology: "dumbbell", Shards: 2, ReceiverOnFPGA: true},
+			want: "controlplane: Shards and ReceiverOnFPGA are incompatible (the reserved-port path is not partitioned)",
+		},
+		{
+			name: "shards without topology",
+			spec: Spec{Algorithm: "dctcp", Shards: 2},
+			want: "controlplane: Shards requires a multi-switch Topology",
+		},
+		{
+			name: "negative shards",
+			spec: Spec{Algorithm: "dctcp", Topology: "dumbbell", Shards: -3},
+			want: "controlplane: negative shard count -3",
+		},
+		{
+			name: "AQM with step ECN",
+			spec: Spec{Algorithm: "dctcp", AQM: "dualpi2", ECNThresholdPkts: 65},
+			want: "controlplane: AQM dualpi2 and ECNThresholdPkts are mutually exclusive marking policies",
+		},
+		{
+			name: "AQM kind named in the error",
+			spec: Spec{Algorithm: "dctcp", AQM: "red:min=30000,max=90000", ECNThresholdPkts: 65},
+			want: "controlplane: AQM red and ECNThresholdPkts are mutually exclusive marking policies",
+		},
+		{
+			name: "pattern victim beyond port count",
+			spec: Spec{Algorithm: "dctcp", Ports: 4, Pattern: "incast:period=1ms,fanin=2,size=50,victim=4"},
+			want: "controlplane: pattern victim port 4 outside [0,4)",
+		},
+		{
+			name: "pattern victim in later clause",
+			spec: Spec{Algorithm: "dctcp", Ports: 4, Pattern: "incast:period=1ms,fanin=2,size=50,victim=1;flood:peak=20G,victim=9"},
+			want: "controlplane: pattern victim port 9 outside [0,4)",
+		},
+		{
+			name: "pattern victim at boundary is valid",
+			spec: Spec{Algorithm: "dctcp", Ports: 4, Pattern: "incast:period=1ms,fanin=2,size=50,victim=3"},
+		},
+		{
+			name: "pattern victim unchecked without explicit ports",
+			// Ports == 0 defers sizing to the device plan, so Validate
+			// cannot know the upper bound; Deploy enforces it instead.
+			spec: Spec{Algorithm: "dctcp", Pattern: "incast:period=1ms,fanin=2,size=50,victim=40"},
+		},
+		{
+			name: "shards on a multi-switch topology is valid",
+			spec: Spec{Algorithm: "dctcp", Topology: "leafspine:2x2", Shards: 4},
+		},
+		{
+			name: "step ECN without AQM is valid",
+			spec: Spec{Algorithm: "dctcp", ECNThresholdPkts: 65},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want %q", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("Validate() = %q, want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}

@@ -261,6 +261,7 @@ func New(eng *sim.Engine, cfg Config) (*Tester, error) {
 		DisableRXTimer: cfg.DisableRXTimer,
 		SingleRXFIFO:   cfg.SingleRXFIFO,
 		Scheduler:      cfg.Scheduler,
+		GoBackN:        cfg.Receiver == tofino.RoCEReceiver,
 	})
 	if err != nil {
 		return nil, err

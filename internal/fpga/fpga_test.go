@@ -124,7 +124,9 @@ func TestStartFlowValidation(t *testing.T) {
 func TestWindowLimitsInflight(t *testing.T) {
 	r := newRig(t, nil) // Reno, InitCwnd=1
 	r.nic.StartFlow(1, 0, 100)
-	r.eng.Run(sim.Time(sim.Millisecond))
+	// Stay below the 500us RTO floor: past it the transmit-side backstop
+	// legitimately retransmits (no acks for a full RTO).
+	r.eng.Run(sim.Time(400 * sim.Microsecond))
 	// cwnd=1 and no acks: exactly one SCHE.
 	if got := len(r.scheFor(1)); got != 1 {
 		t.Fatalf("SCHE count = %d with cwnd=1 and no acks, want 1", got)
@@ -139,8 +141,8 @@ func TestAckOpensWindow(t *testing.T) {
 	r := newRig(t, nil)
 	r.nic.StartFlow(1, 0, 100)
 	r.eng.Run(sim.Time(sim.Microsecond))
-	r.ackUpTo(1, 1, 0) // ack PSN 0 -> slow start doubles cwnd to 2
-	r.eng.Run(sim.Time(sim.Millisecond))
+	r.ackUpTo(1, 1, 0)                         // ack PSN 0 -> slow start doubles cwnd to 2
+	r.eng.Run(sim.Time(450 * sim.Microsecond)) // below the RTO floor
 	// After the ack: cwnd=2, una=1 -> two more packets (PSN 1, 2).
 	if got := len(r.scheFor(1)); got != 3 {
 		t.Fatalf("SCHE count = %d after one ack, want 3", got)
@@ -167,7 +169,7 @@ func TestTXTimerPacesSche(t *testing.T) {
 func TestFlowCompletionReportsFCT(t *testing.T) {
 	r := newRig(t, func(c *Config) { c.Params.InitCwnd = 16 })
 	r.nic.StartFlow(1, 0, 4)
-	r.eng.Run(sim.Time(sim.Millisecond))
+	r.eng.Run(sim.Time(400 * sim.Microsecond)) // below the RTO floor
 	if got := len(r.scheFor(1)); got != 4 {
 		t.Fatalf("scheduled %d packets of a 4-packet flow", got)
 	}
@@ -407,7 +409,7 @@ func TestNICStallFreezesTimersAndResumes(t *testing.T) {
 		t.Fatal("Stalled() = false after SetStall(true)")
 	}
 	r.ackUpTo(1, 1, 0)
-	r.eng.Run(sim.Time(500 * sim.Microsecond))
+	r.eng.Run(sim.Time(300 * sim.Microsecond)) // below the RTO floor
 	if got := len(r.scheFor(1)); got != 1 {
 		t.Fatalf("SCHE = %d during stall, want 1 (timers must freeze)", got)
 	}
@@ -415,8 +417,9 @@ func TestNICStallFreezesTimersAndResumes(t *testing.T) {
 		t.Fatalf("InfoRx = %d, want 1 (FIFO still accepts during stall)", r.nic.Stats().InfoRx)
 	}
 	// Unstall: the queued INFO drains, the window opens, SCHE resumes.
+	// (Stop before the post-unstall sends' RTO backstop would fire.)
 	r.nic.SetStall(false)
-	r.eng.Run(sim.Time(sim.Millisecond))
+	r.eng.Run(sim.Time(600 * sim.Microsecond))
 	if got := len(r.scheFor(1)); got != 3 {
 		t.Fatalf("SCHE = %d after unstall, want 3 (queued ack processed)", got)
 	}

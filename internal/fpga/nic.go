@@ -102,6 +102,13 @@ type Config struct {
 	// SlowPathLatency is the queueing delay before a posted Slow Path
 	// event executes (0 = 100 cycles).
 	SlowPathLatency sim.Duration
+	// GoBackN matches the sender's retransmission discipline to a
+	// go-back-N receiver (the RoCE mode): that receiver discards every
+	// frame after a hole, so a retransmission must rewind the send
+	// pointer and replay the tail, not selectively resend one PSN.
+	// Without the rewind each discarded packet costs a NACK round trip
+	// or, once the flow has nothing new to send, a full RTO.
+	GoBackN bool
 }
 
 // Stats are the NIC's aggregate counters.
@@ -560,6 +567,12 @@ func (n *NIC) applyOutput(flow packet.FlowID, f *flowState, in *cc.Input, out *c
 	if out.Rtx {
 		f.rtxWait = true
 		f.rtxPSN = out.RtxPSN
+		// Go-back-N: the receiver discarded everything after the hole,
+		// so replay from there — the rtx path resends RtxPSN itself and
+		// the send pointer rewinds so the scheduler re-emits the rest.
+		if n.cfg.GoBackN && cc.SeqLT(out.RtxPSN, f.nxt) {
+			f.nxt = out.RtxPSN + 1
+		}
 		n.sched.pushPriority(flow)
 	}
 	// Advance una after the module ran (it compares Ack to the old una).
@@ -573,6 +586,22 @@ func (n *NIC) applyOutput(flow packet.FlowID, f *flowState, in *cc.Input, out *c
 	if out.Schedule {
 		n.sched.push(flow)
 	}
+}
+
+// ensureRTO is the transmit-side retransmission-timer backstop for
+// window-mode flows. CC modules own TimerRTO and re-arm it on every ACK,
+// but an ACK covering everything in flight stops it (the flow is idle from
+// the module's view). Data sent after that point — the reopened window's
+// tail, or an entire first window — has no later ACK to arm a timer off
+// of; if it is lost there is also nothing in flight to draw dup ACKs, so
+// without this the flow deadlocks. Arming at the RTO floor is safe: the
+// next ACK re-arms with the module's own estimate, and flow completion
+// cancels all timers.
+func (n *NIC) ensureRTO(flow packet.FlowID, f *flowState) {
+	if n.cfg.Algorithm.Mode() != cc.WindowMode || f.timers[cc.TimerRTO].Armed() {
+		return
+	}
+	n.armTimer(flow, f, cc.TimerReq{ID: cc.TimerRTO, After: n.cfg.Params.RTOMin})
 }
 
 func (n *NIC) armTimer(flow packet.FlowID, f *flowState, req cc.TimerReq) {

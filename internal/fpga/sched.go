@@ -274,6 +274,7 @@ func (s *scheduler) exhausted(f *flowState) bool {
 func (s *scheduler) emitData(flow packet.FlowID, f *flowState, port int) {
 	s.nic.emitSche(flow, f.nxt, port, false)
 	f.nxt++
+	s.nic.ensureRTO(flow, f)
 }
 
 // paceRate advances the flow's next-send deadline by one MTU at its

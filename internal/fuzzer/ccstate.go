@@ -1,0 +1,159 @@
+package fuzzer
+
+import (
+	"fmt"
+
+	"marlin/internal/cc"
+	"marlin/internal/packet"
+	"marlin/internal/sim"
+)
+
+// checkCCState drives the named CC module directly through a seeded
+// stream of legal fast-path events and checks every Output against the
+// module contract: window modules never set rates and vice versa, windows
+// stay within [MinCwnd, 65535], rates stay positive, retransmissions
+// target an in-flight PSN, and timer requests stay within the provisioned
+// per-flow timer set. This catches state machines that escape their legal
+// envelope long before the damage becomes visible in end-to-end metrics.
+func checkCCState(algo string, seed uint64) *Violation {
+	a, err := cc.New(algo)
+	if err != nil {
+		return &Violation{OracleCCState, err.Error()}
+	}
+	params := cc.DefaultParams(100*sim.Gbps, 1024)
+	var cust, slow cc.State
+	a.InitFlow(&cust, &slow, &params)
+
+	rng := sim.DeriveRand(seed, 0, "fuzz.ccstate")
+	var (
+		una, nxt uint32 = 0, 1
+		cwnd     uint32 = params.InitCwnd
+		rate            = params.LineRate
+		now      sim.Time
+		armed    [cc.NumTimers]bool
+		out      cc.Output
+	)
+	const total = 400
+	window := a.Mode() == cc.WindowMode
+
+	apply := func(in *cc.Input, event string) *Violation {
+		if window && out.SetRate {
+			return &Violation{OracleCCState, fmt.Sprintf("%s: window module %s set a rate", event, algo)}
+		}
+		if !window && out.SetCwnd {
+			return &Violation{OracleCCState, fmt.Sprintf("%s: rate module %s set a cwnd", event, algo)}
+		}
+		if out.SetCwnd {
+			if out.Cwnd < params.MinCwnd || out.Cwnd > 65535 {
+				return &Violation{OracleCCState, fmt.Sprintf("%s: cwnd %d outside [%d, 65535]", event, out.Cwnd, params.MinCwnd)}
+			}
+			cwnd = out.Cwnd
+		}
+		if out.SetRate {
+			if out.Rate <= 0 {
+				return &Violation{OracleCCState, fmt.Sprintf("%s: nonpositive rate %d", event, out.Rate)}
+			}
+			rate = out.Rate
+		}
+		if out.Rtx && (out.RtxPSN < una || out.RtxPSN >= nxt) {
+			return &Violation{OracleCCState, fmt.Sprintf("%s: rtx PSN %d outside in-flight window [%d, %d)", event, out.RtxPSN, una, nxt)}
+		}
+		for i := 0; i < out.NumTimers; i++ {
+			tr := out.Timers[i]
+			if int(tr.ID) >= cc.NumTimers {
+				return &Violation{OracleCCState, fmt.Sprintf("%s: armed unknown timer %d", event, tr.ID)}
+			}
+			if tr.After < 0 {
+				return &Violation{OracleCCState, fmt.Sprintf("%s: timer %d armed %s in the past", event, tr.ID, tr.After)}
+			}
+			armed[tr.ID] = true
+		}
+		for i := 0; i < out.NumStops; i++ {
+			id := out.StopTimers[i]
+			if int(id) >= cc.NumTimers {
+				return &Violation{OracleCCState, fmt.Sprintf("%s: stopped unknown timer %d", event, id)}
+			}
+			armed[id] = false
+		}
+		return nil
+	}
+
+	fire := func(in cc.Input, event string) *Violation {
+		in.Una, in.Nxt, in.Cwnd, in.Rate = una, nxt, cwnd, rate
+		in.MTU, in.Params, in.Cust, in.Slow = params.MTU, &params, &cust, &slow
+		in.Timestamp = now
+		out.Reset()
+		a.OnEvent(&in, &out)
+		if v := apply(&in, event); v != nil {
+			return v
+		}
+		if out.SlowPath {
+			slowOut := cc.Output{}
+			a.OnSlowPath(out.SlowPathCode, &cust, &slow, &in, &slowOut)
+			prev := out
+			out = slowOut
+			if v := apply(&in, event+"/slowpath"); v != nil {
+				return v
+			}
+			out = prev
+		}
+		return nil
+	}
+
+	if v := fire(cc.Input{Type: cc.EvStart}, "start"); v != nil {
+		return v
+	}
+	for op := 0; op < total; op++ {
+		now = now.Add(sim.Duration(1 + rng.Intn(int(50*sim.Microsecond))))
+		rtt := sim.Micros(float64(5 + rng.Intn(50)))
+		switch r := rng.Intn(10); {
+		case r < 5: // cumulative ACK progress
+			adv := uint32(1 + rng.Intn(int(cwnd)+1))
+			if nxt-una > 0 && adv > nxt-una {
+				adv = nxt - una
+			}
+			ack := una + adv
+			in := cc.Input{Type: cc.EvRx, Ack: ack, PSN: ack - 1, ProbedRTT: rtt}
+			if rng.Intn(4) == 0 {
+				in.Flags |= packet.FlagECNEcho
+			}
+			if v := fire(in, fmt.Sprintf("ack@op%d", op)); v != nil {
+				return v
+			}
+			una = ack
+			if nxt < una+1 {
+				nxt = una + 1
+			}
+			// New data goes out up to the window.
+			nxt += uint32(rng.Intn(int(cwnd) + 1))
+		case r < 7: // duplicate ACK (possible loss signal)
+			in := cc.Input{Type: cc.EvRx, Ack: una, PSN: una, ProbedRTT: rtt}
+			if v := fire(in, fmt.Sprintf("dupack@op%d", op)); v != nil {
+				return v
+			}
+		case r < 8: // NACK / CNP for rate stacks, ECE for window stacks
+			in := cc.Input{Type: cc.EvRx, Ack: una, PSN: una, Flags: packet.FlagNACK | packet.FlagCNPNotify | packet.FlagECNEcho, ProbedRTT: rtt}
+			if v := fire(in, fmt.Sprintf("nack@op%d", op)); v != nil {
+				return v
+			}
+		case r < 9: // retransmission timeout
+			if !armed[cc.TimerRTO] && window {
+				continue
+			}
+			if v := fire(cc.Input{Type: cc.EvTimeout}, fmt.Sprintf("timeout@op%d", op)); v != nil {
+				return v
+			}
+		default: // algorithm-owned periodic timer
+			fired := false
+			for id := 0; id < cc.NumTimers && !fired; id++ {
+				if armed[id] && id != int(cc.TimerRTO) {
+					if v := fire(cc.Input{Type: cc.EvTimer, TimerID: uint8(id)}, fmt.Sprintf("timer%d@op%d", id, op)); v != nil {
+						return v
+					}
+					fired = true
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package fuzzer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"marlin/internal/scenario"
+	"marlin/internal/sim"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a, b := Generate(42, i), Generate(42, i)
+		if a.Render("") != b.Render("") {
+			t.Fatalf("config %d not deterministic", i)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("config %d invalid: %v\n%s", i, err, a.Render(""))
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		cfg := Generate(7, i)
+		text := cfg.Render(OracleLiveness)
+		back, oracle, err := ParseRendered(text)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if oracle != OracleLiveness {
+			t.Fatalf("config %d: oracle %q", i, oracle)
+		}
+		if back.Render(OracleLiveness) != text {
+			t.Fatalf("config %d: render not a fixpoint:\n%s\nvs\n%s", i, text, back.Render(OracleLiveness))
+		}
+		// The rendered script must also be a valid scenario program.
+		if _, err := scenario.Parse(text); err != nil {
+			t.Fatalf("config %d renders an unparseable scenario: %v\n%s", i, err, text)
+		}
+	}
+}
+
+func TestCheckAllCleanOnSmallCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run oracle checks")
+	}
+	for i := 0; i < 6; i++ {
+		cfg := Generate(1, i)
+		vs, err := CheckAll(cfg)
+		if err != nil {
+			t.Fatalf("config %d errored: %v\n%s", i, err, cfg.Render(""))
+		}
+		for _, v := range vs {
+			t.Errorf("config %d: %s\n%s", i, v, cfg.Render(""))
+		}
+	}
+}
+
+func TestCampaignOutputDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the campaign twice")
+	}
+	run := func(workers int) string {
+		var b bytes.Buffer
+		if _, err := RunCampaign(CampaignOptions{N: 4, Seed: 3, Workers: workers, PoolAudit: 2, Out: &b}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	one, four := run(1), run(4)
+	if one != four {
+		t.Fatalf("campaign output differs between -j 1 and -j 4:\n--- j1\n%s--- j4\n%s", one, four)
+	}
+	if !strings.Contains(one, "4 configs checked") {
+		t.Fatalf("missing tally:\n%s", one)
+	}
+}
+
+func TestPoolLeakAuditClean(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		cfg := Generate(5, i)
+		if !cfg.quietEligible() {
+			continue
+		}
+		v, err := CheckPoolLeak(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if v != nil {
+			t.Fatalf("config %d: %s\n%s", i, v, cfg.Render(""))
+		}
+		return // one clean audit is enough; the campaign samples more
+	}
+	t.Skip("no quiet config in the first 12")
+}
+
+func TestHorizonHeadroom(t *testing.T) {
+	// The liveness oracle is only as good as the generator's headroom
+	// guarantee: a quiet config's flows must complete comfortably before
+	// the horizon so a completion miss always means a stack bug.
+	for i := 0; i < 30; i++ {
+		cfg := Generate(11, i)
+		if !cfg.quietEligible() {
+			continue
+		}
+		var latest sim.Duration
+		for _, f := range cfg.Flows {
+			if f.At > latest {
+				latest = f.At
+			}
+		}
+		if cfg.Horizon < latest+5*sim.Millisecond {
+			t.Fatalf("config %d horizon %s leaves < 5ms after last start %s", i, cfg.Horizon, latest)
+		}
+	}
+}

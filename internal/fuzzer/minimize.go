@@ -1,0 +1,188 @@
+package fuzzer
+
+import "marlin/internal/sim"
+
+// Minimize shrinks a violating config while preserving the named oracle's
+// failure: greedy delta-debugging to a fixpoint over the config's
+// dimensions, largest hammer first (drop whole subsystems, then simplify
+// the topology, then shrink the timeline). Every accepted candidate still
+// fails the oracle, so the result is a true repro, typically a handful of
+// scenario lines. Runs serially; budget is bounded by the config's small
+// dimension count times the per-run cost.
+func Minimize(cfg Config, oracle string) Config {
+	fails := func(c Config) bool {
+		if c.Validate() != nil {
+			return false
+		}
+		v, err := CheckOne(c, oracle)
+		return err == nil && v != nil
+	}
+	if !fails(cfg) {
+		return cfg // not reproducible under CheckOne; nothing to shrink
+	}
+	try := func(c Config) bool {
+		if fails(c) {
+			cfg = c
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+
+		// Whole-subsystem removals.
+		if cfg.Pattern != "" {
+			c := cfg
+			c.Pattern = ""
+			changed = try(c) || changed
+		}
+		if cfg.Fault != "" {
+			c := cfg
+			c.Fault = ""
+			changed = try(c) || changed
+		}
+		if cfg.AQM != "" {
+			c := cfg
+			c.AQM = ""
+			changed = try(c) || changed
+		}
+		if cfg.ECNPkts != 0 {
+			c := cfg
+			c.ECNPkts = 0
+			changed = try(c) || changed
+		}
+		if cfg.Shards != 0 && oracle != OracleShardEquiv {
+			c := cfg
+			c.Shards = 0
+			changed = try(c) || changed
+		}
+
+		// Topology ladder. Fault link names and port counts are
+		// topology-specific, so only descend once the fault is gone and
+		// remap out-of-range flows away.
+		if cfg.Topology != "" && cfg.Fault == "" {
+			for _, next := range topoLadder(cfg.Topology, oracle) {
+				c := cfg
+				c.Topology = next
+				c.Ports = topoPorts[next]
+				if next == "" {
+					c.Ports = 4
+					c.Shards = 0
+				}
+				c.Flows = clampFlows(cfg.Flows, c.Ports)
+				c.Drops = clampDrops(cfg.Drops, c.Flows)
+				if try(c) {
+					changed = true
+					break
+				}
+			}
+		}
+
+		// Timeline shrinking: fewer flows, fewer drops, narrower drop
+		// ranges, smaller transfers, shorter horizon.
+		for i := 0; i < len(cfg.Flows); i++ {
+			c := cfg
+			c.Flows = append(append([]Flow(nil), cfg.Flows[:i]...), cfg.Flows[i+1:]...)
+			c.Drops = clampDrops(cfg.Drops, c.Flows)
+			if try(c) {
+				changed = true
+				break
+			}
+		}
+		for i := 0; i < len(cfg.Drops); i++ {
+			c := cfg
+			c.Drops = append(append([]Drop(nil), cfg.Drops[:i]...), cfg.Drops[i+1:]...)
+			if try(c) {
+				changed = true
+				break
+			}
+		}
+		for i, d := range cfg.Drops {
+			if d.To > d.From {
+				c := cfg
+				nd := append([]Drop(nil), cfg.Drops...)
+				nd[i].To = d.From + (d.To-d.From)/2
+				c.Drops = nd
+				changed = try(c) || changed
+			}
+		}
+		for i, f := range cfg.Flows {
+			if f.Size > 40 {
+				c := cfg
+				nf := append([]Flow(nil), cfg.Flows...)
+				nf[i].Size = f.Size / 2
+				c.Flows = nf
+				c.Drops = clampDrops(cfg.Drops, c.Flows)
+				changed = try(c) || changed
+			}
+		}
+		// The liveness oracle is only sound while the generator's headroom
+		// guarantee holds (quiet flows complete comfortably before the
+		// horizon), so its repros keep the full headroom: shrinking the
+		// horizon further would make "did not complete" fire for lack of
+		// time rather than for the bug being reproduced.
+		floor := 2 * sim.Millisecond
+		if oracle == OracleLiveness {
+			var latest sim.Duration
+			for _, f := range cfg.Flows {
+				if f.At > latest {
+					latest = f.At
+				}
+			}
+			floor = latest + 5*sim.Millisecond
+		}
+		if cfg.Horizon/2 >= floor {
+			c := cfg
+			c.Horizon = cfg.Horizon / 2
+			changed = try(c) || changed
+		}
+	}
+	return cfg
+}
+
+// topoLadder lists simpler topologies to try, in order. The shardequiv
+// oracle needs a multi-switch fabric, so its ladder stops at dumbbell.
+func topoLadder(from, oracle string) []string {
+	ladder := []string{"dumbbell"}
+	if from == "dumbbell" {
+		ladder = nil
+	}
+	if oracle != OracleShardEquiv {
+		ladder = append(ladder, "")
+	}
+	return ladder
+}
+
+// clampFlows keeps flows that fit the new port count.
+func clampFlows(flows []Flow, ports int) []Flow {
+	var out []Flow
+	for _, f := range flows {
+		if f.Tx < ports && f.Rx < ports && f.Tx != f.Rx {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// clampDrops keeps drops whose flow still exists, retargeted to the
+// flow's (possibly updated) rx port and PSN space.
+func clampDrops(drops []Drop, flows []Flow) []Drop {
+	byID := map[int]Flow{}
+	for _, f := range flows {
+		byID[f.ID] = f
+	}
+	var out []Drop
+	for _, d := range drops {
+		f, ok := byID[d.Flow]
+		if !ok || d.From >= f.Size {
+			continue
+		}
+		d.Rx = f.Rx
+		if d.To >= f.Size {
+			d.To = f.Size - 1
+		}
+		out = append(out, d)
+	}
+	return out
+}

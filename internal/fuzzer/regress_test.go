@@ -1,0 +1,45 @@
+package fuzzer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegressOracleReplay replays the checked-in repro corpus through the
+// oracle each file names in its "# fuzz: oracle=" header. The corpus
+// holds minimized configs that once violated that oracle; on fixed code
+// the oracle must stay quiet. internal/scenario replays the same files as
+// plain scenarios, checking their expect lines.
+func TestRegressOracleReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "scenario", "testdata", "regress", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no regress scenarios found")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, oracle, err := ParseRendered(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if oracle == "" {
+				t.Fatal("repro carries no oracle header")
+			}
+			v, err := CheckOne(cfg, oracle)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if v != nil {
+				t.Fatalf("regressed: %s", v)
+			}
+		})
+	}
+}

@@ -57,6 +57,35 @@ func (h *Histogram) AddAll(vs []float64) {
 	}
 }
 
+// Bucket returns the count of samples that fell in [2^k, 2^(k+1)).
+func (h *Histogram) Bucket(k int) int { return h.buckets[k] }
+
+// Merge folds other's samples into h. Bucket counts, the underflow bucket,
+// count, sum, and min/max all combine exactly, so merging per-shard
+// histograms in any order yields the same result as one histogram fed
+// every sample directly.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for k, n := range other.buckets {
+		h.buckets[k] += n
+	}
+	h.underflow += other.underflow
+	if h.count == 0 {
+		h.min, h.max = other.min, other.max
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
 // Count returns recorded samples.
 func (h *Histogram) Count() int { return h.count }
 

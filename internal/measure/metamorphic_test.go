@@ -1,0 +1,217 @@
+package measure
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"marlin/internal/sim"
+)
+
+// These tests pin the metamorphic base relations the fuzzer's scale and
+// merge oracles lean on: operations over measurement aggregates must be
+// order-independent, and positive scaling must act on them predictably.
+// If one of these algebraic properties breaks, the campaign-level oracles
+// in internal/fuzzer report phantom violations, so they are verified here
+// in isolation first.
+
+// metamorphicSamples draws a deterministic latency-shaped sample set
+// spanning several decades, including repeats.
+func metamorphicSamples(seed uint64, n int) []float64 {
+	rng := sim.NewRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		// 2^[0,20) with a coarse mantissa so exact-representation
+		// arguments hold under scaling by powers of two.
+		out[i] = float64(1+rng.Intn(1<<10)) * float64(int64(1)<<uint(rng.Intn(10)))
+	}
+	return out
+}
+
+func TestMergeCDFsOrderIndependent(t *testing.T) {
+	samples := metamorphicSamples(7, 300)
+	shards := []CDF{
+		NewCDF(samples[:50]),
+		NewCDF(samples[50:90]),
+		NewCDF(samples[90:210]),
+		NewCDF(samples[210:]),
+	}
+	want := NewCDF(samples)
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	for _, p := range perms {
+		ordered := make([]CDF, len(p))
+		for i, j := range p {
+			ordered[i] = shards[j]
+		}
+		got := MergeCDFs(ordered...)
+		if !reflect.DeepEqual(got.Samples(), want.Samples()) {
+			t.Fatalf("merge order %v changed the sample union", p)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if got.Percentile(q) != want.Percentile(q) {
+				t.Fatalf("merge order %v: p%g = %g, want %g", p, q*100, got.Percentile(q), want.Percentile(q))
+			}
+		}
+	}
+}
+
+func TestCDFPercentileScaleHomogeneous(t *testing.T) {
+	// Nearest-rank selection picks an element, so for any k > 0 the
+	// percentile of the scaled set is exactly fl(k * percentile(base)) —
+	// scaling is monotone and both sides round the same product once.
+	samples := metamorphicSamples(11, 257)
+	base := NewCDF(samples)
+	for _, k := range []float64{2, 0.5, 3.7, 1e6} {
+		scaled := make([]float64, len(samples))
+		for i, v := range samples {
+			scaled[i] = k * v
+		}
+		sc := NewCDF(scaled)
+		for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			if got, want := sc.Percentile(q), k*base.Percentile(q); got != want {
+				t.Fatalf("k=%g p%g: %g, want %g", k, q*100, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeMatchesDirect(t *testing.T) {
+	samples := metamorphicSamples(13, 400)
+	// Integer-valued samples keep the running sum exact under any
+	// addition order, so even Mean must match bit-for-bit.
+	direct := NewHistogram("us")
+	direct.AddAll(samples)
+	direct.Add(0)
+	direct.Add(-4)
+
+	shards := make([]*Histogram, 4)
+	for i := range shards {
+		shards[i] = NewHistogram("us")
+	}
+	for i, v := range samples {
+		shards[i%4].Add(v)
+	}
+	shards[1].Add(0)
+	shards[3].Add(-4)
+
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 1, 0, 2}} {
+		merged := NewHistogram("us")
+		for _, j := range order {
+			merged.Merge(shards[j])
+		}
+		if merged.Count() != direct.Count() || merged.Underflow() != direct.Underflow() {
+			t.Fatalf("order %v: count/underflow %d/%d, want %d/%d",
+				order, merged.Count(), merged.Underflow(), direct.Count(), direct.Underflow())
+		}
+		if merged.Min() != direct.Min() || merged.Max() != direct.Max() || merged.Mean() != direct.Mean() {
+			t.Fatalf("order %v: min/max/mean %g/%g/%g, want %g/%g/%g", order,
+				merged.Min(), merged.Max(), merged.Mean(), direct.Min(), direct.Max(), direct.Mean())
+		}
+		for k := -40; k <= 40; k++ {
+			if merged.Bucket(k) != direct.Bucket(k) {
+				t.Fatalf("order %v: bucket %d = %d, want %d", order, k, merged.Bucket(k), direct.Bucket(k))
+			}
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram("us")
+	h.Add(5)
+	h.Merge(nil)
+	h.Merge(NewHistogram("us"))
+	if h.Count() != 1 || h.Min() != 5 || h.Max() != 5 {
+		t.Fatalf("merging empty changed state: n=%d min=%g max=%g", h.Count(), h.Min(), h.Max())
+	}
+	// Merging into an empty histogram adopts the other's extrema rather
+	// than comparing against the zero-value min/max.
+	e := NewHistogram("us")
+	e.Merge(h)
+	if e.Count() != 1 || e.Min() != 5 || e.Max() != 5 {
+		t.Fatalf("merge into empty: n=%d min=%g max=%g", e.Count(), e.Min(), e.Max())
+	}
+}
+
+func TestHistogramScaleByPowerOfTwoShiftsBins(t *testing.T) {
+	// Multiplying every sample by 2^m is a pure translation in log2
+	// space: bucket k of the base histogram must reappear, with the
+	// identical count, as bucket k+m of the scaled histogram.
+	samples := metamorphicSamples(17, 500)
+	base := NewHistogram("us")
+	base.AddAll(samples)
+	for _, m := range []int{1, 3, -2} {
+		k := math.Pow(2, float64(m))
+		scaled := NewHistogram("us")
+		for _, v := range samples {
+			scaled.Add(k * v)
+		}
+		if scaled.Count() != base.Count() || scaled.Underflow() != base.Underflow() {
+			t.Fatalf("m=%d: count/underflow changed", m)
+		}
+		for b := -60; b <= 60; b++ {
+			if got, want := scaled.Bucket(b+m), base.Bucket(b); got != want {
+				t.Fatalf("m=%d: bucket %d = %d, want base bucket %d = %d", m, b+m, got, b, want)
+			}
+		}
+	}
+}
+
+func TestHistogramScaleGeneralKMapsAdjacent(t *testing.T) {
+	// For a general k > 0 the translation log2(k) is not integral, so a
+	// base bucket's samples can split across two adjacent scaled buckets
+	// — but never farther. Each scaled sample must land in bucket
+	// floor(log2 v) + floor(log2 k) or that + 1, and the totals conserve.
+	samples := metamorphicSamples(19, 500)
+	for _, k := range []float64{3, 0.3, 1.5, 10} {
+		shift := int(math.Floor(math.Log2(k)))
+		base := NewHistogram("us")
+		scaled := NewHistogram("us")
+		for _, v := range samples {
+			base.Add(v)
+			scaled.Add(k * v)
+		}
+		if scaled.Count() != base.Count() {
+			t.Fatalf("k=%g: count changed", k)
+		}
+		for b := -60; b <= 60; b++ {
+			n := base.Bucket(b)
+			if n == 0 {
+				continue
+			}
+			lo, hi := scaled.Bucket(b+shift), scaled.Bucket(b+shift+1)
+			if lo+hi < n {
+				// Neighboring base buckets can also spill into these two,
+				// so >= is the strongest per-bucket claim; the global
+				// count equality above pins the rest.
+				t.Fatalf("k=%g: base bucket %d (n=%d) not covered by scaled buckets %d,%d (%d+%d)",
+					k, b, n, b+shift, b+shift+1, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistogramUnderflowInvariantUnderScale(t *testing.T) {
+	// Zero and negative samples have no logarithmic bucket; scaling by a
+	// positive k must keep every one of them in the underflow bucket and
+	// must not leak any positive sample into it.
+	vals := []float64{0, -1, -1e-9, 2.5, 1e-12, -300}
+	for _, k := range []float64{2, 0.001, 7.3} {
+		h := NewHistogram("us")
+		for _, v := range vals {
+			h.Add(k * v)
+		}
+		if h.Underflow() != 4 {
+			t.Fatalf("k=%g: underflow = %d, want 4", k, h.Underflow())
+		}
+		if h.Count() != len(vals) {
+			t.Fatalf("k=%g: count = %d, want %d", k, h.Count(), len(vals))
+		}
+	}
+	// The tiniest positive sample stays out of underflow even when
+	// scaling shrinks it close to (but not past) zero.
+	h := NewHistogram("us")
+	h.Add(1e-300 * 1e-10)
+	if h.Underflow() != 0 {
+		t.Fatalf("positive denormal-range sample fell into underflow")
+	}
+}

@@ -35,6 +35,16 @@ func (s *Script) DropOnce(flow packet.FlowID, psn uint32) *Script {
 	return s
 }
 
+// DropRange schedules one-shot drops of the flow's DATA packets with PSNs
+// in [from, to] — a scripted multi-packet loss burst, the pattern that
+// exercises NewReno-style hole-by-hole recovery.
+func (s *Script) DropRange(flow packet.FlowID, from, to uint32) *Script {
+	for psn := from; psn <= to; psn++ {
+		s.drop[scriptKey{flow, psn}] = true
+	}
+	return s
+}
+
 // MarkRange schedules CE marking of the flow's DATA packets with PSNs in
 // [from, to] (each marked once).
 func (s *Script) MarkRange(flow packet.FlowID, from, to uint32) *Script {

@@ -21,7 +21,7 @@ import (
 //	18      2     port
 //	20      8     sentAt (ps)
 //	28      8     rxTime (ps)
-//	36      4     size (original frame size for truncated ACKs)
+//	36      4     size (frame wire size; always 64 for control packets)
 //	40      24    zero padding to 64 bytes
 //
 // DATA packets use the same 40-byte header followed by payload padding out
@@ -38,6 +38,7 @@ var (
 	ErrBadMagic    = errors.New("packet: bad magic")
 	ErrBadVersion  = errors.New("packet: unsupported version")
 	ErrBadType     = errors.New("packet: unknown packet type")
+	ErrBadSize     = errors.New("packet: size field inconsistent with type")
 )
 
 // MarshalControl encodes a control packet (SCHE/INFO/ACK/CNP) into a
@@ -72,9 +73,11 @@ func marshalHeader(p *Packet, dst []byte) {
 	binary.BigEndian.PutUint32(dst[36:40], uint32(p.Size))
 }
 
-// Unmarshal decodes a frame produced by MarshalControl. Control packets get
-// Size = ControlSize regardless of the recorded original size, which is
-// preserved in the Size header field for DATA truncation bookkeeping.
+// Unmarshal decodes a frame produced by MarshalControl. Decoding is
+// strict: a control frame whose recorded size is not ControlSize is
+// rejected rather than silently normalised — the model only ever emits
+// 64-byte control frames, and accepting a different size here would make
+// a decode/re-encode cycle (a pcap rewrite, say) alter the frame.
 func Unmarshal(src []byte) (*Packet, error) {
 	if len(src) < headerLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(src))
@@ -104,7 +107,10 @@ func Unmarshal(src []byte) (*Packet, error) {
 	}
 	switch t {
 	case ACK, INFO, SCHE, CNP:
-		p.Size = ControlSize
+		if p.Size != ControlSize {
+			return nil, fmt.Errorf("%w: control frame records size %d, want %d",
+				ErrBadSize, p.Size, ControlSize)
+		}
 	}
 	return p, nil
 }

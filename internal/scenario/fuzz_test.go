@@ -1,9 +1,21 @@
 package scenario
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzParse checks the scenario parser never panics and that every
 // accepted script re-parses identically (parse determinism).
+//
+// The determinism oracle compares the full parsed structure with
+// reflect.DeepEqual — spec, every timeline action field, every step, every
+// expectation. The original oracle only compared len(actions)/len(steps),
+// which two semantically different re-parses can satisfy: a parser bug
+// that swapped a range's endpoints, dropped a fault clause's tail while
+// accumulating "set fault" lines, or mis-numbered an action's line would
+// have passed. The drop-range and double-fault seeds below exist to pin
+// exactly those shapes.
 func FuzzParse(f *testing.F) {
 	f.Add("set algo dctcp\nat 0ms start 0 tx 0 rx 1\nrun 1ms\nexpect jain >= 0.9")
 	f.Add("run 1ms")
@@ -26,6 +38,15 @@ func FuzzParse(f *testing.F) {
 	f.Add("set aqm red:min=30000,max=90000,pmax=0.02\nrun 1ms")
 	f.Add("set aqm codel:target=50us,interval=1ms\nset algo cubic\nrun 1ms\nexpect sojourn_p99_us >= 0")
 	f.Add("set aqm pie:target=20us,tupdate=50us\nset aqm pi2:target=20us\nrun 1ms")
+	// Seeds the structural oracle needs and the old length-only oracle
+	// could not tell apart: a drop range whose endpoints must survive the
+	// round trip (psnA/psnB, not just "one action"), a single-psn drop
+	// that must parse as a degenerate range, and two accumulated fault
+	// clauses whose order and content must be preserved verbatim (the
+	// length check saw "len(actions)==0" either way).
+	f.Add("at 1ms drop flow 0 rx 1 psn 40..47\nat 0ms start 0 tx 0 rx 1 size 300\nrun 8ms\nexpect completions == 1")
+	f.Add("at 1ms drop flow 3 rx 2 psn 9\nrun 2ms")
+	f.Add("set fault lossburst tx1 at 1ms for 100us prob 0.5 seed 3\nset fault brownout fwd0 at 3ms for 200us frac 0.5\nrun 5ms")
 	f.Fuzz(func(t *testing.T, src string) {
 		s1, err := Parse(src)
 		if err != nil {
@@ -35,8 +56,14 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted script failed to re-parse: %v", err)
 		}
-		if len(s1.actions) != len(s2.actions) || len(s1.steps) != len(s2.steps) {
-			t.Fatal("parse is not deterministic")
+		if !reflect.DeepEqual(s1.spec, s2.spec) {
+			t.Fatalf("parse is not deterministic: spec\n%+v\n%+v", s1.spec, s2.spec)
+		}
+		if !reflect.DeepEqual(s1.actions, s2.actions) {
+			t.Fatalf("parse is not deterministic: actions\n%+v\n%+v", s1.actions, s2.actions)
+		}
+		if !reflect.DeepEqual(s1.steps, s2.steps) {
+			t.Fatalf("parse is not deterministic: steps\n%+v\n%+v", s1.steps, s2.steps)
 		}
 	})
 }

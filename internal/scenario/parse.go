@@ -172,7 +172,7 @@ func (s *Scenario) parsePattern(args []string) error {
 //
 //	at D start FLOW tx P rx P [size N]
 //	at D stop FLOW
-//	at D drop flow FLOW rx P psn N
+//	at D drop flow FLOW rx P psn N (or psn A..B)
 //	at D mark flow FLOW rx P psn A..B
 //	at D flap rx P for DURATION
 func (s *Scenario) parseAt(line int, args []string) error {
@@ -205,13 +205,30 @@ func (s *Scenario) parseAt(line int, args []string) error {
 		}
 		a.flow = packet.FlowID(n)
 	case "drop":
-		kv, err := keyVals(rest, "drop", []string{"flow", "rx", "psn"}, nil)
-		if err != nil {
-			return err
+		// flow F rx P psn N  |  flow F rx P psn A..B
+		if len(rest) != 6 || rest[0] != "flow" || rest[2] != "rx" || rest[4] != "psn" {
+			return fmt.Errorf("drop needs: flow F rx P psn N (or psn A..B)")
 		}
-		a.flow = packet.FlowID(kv["flow"])
-		a.rx = int(kv["rx"])
-		a.psnA = uint32(kv["psn"])
+		fl, err1 := strconv.ParseUint(rest[1], 10, 32)
+		rx, err2 := strconv.Atoi(rest[3])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad drop operands")
+		}
+		a.flow = packet.FlowID(fl)
+		a.rx = rx
+		if strings.Contains(rest[5], "..") {
+			lo, hi, err := parseRange(rest[5])
+			if err != nil {
+				return err
+			}
+			a.psnA, a.psnB = lo, hi
+		} else {
+			n, err := strconv.ParseUint(rest[5], 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad psn %q", rest[5])
+			}
+			a.psnA, a.psnB = uint32(n), uint32(n)
+		}
 	case "mark":
 		// flow F rx P psn A..B
 		if len(rest) != 6 || rest[0] != "flow" || rest[2] != "rx" || rest[4] != "psn" {

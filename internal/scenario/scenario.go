@@ -160,7 +160,7 @@ func (s *Scenario) Run() (*Report, error) {
 			case "stop":
 				tr.StopFlow(a.flow)
 			case "drop":
-				tr.ForwardLink(a.rx).AddHook(netem.NewScript().DropOnce(a.flow, a.psnA).Hook)
+				tr.ForwardLink(a.rx).AddHook(netem.NewScript().DropRange(a.flow, a.psnA, a.psnB).Hook)
 			case "mark":
 				tr.ForwardLink(a.rx).AddHook(netem.NewScript().MarkRange(a.flow, a.psnA, a.psnB).Hook)
 			case "flap":

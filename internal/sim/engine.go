@@ -235,6 +235,12 @@ type Handle struct {
 	gen uint32
 }
 
+// Armed reports whether the event is still pending: scheduled and neither
+// fired nor cancelled. A zero Handle reports false.
+func (h Handle) Armed() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.where != locFree
+}
+
 // Cancel prevents the event from running. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
 // still pending. The event is removed from its container immediately —

@@ -488,6 +488,38 @@ func (p Plan) Validate() error {
 	return nil
 }
 
+// Victims returns every explicit victim port the plan names, in pattern
+// order — the set a control plane must range-check against the test's data
+// ports before deploying.
+func (p Plan) Victims() []int {
+	var out []int
+	for _, pat := range p.Patterns {
+		switch v := pat.(type) {
+		case *Incast:
+			out = append(out, v.Victim)
+		case *Flood:
+			out = append(out, v.Victim)
+		case *Square:
+			if v.Opts.Victim >= 0 {
+				out = append(out, v.Opts.Victim)
+			}
+		case *Saw:
+			if v.Opts.Victim >= 0 {
+				out = append(out, v.Opts.Victim)
+			}
+		case *MMPP:
+			if v.Opts.Victim >= 0 {
+				out = append(out, v.Opts.Victim)
+			}
+		case *Lognormal:
+			if v.Opts.Victim >= 0 {
+				out = append(out, v.Opts.Victim)
+			}
+		}
+	}
+	return out
+}
+
 // Victim returns the first explicit victim port named by the plan (incast
 // or flood target, or a load pattern's victim= knob); ok is false when no
 // pattern names one.
